@@ -1,0 +1,80 @@
+// Command vdmsd runs the vector data management engine as a network
+// service (the access layer of the VDMS architecture): a live collection
+// behind the newline-delimited JSON protocol of internal/server.
+//
+// Usage:
+//
+//	vdmsd [-addr 127.0.0.1:7700] [-dim 128] [-metric angular]
+//	      [-index HNSW] [-expected-rows 100000]
+//
+// Clients: see internal/server.Client, e.g.
+//
+//	cl, _ := server.Dial("127.0.0.1:7700")
+//	ids, _ := cl.Insert(vectors)
+//	hits, _ := cl.Search(query, 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/server"
+	"vdtuner/internal/vdms"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	dim := flag.Int("dim", 128, "vector dimensionality")
+	metricName := flag.String("metric", "angular", "distance metric: l2, ip, angular")
+	indexName := flag.String("index", "HNSW", "index type for sealed segments")
+	expectedRows := flag.Int("expected-rows", 100000, "expected corpus size (scales segment sizing)")
+	flag.Parse()
+
+	var metric linalg.Metric
+	switch *metricName {
+	case "l2":
+		metric = linalg.L2
+	case "ip":
+		metric = linalg.InnerProduct
+	case "angular":
+		metric = linalg.Angular
+	default:
+		fmt.Fprintf(os.Stderr, "unknown metric %q\n", *metricName)
+		os.Exit(2)
+	}
+	typ, err := index.ParseType(*indexName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = typ
+	coll, err := vdms.NewCollection(cfg, metric, *dim, *expectedRows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := server.New(coll, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("vdmsd listening on %s (dim=%d, metric=%s, index=%v)\n",
+		srv.Addr(), *dim, metric, typ)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := coll.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command vdtuner tunes the built-in vector data management engine on a
+// named workload and reports the Pareto front and the recommended
+// configuration.
+//
+// Usage:
+//
+//	vdtuner [-dataset glove] [-iters 60] [-scale 0.25] [-seed 42]
+//	        [-recall-floor 0] [-cost-aware] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "glove", "workload: glove, keyword, geo, arxiv, deep")
+	iters := flag.Int("iters", 60, "tuning iterations (paper: 200)")
+	scale := flag.Float64("scale", 0.25, "dataset scale factor")
+	seed := flag.Int64("seed", 42, "random seed")
+	recallFloor := flag.Float64("recall-floor", 0, "optimize speed subject to recall > floor (0 = balance both)")
+	costAware := flag.Bool("cost-aware", false, "optimize cost-effectiveness (QP$) instead of QPS")
+	saveKB := flag.String("save", "", "write the tuning knowledge base (JSON) to this path")
+	loadKB := flag.String("load", "", "bootstrap from a knowledge base written by -save")
+	verbose := flag.Bool("v", false, "print every iteration")
+	flag.Parse()
+
+	spec, err := pickDataset(*dataset, workload.Scale(*scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("generating %s (n=%d, dim=%d) ...\n", spec.Name, spec.N, spec.Dim)
+	ds, err := workload.Load(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	def := vdms.Evaluate(ds, vdms.DefaultConfig())
+	fmt.Printf("default config: QPS %.1f, recall %.4f, memory %.2f GiB-eq\n\n",
+		def.QPS, def.Recall, core.MemGiB(def.MemoryBytes))
+
+	var bootstrap []core.Observation
+	if *loadKB != "" {
+		bootstrap, err = core.LoadKnowledgeBase(*loadKB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bootstrapped %d observations from %s\n", len(bootstrap), *loadKB)
+	}
+	tn := core.New(core.Options{
+		Seed:        *seed,
+		RecallFloor: *recallFloor,
+		CostAware:   *costAware,
+		Bootstrap:   bootstrap,
+	})
+	for i := 0; i < *iters; i++ {
+		cfg := tn.Next()
+		res := vdms.Evaluate(ds, cfg)
+		tn.Observe(cfg, res)
+		if *verbose {
+			status := fmt.Sprintf("QPS %8.1f recall %.4f", res.QPS, res.Recall)
+			if res.Failed {
+				status = "FAILED: " + res.FailReason
+			}
+			fmt.Printf("iter %3d  %-9s  %s\n", i+1, cfg.IndexType, status)
+		}
+	}
+
+	if *saveKB != "" {
+		if err := tn.SaveKnowledgeBase(*saveKB); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("knowledge base saved to %s\n", *saveKB)
+	}
+
+	front := tn.ParetoFront()
+	sort.Slice(front, func(i, j int) bool { return front[i].ObjA > front[j].ObjA })
+	fmt.Printf("\nPareto front (%d configurations):\n", len(front))
+	objName := "QPS"
+	if *costAware {
+		objName = "QP$"
+	}
+	for _, o := range front {
+		fmt.Printf("  %-9s %s %10.1f  recall %.4f  mem %.2f GiB-eq\n",
+			o.Config.IndexType, objName, o.ObjA, o.Result.Recall, core.MemGiB(o.Result.MemoryBytes))
+	}
+
+	floor := *recallFloor
+	if floor == 0 {
+		floor = def.Recall - 1e-9
+	}
+	best, ok := tn.BestUnderRecall(floor)
+	if !ok {
+		fmt.Printf("\nno configuration found with recall > %.4f\n", floor)
+		return
+	}
+	fmt.Printf("\nrecommended configuration (recall > %.4f):\n", floor)
+	printConfig(best.Config)
+	fmt.Printf("  -> %s %.1f (default %.1f), recall %.4f (default %.4f)\n",
+		objName, best.ObjA, def.QPS, best.Result.Recall, def.Recall)
+	fmt.Printf("remaining index types: %v, abandoned: %v\n", tn.Remaining(), tn.Abandoned())
+}
+
+func pickDataset(name string, scale workload.Scale) (workload.Spec, error) {
+	switch name {
+	case "glove":
+		return workload.GloVeLike(scale), nil
+	case "keyword":
+		return workload.KeywordLike(scale), nil
+	case "geo":
+		return workload.GeoLike(scale), nil
+	case "arxiv":
+		return workload.ArxivLike(scale), nil
+	case "deep":
+		return workload.DeepImageLike(scale), nil
+	default:
+		return workload.Spec{}, fmt.Errorf("unknown dataset %q (want glove, keyword, geo, arxiv, deep)", name)
+	}
+}
+
+func printConfig(cfg vdms.Config) {
+	fmt.Printf("  index type        %v\n", cfg.IndexType)
+	fmt.Printf("  build params      nlist=%d m=%d nbits=%d M=%d efConstruction=%d\n",
+		cfg.Build.NList, cfg.Build.M, cfg.Build.NBits, cfg.Build.HNSWM, cfg.Build.EfConstruction)
+	fmt.Printf("  search params     nprobe=%d ef=%d reorder_k=%d\n",
+		cfg.Search.NProbe, cfg.Search.Ef, cfg.Search.ReorderK)
+	fmt.Printf("  system params     maxSize=%.0f seal=%.2f graceful=%.0fms insertBuf=%.0f par=%d cache=%.2f flush=%.0fs\n",
+		cfg.SegmentMaxSize, cfg.SealProportion, cfg.GracefulTime,
+		cfg.InsertBufSize, cfg.Parallelism, cfg.CacheRatio, cfg.FlushInterval)
+}

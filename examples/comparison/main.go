@@ -1,0 +1,78 @@
+// Comparison: race VDTuner against the paper's four baselines (Random,
+// OpenTuner, OtterTune, qEHVI) on one workload and report the best QPS
+// each found under several recall floors (a miniature Figure 6).
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtuner/internal/baselines"
+	"vdtuner/internal/core"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+// method is the common tuning interface.
+type method interface {
+	Name() string
+	Next() vdms.Config
+	Observe(cfg vdms.Config, res vdms.Result)
+}
+
+func main() {
+	ds, err := workload.Load(workload.GloVeLike(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const iters = 30
+	const seed = 33
+
+	methods := []method{
+		core.New(core.Options{Seed: seed}),
+		baselines.NewRandom(seed),
+		baselines.NewOpenTuner(seed),
+		baselines.NewOtterTune(seed, 10),
+		baselines.NewQEHVI(seed, 10),
+	}
+	floors := []float64{0.85, 0.9, 0.95}
+
+	// best[m][f] is the best QPS method m found with recall > floor f.
+	best := make([][]float64, len(methods))
+	for mi, m := range methods {
+		best[mi] = make([]float64, len(floors))
+		for i := 0; i < iters; i++ {
+			cfg := m.Next()
+			res := vdms.Evaluate(ds, cfg)
+			m.Observe(cfg, res)
+			if res.Failed {
+				continue
+			}
+			for fi, floor := range floors {
+				if res.Recall > floor && res.QPS > best[mi][fi] {
+					best[mi][fi] = res.QPS
+				}
+			}
+		}
+	}
+
+	fmt.Printf("best QPS after %d iterations on %s:\n", iters, ds.Name)
+	fmt.Printf("%-12s", "method")
+	for _, f := range floors {
+		fmt.Printf("  recall>%.2f", f)
+	}
+	fmt.Println()
+	for mi, m := range methods {
+		fmt.Printf("%-12s", m.Name())
+		for fi := range floors {
+			if best[mi][fi] > 0 {
+				fmt.Printf("  %11.1f", best[mi][fi])
+			} else {
+				fmt.Printf("  %11s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Costaware: optimize cost-effectiveness (QP$ — queries per dollar, with
+// memory as the cost driver) instead of raw QPS, and compare the memory
+// footprints the two objectives steer toward (paper §V-E / Figure 13).
+//
+//	go run ./examples/costaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+func main() {
+	ds, err := workload.Load(workload.GeoLike(0.3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const iters = 30
+
+	costTuner := core.New(core.Options{Seed: 21, CostAware: true})
+	speedTuner := core.New(core.Options{Seed: 21})
+	for i := 0; i < iters; i++ {
+		cfg := costTuner.Next()
+		costTuner.Observe(cfg, vdms.Evaluate(ds, cfg))
+		cfg = speedTuner.Next()
+		speedTuner.Observe(cfg, vdms.Evaluate(ds, cfg))
+	}
+
+	fmt.Println("objective        best config             QPS      QP$   mem(GiB-eq)")
+	show := func(label string, tn *core.Tuner) {
+		best, ok := tn.BestUnderRecall(0.8)
+		if !ok {
+			best, ok = tn.BestUnderRecall(0)
+		}
+		if !ok {
+			fmt.Printf("%-16s nothing feasible\n", label)
+			return
+		}
+		r := best.Result
+		fmt.Printf("%-16s %-9s recall %.3f %8.1f %8.2f %12.2f\n",
+			label, best.Config.IndexType, r.Recall, r.QPS,
+			core.CostEffectiveness(r), core.MemGiB(r.MemoryBytes))
+	}
+	show("maximize QP$", costTuner)
+	show("maximize QPS", speedTuner)
+
+	// Compare the average sampled footprint: the cost-aware objective
+	// should steer toward leaner configurations overall.
+	fmt.Printf("mean sampled memory: QP$ run %.2f GiB-eq, QPS run %.2f GiB-eq\n",
+		meanMem(costTuner), meanMem(speedTuner))
+}
+
+func meanMem(tn *core.Tuner) float64 {
+	var sum float64
+	var n int
+	for _, o := range tn.Observations() {
+		if o.Result.Failed {
+			continue
+		}
+		sum += core.MemGiB(o.Result.MemoryBytes)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,46 @@
+// Online: the paper's future-work extension — serve a stream of workload
+// windows, detect drift, and re-tune (warm-started from the knowledge
+// base) when the workload changes.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/online"
+	"vdtuner/internal/workload"
+)
+
+func main() {
+	mgr := online.NewManager(online.ManagerOptions{
+		Tuning:       core.Options{Seed: 41},
+		InitialIters: 25,
+		RetuneIters:  12,
+	})
+
+	// Three workload windows: the clustered phase repeats (no drift on a
+	// stable workload), then the queries shift to near-uniform
+	// high-spread traffic (drift, triggering a warm re-tune).
+	phaseA := workload.Spec{Name: "phase-a", N: 1500, NQ: 30, Dim: 32, K: 10,
+		Clusters: 12, ClusterStd: 0.4, Correlated: true, Seed: 1}
+	phaseB := workload.Spec{Name: "phase-b", N: 1500, NQ: 30, Dim: 32, K: 10,
+		Clusters: 64, ClusterStd: 1.6, Seed: 3}
+	windows := []workload.Spec{phaseA, phaseA, phaseB}
+	for i, spec := range windows {
+		ds, err := workload.Load(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := mgr.ServeWindow(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, _ := mgr.Best()
+		fmt.Printf("window %d (%s): drift %.3f  retuned=%v  deployed %-9v  QPS %8.1f  recall %.4f\n",
+			i+1, spec.Name, rep.DriftScore, rep.Retuned, cfg.IndexType, rep.Result.QPS, rep.Result.Recall)
+	}
+	fmt.Printf("total re-tuning sessions: %d\n", mgr.Retunes())
+}

@@ -1,0 +1,57 @@
+// Preference: optimize search speed subject to a user recall floor, then
+// tighten the floor and bootstrap the second run from the first (paper
+// §IV-F / Figure 12).
+//
+//	go run ./examples/preference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+func main() {
+	ds, err := workload.Load(workload.GloVeLike(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const itersPerPhase = 30
+
+	// Phase 1: the user wants recall > 0.85, speed maximized. The
+	// constraint model (CEI acquisition) focuses sampling on the
+	// feasible region instead of mapping the whole trade-off curve.
+	phase1 := core.New(core.Options{Seed: 11, RecallFloor: 0.85})
+	run(ds, phase1, itersPerPhase)
+	report(phase1, 0.85, "phase 1 (recall > 0.85)")
+
+	// Phase 2: the preference tightens to recall > 0.9. Bootstrapping
+	// warms the new surrogate with phase 1's samples, so it starts from
+	// an approximate map of the space instead of from scratch.
+	phase2 := core.New(core.Options{
+		Seed: 12, RecallFloor: 0.9, Bootstrap: phase1.Observations(),
+	})
+	run(ds, phase2, itersPerPhase)
+	report(phase2, 0.9, "phase 2 (recall > 0.90, bootstrapped)")
+}
+
+func run(ds *workload.Dataset, tn *core.Tuner, iters int) {
+	for i := 0; i < iters; i++ {
+		cfg := tn.Next()
+		tn.Observe(cfg, vdms.Evaluate(ds, cfg))
+	}
+}
+
+func report(tn *core.Tuner, floor float64, label string) {
+	best, ok := tn.BestUnderRecall(floor)
+	if !ok {
+		fmt.Printf("%s: nothing feasible found\n", label)
+		return
+	}
+	fmt.Printf("%s: best QPS %.1f at recall %.4f (index %v, nprobe=%d, ef=%d)\n",
+		label, best.Result.QPS, best.Result.Recall, best.Config.IndexType,
+		best.Config.Search.NProbe, best.Config.Search.Ef)
+}

@@ -1,0 +1,51 @@
+// Quickstart: tune the vector engine on a small clustered workload and
+// compare the recommended configuration against the default.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+func main() {
+	// 1. Build a workload: stored vectors, queries, exact ground truth.
+	ds, err := workload.Load(workload.Spec{
+		Name: "quickstart", N: 2000, NQ: 30, Dim: 48, K: 10,
+		Clusters: 16, ClusterStd: 0.4, Correlated: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Measure the default configuration (AUTOINDEX + stock system
+	// parameters) as the baseline.
+	def := vdms.Evaluate(ds, vdms.DefaultConfig())
+	fmt.Printf("default:  QPS %8.1f  recall %.4f\n", def.QPS, def.Recall)
+
+	// 3. Run VDTuner for 40 iterations: it polls index types, learns a
+	// holistic surrogate, and abandons weak types along the way.
+	tuner := core.New(core.Options{Seed: 7})
+	for i := 0; i < 40; i++ {
+		cfg := tuner.Next()
+		res := vdms.Evaluate(ds, cfg)
+		tuner.Observe(cfg, res)
+	}
+
+	// 4. Pick the fastest configuration that keeps the default recall.
+	best, ok := tuner.BestUnderRecall(def.Recall - 1e-9)
+	if !ok {
+		log.Fatal("no configuration matched the default recall level")
+	}
+	fmt.Printf("tuned:    QPS %8.1f  recall %.4f  (index %v)\n",
+		best.Result.QPS, best.Result.Recall, best.Config.IndexType)
+	fmt.Printf("speedup:  %+.1f%% without sacrificing recall\n",
+		(best.Result.QPS-def.QPS)/def.QPS*100)
+	fmt.Printf("index types still in play: %v (abandoned %v)\n",
+		tuner.Remaining(), tuner.Abandoned())
+}

@@ -1,0 +1,138 @@
+// Package baselines implements the four competing auto-configuration
+// methods the paper compares against (§V-A):
+//
+//	Random     Latin-hypercube sampling over the full space [33], [34]
+//	OpenTuner  an AUC-bandit meta-search over numeric optimizers [20]
+//	OtterTune  single-objective GP (weighted-sum reward) with EI [11]
+//	qEHVI      flat-space MOBO with a zero reference point [24]
+//
+// Since no prior work tunes per-index-type parameter sets, the index type
+// is treated as one more search dimension for every baseline, exactly as
+// the paper does. All baselines share the worst-value substitution policy
+// for failed configurations.
+package baselines
+
+import (
+	"math/rand"
+
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+)
+
+// observation is a shared evaluation record.
+type observation struct {
+	x      space.Vector
+	qps    float64
+	recall float64
+	failed bool
+}
+
+// history provides the worst-value substitution and bookkeeping shared by
+// every baseline.
+type history struct {
+	obs []observation
+}
+
+func (h *history) observe(x space.Vector, res vdms.Result) {
+	o := observation{x: x, qps: res.QPS, recall: res.Recall, failed: res.Failed}
+	if res.Failed {
+		o.qps, o.recall = h.worst()
+	}
+	h.obs = append(h.obs, o)
+}
+
+func (h *history) worst() (qps, recall float64) {
+	const eps = 1e-6
+	qps, recall = eps, eps
+	first := true
+	for _, o := range h.obs {
+		if o.failed {
+			continue
+		}
+		if first || o.qps < qps {
+			qps = o.qps
+		}
+		if first || o.recall < recall {
+			recall = o.recall
+		}
+		first = false
+	}
+	if qps <= 0 {
+		qps = eps
+	}
+	if recall <= 0 {
+		recall = eps
+	}
+	return qps, recall
+}
+
+// maxima returns per-objective maxima for weighted-sum normalization.
+func (h *history) maxima() (qps, recall float64) {
+	for _, o := range h.obs {
+		if o.qps > qps {
+			qps = o.qps
+		}
+		if o.recall > recall {
+			recall = o.recall
+		}
+	}
+	if qps <= 0 {
+		qps = 1
+	}
+	if recall <= 0 {
+		recall = 1
+	}
+	return qps, recall
+}
+
+// weightedSum is the scalar reward used by OpenTuner and OtterTune as the
+// paper extends them: the equal-weight sum of max-normalized objectives.
+func (h *history) weightedSum(o observation) float64 {
+	mq, mr := h.maxima()
+	return 0.5*o.qps/mq + 0.5*o.recall/mr
+}
+
+func (h *history) bestWeighted() (observation, float64, bool) {
+	if len(h.obs) == 0 {
+		return observation{}, 0, false
+	}
+	best := h.obs[0]
+	bestV := h.weightedSum(best)
+	for _, o := range h.obs[1:] {
+		if v := h.weightedSum(o); v > bestV {
+			best, bestV = o, v
+		}
+	}
+	return best, bestV, true
+}
+
+// Random is the LHS baseline: space-filling samples, no learning.
+type Random struct {
+	rng   *rand.Rand
+	hist  history
+	batch []space.Vector
+}
+
+// NewRandom creates the LHS sampler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements the Method interface.
+func (r *Random) Name() string { return "Random" }
+
+// Next returns the next Latin-hypercube sample, drawing a fresh stratified
+// batch whenever the previous one is exhausted.
+func (r *Random) Next() vdms.Config {
+	if len(r.batch) == 0 {
+		r.batch = space.LHSAcrossTypes(64, r.rng)
+	}
+	x := r.batch[0]
+	r.batch = r.batch[1:]
+	return space.Decode(x)
+}
+
+// Observe records the evaluation result.
+func (r *Random) Observe(cfg vdms.Config, res vdms.Result) {
+	r.hist.observe(space.Encode(cfg), res)
+}

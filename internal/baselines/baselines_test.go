@@ -1,0 +1,177 @@
+package baselines
+
+import (
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+func testDataset(t testing.TB) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Load(workload.Spec{
+		Name: "baseline-test", N: 1000, NQ: 15, Dim: 20, K: 5,
+		Clusters: 8, ClusterStd: 0.4, Correlated: true, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// method is the shared tuning interface (structurally identical to the
+// runner's).
+type method interface {
+	Name() string
+	Next() vdms.Config
+	Observe(cfg vdms.Config, res vdms.Result)
+}
+
+func allMethods(seed int64) []method {
+	return []method{
+		NewRandom(seed),
+		NewOpenTuner(seed),
+		NewOtterTune(seed, 6),
+		NewQEHVI(seed, 6),
+	}
+}
+
+func TestAllBaselinesProposeValidConfigs(t *testing.T) {
+	for _, m := range allMethods(1) {
+		for i := 0; i < 12; i++ {
+			cfg := m.Next()
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s proposed invalid config at iter %d: %v", m.Name(), i, err)
+			}
+			// Feed synthetic results; no engine needed for validity.
+			m.Observe(cfg, vdms.Result{QPS: float64(10 + i), Recall: 0.5})
+		}
+	}
+}
+
+func TestAllBaselinesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end baseline loop is slow")
+	}
+	ds := testDataset(t)
+	for _, m := range allMethods(2) {
+		for i := 0; i < 15; i++ {
+			cfg := m.Next()
+			res := vdms.Evaluate(ds, cfg)
+			m.Observe(cfg, res)
+		}
+	}
+}
+
+func TestBaselinesDeterministicPerSeed(t *testing.T) {
+	for mi := 0; mi < 4; mi++ {
+		a := allMethods(7)[mi]
+		b := allMethods(7)[mi]
+		for i := 0; i < 8; i++ {
+			ca, cb := a.Next(), b.Next()
+			if ca != cb {
+				t.Fatalf("%s diverged at iter %d", a.Name(), i)
+			}
+			res := vdms.Result{QPS: float64(5 * (i + 1)), Recall: 0.3 + 0.05*float64(i)}
+			a.Observe(ca, res)
+			b.Observe(cb, res)
+		}
+	}
+}
+
+func TestRandomCoversIndexTypes(t *testing.T) {
+	r := NewRandom(3)
+	types := map[index.Type]bool{}
+	for i := 0; i < 40; i++ {
+		cfg := r.Next()
+		types[cfg.IndexType] = true
+		r.Observe(cfg, vdms.Result{QPS: 1, Recall: 0.5})
+	}
+	if len(types) < 5 {
+		t.Fatalf("LHS covered only %d index types in 40 samples", len(types))
+	}
+}
+
+func TestHistoryWorstSubstitution(t *testing.T) {
+	var h history
+	h.observe(space.DefaultVector(index.HNSW), vdms.Result{QPS: 100, Recall: 0.9})
+	h.observe(space.DefaultVector(index.HNSW), vdms.Result{QPS: 50, Recall: 0.95})
+	h.observe(space.DefaultVector(index.HNSW), vdms.Result{Failed: true})
+	got := h.obs[2]
+	if got.qps != 50 || got.recall != 0.9 {
+		t.Fatalf("failed obs got (%v, %v), want worst-in-history (50, 0.9)", got.qps, got.recall)
+	}
+}
+
+func TestHistoryWorstOnEmpty(t *testing.T) {
+	var h history
+	h.observe(space.DefaultVector(index.Flat), vdms.Result{Failed: true})
+	got := h.obs[0]
+	if got.qps <= 0 || got.recall <= 0 {
+		t.Fatalf("first failed obs got non-positive values: %+v", got)
+	}
+}
+
+func TestWeightedSumEqualAtMaxima(t *testing.T) {
+	var h history
+	h.observe(space.DefaultVector(index.Flat), vdms.Result{QPS: 200, Recall: 0.5})
+	h.observe(space.DefaultVector(index.Flat), vdms.Result{QPS: 100, Recall: 1.0})
+	// First obs: 0.5*1 + 0.5*0.5 = 0.75; second: 0.5*0.5 + 0.5*1 = 0.75.
+	a := h.weightedSum(h.obs[0])
+	b := h.weightedSum(h.obs[1])
+	if a != b {
+		t.Fatalf("weighted sums differ: %v vs %v", a, b)
+	}
+}
+
+func TestOpenTunerBanditTriesAllTechniques(t *testing.T) {
+	o := NewOpenTuner(4)
+	for i := 0; i < 12; i++ {
+		cfg := o.Next()
+		o.Observe(cfg, vdms.Result{QPS: float64(i), Recall: 0.5})
+	}
+	for i, u := range o.uses {
+		if u == 0 {
+			t.Fatalf("technique %s never used", o.techniques[i].name())
+		}
+	}
+}
+
+func TestOtterTuneWarmupCount(t *testing.T) {
+	o := NewOtterTune(5, 4)
+	if len(o.initQueue) != 4 {
+		t.Fatalf("warm-up queue = %d, want 4", len(o.initQueue))
+	}
+	NewOtterTune(5, 0) // default must not panic
+}
+
+func TestQEHVIWarmupThenModel(t *testing.T) {
+	q := NewQEHVI(6, 3)
+	for i := 0; i < 6; i++ {
+		cfg := q.Next()
+		q.Observe(cfg, vdms.Result{QPS: float64(10 * (i + 1)), Recall: 0.5 + 0.05*float64(i)})
+	}
+	if len(q.initQueue) != 0 {
+		t.Fatal("warm-up queue not drained")
+	}
+	// Post-warm-up proposals must still be valid.
+	cfg := q.Next()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("post-warmup proposal invalid: %v", err)
+	}
+}
+
+func TestPerturbStaysInUnitCube(t *testing.T) {
+	o := NewOpenTuner(8)
+	x := randomVector(o.rng)
+	for i := 0; i < 100; i++ {
+		y := perturb(x, 0.5, o.rng)
+		for d, v := range y {
+			if v < 0 || v > 1 {
+				t.Fatalf("perturb dim %d out of range: %v", d, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+)
+
+// OpenTuner reimplements the OpenTuner search strategy (Ansel et al.,
+// PACT'14) as the paper deploys it: a pool of numeric search techniques
+// coordinated by an AUC-bandit meta-technique, with the weighted-sum
+// reward over normalized search speed and recall. Each technique proposes
+// configurations independently of parameter interdependencies, which is
+// exactly the weakness the paper observes (§V-C).
+type OpenTuner struct {
+	rng  *rand.Rand
+	hist history
+
+	techniques []technique
+	// uses[i] and wins[i] drive the AUC bandit's exploit term.
+	uses, wins []float64
+	lastTech   int
+	lastBest   float64
+	total      float64
+
+	// annealing state
+	current space.Vector
+	temp    float64
+}
+
+// technique is one member of OpenTuner's search pool.
+type technique interface {
+	name() string
+	propose(o *OpenTuner) space.Vector
+}
+
+// NewOpenTuner creates the bandit-coordinated search.
+func NewOpenTuner(seed int64) *OpenTuner {
+	o := &OpenTuner{
+		rng:  rand.New(rand.NewSource(seed)),
+		temp: 1.0,
+	}
+	o.techniques = []technique{
+		uniformTech{}, hillClimbTech{}, annealTech{}, patternTech{},
+	}
+	o.uses = make([]float64, len(o.techniques))
+	o.wins = make([]float64, len(o.techniques))
+	o.current = randomVector(o.rng)
+	return o
+}
+
+// Name implements the Method interface.
+func (o *OpenTuner) Name() string { return "OpenTuner" }
+
+// Next selects a technique by the AUC-bandit rule and asks it for a
+// configuration.
+func (o *OpenTuner) Next() vdms.Config {
+	pick := 0
+	bestScore := math.Inf(-1)
+	for i := range o.techniques {
+		score := math.Inf(1) // force trying each technique once
+		if o.uses[i] > 0 {
+			exploit := o.wins[i] / o.uses[i]
+			explore := math.Sqrt(2 * math.Log(o.total+1) / o.uses[i])
+			score = exploit + explore
+		}
+		if score > bestScore {
+			bestScore = score
+			pick = i
+		}
+	}
+	o.lastTech = pick
+	x := o.techniques[pick].propose(o)
+	return space.Decode(x)
+}
+
+// Observe credits the proposing technique when the configuration improved
+// the best weighted-sum reward.
+func (o *OpenTuner) Observe(cfg vdms.Config, res vdms.Result) {
+	x := space.Encode(cfg)
+	o.hist.observe(x, res)
+	_, bestV, _ := o.hist.bestWeighted()
+	improved := bestV > o.lastBest+1e-12
+	o.lastBest = bestV
+
+	o.uses[o.lastTech]++
+	o.total++
+	if improved {
+		o.wins[o.lastTech]++
+		o.current = x // greedy walkers move to improvements
+	}
+	o.temp *= 0.97
+}
+
+func randomVector(rng *rand.Rand) space.Vector {
+	x := make(space.Vector, space.Dims)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+// uniformTech samples uniformly at random.
+type uniformTech struct{}
+
+func (uniformTech) name() string { return "uniform" }
+func (uniformTech) propose(o *OpenTuner) space.Vector {
+	return randomVector(o.rng)
+}
+
+// hillClimbTech perturbs the best-known configuration slightly,
+// dimension-independently.
+type hillClimbTech struct{}
+
+func (hillClimbTech) name() string { return "hillclimb" }
+func (hillClimbTech) propose(o *OpenTuner) space.Vector {
+	best, _, ok := o.hist.bestWeighted()
+	if !ok {
+		return randomVector(o.rng)
+	}
+	return perturb(best.x, 0.05, o.rng)
+}
+
+// annealTech performs simulated-annealing moves from the walker state
+// with a decaying temperature.
+type annealTech struct{}
+
+func (annealTech) name() string { return "anneal" }
+func (annealTech) propose(o *OpenTuner) space.Vector {
+	return perturb(o.current, 0.05+0.4*o.temp, o.rng)
+}
+
+// patternTech mutates one coordinate at a time (coordinate pattern
+// search), treating parameters as independent.
+type patternTech struct{}
+
+func (patternTech) name() string { return "pattern" }
+func (patternTech) propose(o *OpenTuner) space.Vector {
+	best, _, ok := o.hist.bestWeighted()
+	if !ok {
+		return randomVector(o.rng)
+	}
+	x := make(space.Vector, len(best.x))
+	copy(x, best.x)
+	d := o.rng.Intn(len(x))
+	step := 0.15
+	if o.rng.Intn(2) == 0 {
+		step = -step
+	}
+	x[d] = clamp01(x[d] + step)
+	return x
+}
+
+func perturb(x space.Vector, scale float64, rng *rand.Rand) space.Vector {
+	out := make(space.Vector, len(x))
+	for i := range x {
+		out[i] = clamp01(x[i] + rng.NormFloat64()*scale)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

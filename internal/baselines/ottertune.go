@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"vdtuner/internal/gp"
+	"vdtuner/internal/mobo"
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+)
+
+// OtterTune reimplements the Gaussian-process-regression tuner of Van Aken
+// et al. (SIGMOD'17) as the paper deploys it: a single-objective GP over
+// the weighted-sum performance, expected-improvement acquisition, and 10
+// LHS warm-up samples. The single objective cannot trade off speed and
+// recall, which is the deficiency the paper highlights (§V-C).
+type OtterTune struct {
+	rng        *rand.Rand
+	hist       history
+	initQueue  []space.Vector
+	candidates int
+}
+
+// NewOtterTune creates the weighted-sum GP tuner with nInit LHS warm-up
+// samples (the paper uses 10; nInit <= 0 means 10).
+func NewOtterTune(seed int64, nInit int) *OtterTune {
+	if nInit <= 0 {
+		nInit = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &OtterTune{
+		rng:        rng,
+		initQueue:  space.LHSAcrossTypes(nInit, rng),
+		candidates: 160,
+	}
+}
+
+// Name implements the Method interface.
+func (o *OtterTune) Name() string { return "OtterTune" }
+
+// Next drains the warm-up queue and then maximizes EI of the weighted-sum
+// GP over a candidate set (random plus perturbations of the incumbent).
+func (o *OtterTune) Next() vdms.Config {
+	if len(o.initQueue) > 0 {
+		x := o.initQueue[0]
+		o.initQueue = o.initQueue[1:]
+		return space.Decode(x)
+	}
+	xs := make([][]float64, len(o.hist.obs))
+	ys := make([]float64, len(o.hist.obs))
+	for i, ob := range o.hist.obs {
+		xs[i] = ob.x
+		ys[i] = o.hist.weightedSum(ob)
+	}
+	model, err := gp.Fit(xs, ys)
+	if err != nil {
+		return space.Decode(randomVector(o.rng))
+	}
+	best, bestV, _ := o.hist.bestWeighted()
+
+	pick := randomVector(o.rng)
+	pickV := math.Inf(-1)
+	for i := 0; i < o.candidates; i++ {
+		var c space.Vector
+		if i%2 == 0 {
+			c = randomVector(o.rng)
+		} else {
+			c = perturb(best.x, 0.1, o.rng)
+		}
+		mu, v := model.Predict(c)
+		ei := mobo.EI(mu, math.Sqrt(v), bestV)
+		if ei > pickV {
+			pickV = ei
+			pick = c
+		}
+	}
+	return space.Decode(pick)
+}
+
+// Observe records the evaluation result.
+func (o *OtterTune) Observe(cfg vdms.Config, res vdms.Result) {
+	o.hist.observe(space.Encode(cfg), res)
+}

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"vdtuner/internal/gp"
+	"vdtuner/internal/mobo"
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+)
+
+// QEHVI reimplements the qEHVI MOBO baseline (Daulton et al., NeurIPS'20)
+// as the paper deploys it: independent GPs per objective over the flat
+// 16-dimensional space (index type is just another dimension), Monte Carlo
+// expected hypervolume improvement with the reference point at zero, and
+// 10 LHS warm-up samples. Unlike VDTuner it has no polling structure, no
+// per-type normalization, and no budget allocation — the paper's ablation
+// target (§V-C).
+type QEHVI struct {
+	rng        *rand.Rand
+	hist       history
+	initQueue  []space.Vector
+	candidates int
+}
+
+// NewQEHVI creates the flat-space MOBO baseline with nInit LHS warm-up
+// samples (the paper uses 10; nInit <= 0 means 10).
+func NewQEHVI(seed int64, nInit int) *QEHVI {
+	if nInit <= 0 {
+		nInit = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &QEHVI{
+		rng:        rng,
+		initQueue:  space.LHSAcrossTypes(nInit, rng),
+		candidates: 160,
+	}
+}
+
+// Name implements the Method interface.
+func (q *QEHVI) Name() string { return "qEHVI" }
+
+// Next drains the warm-up queue, fits the two GPs on raw objectives, and
+// maximizes MC-EHVI with reference point (0, 0).
+func (q *QEHVI) Next() vdms.Config {
+	if len(q.initQueue) > 0 {
+		x := q.initQueue[0]
+		q.initQueue = q.initQueue[1:]
+		return space.Decode(x)
+	}
+	n := len(q.hist.obs)
+	xs := make([][]float64, n)
+	ya := make([]float64, n)
+	yb := make([]float64, n)
+	pts := make([]mobo.Point, n)
+	// Scale raw objectives by their maxima so the zero reference point is
+	// meaningful across objectives of very different magnitudes.
+	mq, mr := q.hist.maxima()
+	for i, ob := range q.hist.obs {
+		xs[i] = ob.x
+		ya[i] = ob.qps / mq
+		yb[i] = ob.recall / mr
+		pts[i] = mobo.Point{A: ya[i], B: yb[i]}
+	}
+	modelA, errA := gp.Fit(xs, ya)
+	modelB, errB := gp.Fit(xs, yb)
+	if errA != nil || errB != nil {
+		return space.Decode(randomVector(q.rng))
+	}
+	ref := mobo.Point{A: 0, B: 0}
+	front := mobo.Front(pts)
+
+	// Candidate set: random plus perturbations of front members.
+	frontIdx := mobo.NonDominated(pts)
+	pick := randomVector(q.rng)
+	pickV := math.Inf(-1)
+	for i := 0; i < q.candidates; i++ {
+		var c space.Vector
+		if i%2 == 0 || len(frontIdx) == 0 {
+			c = randomVector(q.rng)
+		} else {
+			anchor := q.hist.obs[frontIdx[q.rng.Intn(len(frontIdx))]].x
+			c = perturb(anchor, 0.1, q.rng)
+		}
+		ma, va := modelA.Predict(c)
+		mb, vb := modelB.Predict(c)
+		v := mobo.EHVIExact(ma, math.Sqrt(va), mb, math.Sqrt(vb), ref, front)
+		if v > pickV {
+			pickV = v
+			pick = c
+		}
+	}
+	return space.Decode(pick)
+}
+
+// Observe records the evaluation result.
+func (q *QEHVI) Observe(cfg vdms.Config, res vdms.Result) {
+	q.hist.observe(space.Encode(cfg), res)
+}

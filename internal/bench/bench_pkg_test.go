@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+// tiny returns experiment options small enough for unit tests.
+func tiny() Options { return Options{Scale: 0.12, Iters: 16, Seed: 5} }
+
+func TestRunProducesTrace(t *testing.T) {
+	ds, err := workload.Load(workload.GloVeLike(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Run(ds, newVDTuner(1), 8)
+	if len(tr.Records) != 8 {
+		t.Fatalf("trace has %d records", len(tr.Records))
+	}
+	if tr.Method == "" || tr.Dataset == "" {
+		t.Fatalf("trace missing labels: %+v", tr)
+	}
+	for i, r := range tr.Records {
+		if r.Iter != i {
+			t.Fatalf("record %d has iter %d", i, r.Iter)
+		}
+		if !r.Result.Failed && r.ReplaySeconds <= 0 {
+			t.Fatalf("record %d has no replay time", i)
+		}
+	}
+}
+
+func TestTraceAnalysis(t *testing.T) {
+	tr := &Trace{Method: "m", Dataset: "d"}
+	add := func(qps, recall float64, failed bool) {
+		tr.Records = append(tr.Records, IterRecord{
+			Iter:          len(tr.Records),
+			Result:        vdms.Result{QPS: qps, Recall: recall, Failed: failed},
+			ReplaySeconds: 10,
+		})
+	}
+	add(100, 0.8, false)
+	add(300, 0.95, false)
+	add(500, 0.7, false)
+	add(999, 0.99, true) // failed: must be ignored
+
+	if q, ok := tr.BestQPSUnderRecall(0.9); !ok || q != 300 {
+		t.Fatalf("BestQPSUnderRecall(0.9) = %v, %v", q, ok)
+	}
+	if q, ok := tr.BestQPSUnderRecall(0.5); !ok || q != 500 {
+		t.Fatalf("BestQPSUnderRecall(0.5) = %v, %v", q, ok)
+	}
+	if _, ok := tr.BestQPSUnderRecall(0.999); ok {
+		t.Fatal("found QPS above impossible floor")
+	}
+	curve := tr.BestCurve(0.9)
+	want := []float64{0, 300, 300, 300}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("BestCurve = %v, want %v", curve, want)
+		}
+	}
+	if it := tr.ItersToReach(300, 0.9); it != 2 {
+		t.Fatalf("ItersToReach = %d, want 2", it)
+	}
+	if it := tr.ItersToReach(301, 0.9); it != 0 {
+		t.Fatalf("ItersToReach unreachable = %d, want 0", it)
+	}
+	if ts := tr.SimTimeToReach(300, 0.9); ts != 20 {
+		t.Fatalf("SimTimeToReach = %v, want 20", ts)
+	}
+}
+
+func TestFigure1ShowsInterdependence(t *testing.T) {
+	cells, err := Figure1(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 36 {
+		t.Fatalf("got %d cells, want 36", len(cells))
+	}
+	// The surface must not be flat: QPS must vary meaningfully.
+	minQ, maxQ := cells[0].QPS, cells[0].QPS
+	for _, c := range cells {
+		if c.QPS < minQ {
+			minQ = c.QPS
+		}
+		if c.QPS > maxQ {
+			maxQ = c.QPS
+		}
+	}
+	if maxQ < minQ*1.2 {
+		t.Fatalf("heatmap flat: QPS range [%v, %v]", minQ, maxQ)
+	}
+}
+
+func TestFigure2MarksBestPerConfig(t *testing.T) {
+	rows, err := Figure2(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCount := map[int]int{}
+	for _, r := range rows {
+		if r.Best {
+			bestCount[r.SystemConfig]++
+		}
+	}
+	for sc := 1; sc <= 4; sc++ {
+		if bestCount[sc] != 1 {
+			t.Fatalf("system config %d has %d best marks", sc, bestCount[sc])
+		}
+	}
+}
+
+func TestFigure3ProfilesAndCurves(t *testing.T) {
+	profiles, curves, err := Figure3(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2*len(index.AllTypes()) {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	if len(curves) != len(index.AllTypes()) {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		for i := 1; i < len(c.Best); i++ {
+			if c.Best[i] < c.Best[i-1] {
+				t.Fatalf("%v best-so-far curve decreased", c.IndexType)
+			}
+		}
+	}
+	// FLAT must have recall 1.0 in every dataset profile.
+	for _, p := range profiles {
+		if p.IndexType == index.Flat && p.Recall < 0.999 {
+			t.Fatalf("FLAT profile recall = %v", p.Recall)
+		}
+	}
+}
+
+func TestTable4ReportsImprovements(t *testing.T) {
+	rows, err := Table4(io.Discard, Options{Scale: 0.12, Iters: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	anyImprovement := false
+	for _, r := range rows {
+		if r.SpeedImprovement < 0 || r.RecallImprovement < 0 {
+			t.Fatalf("negative improvement: %+v", r)
+		}
+		if r.SpeedImprovement > 0 || r.RecallImprovement > 0 {
+			anyImprovement = true
+		}
+	}
+	if !anyImprovement {
+		t.Fatal("tuning improved nothing on any dataset")
+	}
+}
+
+func TestFigure6CoversAllCells(t *testing.T) {
+	o := Options{Scale: 0.1, Iters: 10, Seed: 3}
+	cells, err := Figure6(io.Discard, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 5 * len(Sacrifices)
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	methods := map[string]bool{}
+	for _, c := range cells {
+		methods[c.Method] = true
+	}
+	for _, name := range []string{"VDTuner", "Random", "OpenTuner", "OtterTune", "qEHVI"} {
+		if !methods[name] {
+			t.Fatalf("method %s missing from Figure 6", name)
+		}
+	}
+}
+
+func TestFigure7CurvesMonotone(t *testing.T) {
+	series, err := Figure7(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5*5 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		for i := 1; i < len(s.Curve); i++ {
+			if s.Curve[i] < s.Curve[i-1] {
+				t.Fatalf("%s curve decreased", s.Method)
+			}
+		}
+	}
+}
+
+func TestFigure8ThreeVariants(t *testing.T) {
+	cells, err := Figure8(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]bool{}
+	for _, c := range cells {
+		variants[c.Variant] = true
+	}
+	if len(variants) != 3 {
+		t.Fatalf("got variants %v", variants)
+	}
+}
+
+func TestFigure9WeightsNormalized(t *testing.T) {
+	points, err := Figure9(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range points {
+		sum := 0.0
+		for _, w := range pt.Weights {
+			if w < 0 {
+				t.Fatalf("negative weight at iter %d", pt.Iter)
+			}
+			sum += w
+		}
+		if sum > 1.0001 {
+			t.Fatalf("weights sum to %v at iter %d", sum, pt.Iter)
+		}
+	}
+}
+
+func TestFigure10BothVariants(t *testing.T) {
+	points, err := Figure10(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var native, polling, front int
+	for _, p := range points {
+		if strings.Contains(p.Variant, "native") {
+			native++
+		} else {
+			polling++
+		}
+		if p.OnFront {
+			front++
+		}
+	}
+	if native == 0 || polling == 0 {
+		t.Fatalf("missing variant: native=%d polling=%d", native, polling)
+	}
+	if front == 0 {
+		t.Fatal("no Pareto-front points recorded")
+	}
+}
+
+func TestTable5BestConfigs(t *testing.T) {
+	rows, err := Table5(io.Discard, Options{Scale: 0.12, Iters: 18, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Owned params must match the selected type (e.g. HNSW rows
+		// carry M/ef, SCANN rows carry nlist/nprobe/reorder_k).
+		switch r.IndexType {
+		case index.Flat, index.AutoIndex:
+			if len(r.Params) != 0 {
+				t.Fatalf("%v claims params %v", r.IndexType, r.Params)
+			}
+		default:
+			if len(r.Params) == 0 {
+				t.Fatalf("%v row has no params", r.IndexType)
+			}
+		}
+	}
+}
+
+func TestFigure11TracksParams(t *testing.T) {
+	points, err := Figure11(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != tiny().iters() {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		for name, v := range pt.Values {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s normalized value %v out of range", name, v)
+			}
+		}
+		if len(pt.Values) != 4 {
+			t.Fatalf("tracked %d params, want 4", len(pt.Values))
+		}
+	}
+}
+
+func TestFigure12ThreeVariants(t *testing.T) {
+	series, err := Figure12(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d variants", len(series))
+	}
+	for _, s := range series {
+		if len(s.Curve085) == 0 || len(s.Curve09) == 0 {
+			t.Fatalf("variant %s missing curves", s.Variant)
+		}
+	}
+}
+
+func TestFigure13CostAware(t *testing.T) {
+	res, err := Figure13(io.Discard, Options{Scale: 0.15, Iters: 16, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoryMeanQPD <= 0 || res.MemoryMeanQPS <= 0 {
+		t.Fatalf("memory stats missing: %+v", res)
+	}
+	if res.MemAttr != nil {
+		if _, ok := res.MemAttr["segment_maxSize"]; !ok {
+			t.Fatal("SHAP memory attribution missing segment_maxSize group")
+		}
+	}
+}
+
+func TestTable6Breakdown(t *testing.T) {
+	rows, err := Table6(io.Discard, Options{Scale: 0.1, Iters: 8, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReplaySeconds <= 0 {
+			t.Fatalf("%s has no replay time", r.Method)
+		}
+		if r.Share < 0 || r.Share > 1 {
+			t.Fatalf("%s share %v out of range", r.Method, r.Share)
+		}
+	}
+	// Learning methods must spend more recommendation time than Random.
+	byName := map[string]Table6Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	if byName["VDTuner"].RecommendSeconds <= byName["Random"].RecommendSeconds {
+		t.Fatalf("VDTuner recommend time %v not above Random %v",
+			byName["VDTuner"].RecommendSeconds, byName["Random"].RecommendSeconds)
+	}
+}
+
+func TestScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability study is slow")
+	}
+	res, err := Scalability(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VDTunerQPS <= 0 {
+		t.Fatalf("VDTuner found nothing on the large dataset: %+v", res)
+	}
+}
+
+func TestHolisticVsIndividual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("holistic comparison is slow")
+	}
+	res, err := HolisticVsIndividual(io.Discard, Options{Scale: 0.1, Iters: 14, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CloseParams < 0 || res.CloseParams > 1 {
+		t.Fatalf("closeness %v out of range", res.CloseParams)
+	}
+}
+
+func TestDesignAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design sweep is slow")
+	}
+	rows, err := DesignAblations(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d variants", len(rows))
+	}
+	for _, r := range rows {
+		if r.RecommendSeconds < 0 {
+			t.Fatalf("negative recommend time: %+v", r)
+		}
+	}
+}

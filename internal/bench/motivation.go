@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+// Figure1Cell is one point of the paper's Figure 1 heatmap.
+type Figure1Cell struct {
+	MaxSize, SealProportion float64
+	QPS, Recall             float64
+}
+
+// Figure1 sweeps segment_maxSize × segment_sealProportion with everything
+// else at defaults, reproducing the complex-configuration-space heatmaps
+// of Figure 1 (interdependent system parameters).
+func Figure1(w io.Writer, o Options) ([]Figure1Cell, error) {
+	ds, err := workload.Load(workload.GloVeLike(o.scale()))
+	if err != nil {
+		return nil, err
+	}
+	maxSizes := []float64{100, 300, 500, 1000, 1500, 2048}
+	seals := []float64{0.05, 0.1, 0.3, 0.5, 0.7, 0.9}
+	var cells []Figure1Cell
+	fprintf(w, "Figure 1: search speed / recall over (segment_maxSize x segment_sealProportion), dataset %s\n", ds.Name)
+	fprintf(w, "%10s %6s %10s %8s\n", "maxSize", "seal", "QPS", "recall")
+	for _, ms := range maxSizes {
+		for _, sp := range seals {
+			cfg := vdms.DefaultConfig()
+			cfg.SegmentMaxSize = ms
+			cfg.SealProportion = sp
+			res := vdms.Evaluate(ds, cfg)
+			cells = append(cells, Figure1Cell{ms, sp, res.QPS, res.Recall})
+			fprintf(w, "%10.0f %6.2f %10.1f %8.4f\n", ms, sp, res.QPS, res.Recall)
+		}
+	}
+	return cells, nil
+}
+
+// Figure2Row reports the search speed of one index type under one system
+// configuration.
+type Figure2Row struct {
+	SystemConfig int
+	IndexType    index.Type
+	QPS          float64
+	Best         bool
+}
+
+// Figure2 shows the best index type flipping across system configurations
+// (Figure 2: index/system interdependence).
+func Figure2(w io.Writer, o Options) ([]Figure2Row, error) {
+	ds, err := workload.Load(workload.GloVeLike(o.scale()))
+	if err != nil {
+		return nil, err
+	}
+	types := []index.Type{index.Flat, index.HNSW, index.IVFFlat}
+	systems := []func(*vdms.Config){
+		func(c *vdms.Config) { c.SegmentMaxSize, c.SealProportion, c.Parallelism = 100, 0.1, 1 },
+		func(c *vdms.Config) { c.SegmentMaxSize, c.SealProportion, c.Parallelism = 300, 0.3, 2 },
+		func(c *vdms.Config) { c.SegmentMaxSize, c.SealProportion, c.Parallelism = 1000, 0.8, 8 },
+		func(c *vdms.Config) { c.SegmentMaxSize, c.SealProportion, c.Parallelism = 2048, 1.0, 16 },
+	}
+	var rows []Figure2Row
+	fprintf(w, "Figure 2: best index type varies with system configs, dataset %s\n", ds.Name)
+	for si, sys := range systems {
+		bestQPS, bestIdx := 0.0, 0
+		var group []Figure2Row
+		for _, typ := range types {
+			cfg := space.DefaultConfig(typ)
+			sys(&cfg)
+			res := vdms.Evaluate(ds, cfg)
+			group = append(group, Figure2Row{SystemConfig: si + 1, IndexType: typ, QPS: res.QPS})
+			if res.QPS > bestQPS {
+				bestQPS = res.QPS
+				bestIdx = len(group) - 1
+			}
+		}
+		group[bestIdx].Best = true
+		for _, r := range group {
+			mark := " "
+			if r.Best {
+				mark = "*"
+			}
+			fprintf(w, "  system-config %d  %-9s %10.1f %s\n", r.SystemConfig, r.IndexType, r.QPS, mark)
+		}
+		rows = append(rows, group...)
+	}
+	return rows, nil
+}
+
+// Figure3Profile is the default-parameter performance of one index type
+// on one dataset (Figure 3 a/b).
+type Figure3Profile struct {
+	Dataset   string
+	IndexType index.Type
+	QPS       float64
+	Recall    float64
+}
+
+// Figure3Curve is the best-so-far weighted performance of uniform
+// sampling within one index type's subspace (Figure 3 c).
+type Figure3Curve struct {
+	IndexType index.Type
+	Best      []float64
+}
+
+// Figure3 reproduces the motivation study: per-index conflicting
+// objectives across two datasets, plus per-index optimization curves
+// showing that identifying the best type needs many samples.
+func Figure3(w io.Writer, o Options) ([]Figure3Profile, []Figure3Curve, error) {
+	specs := []workload.Spec{workload.GloVeLike(o.scale()), workload.KeywordLike(o.scale())}
+	var profiles []Figure3Profile
+	fprintf(w, "Figure 3(a,b): per-index speed/recall at default parameters\n")
+	for _, spec := range specs {
+		ds, err := workload.Load(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, typ := range index.AllTypes() {
+			res := vdms.Evaluate(ds, space.DefaultConfig(typ))
+			profiles = append(profiles, Figure3Profile{Dataset: ds.Name, IndexType: typ, QPS: res.QPS, Recall: res.Recall})
+			fprintf(w, "  %-14s %-9s QPS %10.1f  recall %6.4f\n", ds.Name, typ, res.QPS, res.Recall)
+		}
+	}
+
+	// (c) optimization curves by uniform sampling per index type.
+	ds, err := workload.Load(specs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	samples := o.iters() / 2
+	if samples < 10 {
+		samples = 10
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var curves []Figure3Curve
+	fprintf(w, "Figure 3(c): best-so-far weighted performance per index type (%d samples)\n", samples)
+	for _, typ := range index.AllTypes() {
+		best := 0.0
+		series := make([]float64, samples)
+		for s := 0; s < samples; s++ {
+			cfg := space.Decode(space.SampleSubspace(typ, rng))
+			res := vdms.Evaluate(ds, cfg)
+			if !res.Failed {
+				// Weighted performance on a rough common scale (QPS
+				// normalized by a nominal 100k ceiling).
+				v := 0.5*res.QPS/100000 + 0.5*res.Recall
+				if v > best {
+					best = v
+				}
+			}
+			series[s] = best
+		}
+		curves = append(curves, Figure3Curve{IndexType: typ, Best: series})
+		fprintf(w, "  %-9s first %6.3f  mid %6.3f  final %6.3f\n", typ, series[0], series[samples/2], series[samples-1])
+	}
+	return profiles, curves, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/mobo"
+)
+
+// base is the per-index-type NPI normalization base (yspd_t, yrec_t) of
+// Eq. 2.
+type base struct{ a, b float64 }
+
+// pointsOf converts observations to objective points.
+func pointsOf(obs []Observation) []mobo.Point {
+	ps := make([]mobo.Point, len(obs))
+	for i, o := range obs {
+		ps[i] = mobo.Point{A: o.ObjA, B: o.ObjB}
+	}
+	return ps
+}
+
+// balancedBase implements Eq. 3: among the non-dominated points, pick the
+// one minimizing |a/aMax − b/bMax| (the most balanced trade-off).
+func balancedBase(ps []mobo.Point) base {
+	front := mobo.Front(ps)
+	if len(front) == 0 {
+		return base{1, 1}
+	}
+	var aMax, bMax float64
+	for _, p := range front {
+		if p.A > aMax {
+			aMax = p.A
+		}
+		if p.B > bMax {
+			bMax = p.B
+		}
+	}
+	if aMax <= 0 {
+		aMax = 1
+	}
+	if bMax <= 0 {
+		bMax = 1
+	}
+	bestGap := math.Inf(1)
+	var pick mobo.Point
+	for _, p := range front {
+		gap := math.Abs(p.A/aMax - p.B/bMax)
+		if gap < bestGap {
+			bestGap = gap
+			pick = p
+		}
+	}
+	return sanitizeBase(base{pick.A, pick.B})
+}
+
+// maxBase is the constraint-model variant (§IV-F): the per-objective
+// maxima of the type's observations.
+func maxBase(ps []mobo.Point) base {
+	var a, b float64
+	for _, p := range ps {
+		if p.A > a {
+			a = p.A
+		}
+		if p.B > b {
+			b = p.B
+		}
+	}
+	return sanitizeBase(base{a, b})
+}
+
+func sanitizeBase(v base) base {
+	if v.a <= 0 {
+		v.a = 1e-9
+	}
+	if v.b <= 0 {
+		v.b = 1e-9
+	}
+	return v
+}
+
+// typeBases computes the normalization base per index type over the
+// current observations. Constraint mode uses per-objective maxima,
+// otherwise the balanced non-dominated point (Eqs. 2–3).
+func (t *Tuner) typeBases() map[index.Type]base {
+	grouped := map[index.Type][]mobo.Point{}
+	for _, o := range t.obs {
+		grouped[o.Type] = append(grouped[o.Type], mobo.Point{A: o.ObjA, B: o.ObjB})
+	}
+	bases := make(map[index.Type]base, len(grouped))
+	for typ, ps := range grouped {
+		if t.opts.RecallFloor > 0 {
+			bases[typ] = maxBase(ps)
+		} else {
+			bases[typ] = balancedBase(ps)
+		}
+	}
+	return bases
+}
+
+// globalScale is the native-surrogate fallback: one shared normalization
+// by global maxima (no per-type bases), used by the Figure 8b ablation.
+func (t *Tuner) globalScale() base {
+	return maxBase(pointsOf(t.obs))
+}
+
+// normalizedPoints returns each observation's objectives divided by its
+// type's base (the polling surrogate's training targets), or by the global
+// maxima in the native-surrogate ablation.
+func (t *Tuner) normalizedPoints() ([]mobo.Point, map[index.Type]base) {
+	out := make([]mobo.Point, len(t.obs))
+	if t.opts.NativeSurrogate {
+		g := t.globalScale()
+		for i, o := range t.obs {
+			out[i] = mobo.Point{A: o.ObjA / g.a, B: o.ObjB / g.b}
+		}
+		// Native mode still needs per-type bases for reference points;
+		// use the global scale for every type.
+		bases := map[index.Type]base{}
+		for _, typ := range index.AllTypes() {
+			bases[typ] = g
+		}
+		return out, bases
+	}
+	bases := t.typeBases()
+	for i, o := range t.obs {
+		bs, ok := bases[o.Type]
+		if !ok {
+			bs = base{1, 1}
+		}
+		out[i] = mobo.Point{A: o.ObjA / bs.a, B: o.ObjB / bs.b}
+	}
+	return out, bases
+}

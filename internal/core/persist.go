@@ -1,0 +1,199 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/space"
+	"vdtuner/internal/vdms"
+)
+
+// The knowledge base (Figure 5's "Knowledge Base" box): tuning
+// observations serialized as JSON so a later run — possibly with a
+// different recall preference — can bootstrap from them (§IV-F).
+
+// kbFile is the on-disk schema of a knowledge base.
+type kbFile struct {
+	Version      int      `json:"version"`
+	Observations []kbObs  `json:"observations"`
+	Comment      string   `json:"comment,omitempty"`
+	Datasets     []string `json:"datasets,omitempty"`
+}
+
+// kbObs flattens one observation.
+type kbObs struct {
+	IndexType string         `json:"index_type"`
+	Config    kbConfig       `json:"config"`
+	X         []float64      `json:"x"`
+	ObjA      float64        `json:"obj_a"`
+	ObjB      float64        `json:"obj_b"`
+	Result    vdmsResultWire `json:"result"`
+}
+
+// kbConfig mirrors vdms.Config with stable JSON names.
+type kbConfig struct {
+	IndexType      string  `json:"index_type"`
+	NList          int     `json:"nlist"`
+	M              int     `json:"m"`
+	NBits          int     `json:"nbits"`
+	HNSWM          int     `json:"M"`
+	EfConstruction int     `json:"efConstruction"`
+	NProbe         int     `json:"nprobe"`
+	Ef             int     `json:"ef"`
+	ReorderK       int     `json:"reorder_k"`
+	SegmentMaxSize float64 `json:"segment_maxSize"`
+	SealProportion float64 `json:"segment_sealProportion"`
+	GracefulTime   float64 `json:"gracefulTime"`
+	InsertBufSize  float64 `json:"insertBufSize"`
+	Parallelism    int     `json:"queryNode_parallelism"`
+	CacheRatio     float64 `json:"queryNode_cacheRatio"`
+	FlushInterval  float64 `json:"flushInterval"`
+	Concurrency    int     `json:"concurrency,omitempty"`
+}
+
+type vdmsResultWire struct {
+	QPS           float64 `json:"qps"`
+	Recall        float64 `json:"recall"`
+	MemoryBytes   int64   `json:"memory_bytes"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	ReplaySeconds float64 `json:"replay_seconds"`
+	Failed        bool    `json:"failed,omitempty"`
+	FailReason    string  `json:"fail_reason,omitempty"`
+}
+
+func toWireConfig(c vdms.Config) kbConfig {
+	return kbConfig{
+		IndexType:      c.IndexType.String(),
+		NList:          c.Build.NList,
+		M:              c.Build.M,
+		NBits:          c.Build.NBits,
+		HNSWM:          c.Build.HNSWM,
+		EfConstruction: c.Build.EfConstruction,
+		NProbe:         c.Search.NProbe,
+		Ef:             c.Search.Ef,
+		ReorderK:       c.Search.ReorderK,
+		SegmentMaxSize: c.SegmentMaxSize,
+		SealProportion: c.SealProportion,
+		GracefulTime:   c.GracefulTime,
+		InsertBufSize:  c.InsertBufSize,
+		Parallelism:    c.Parallelism,
+		CacheRatio:     c.CacheRatio,
+		FlushInterval:  c.FlushInterval,
+		Concurrency:    c.Concurrency,
+	}
+}
+
+func fromWireConfig(k kbConfig) (vdms.Config, error) {
+	t, err := index.ParseType(k.IndexType)
+	if err != nil {
+		return vdms.Config{}, err
+	}
+	cfg := vdms.Config{
+		IndexType:      t,
+		SegmentMaxSize: k.SegmentMaxSize,
+		SealProportion: k.SealProportion,
+		GracefulTime:   k.GracefulTime,
+		InsertBufSize:  k.InsertBufSize,
+		Parallelism:    k.Parallelism,
+		CacheRatio:     k.CacheRatio,
+		FlushInterval:  k.FlushInterval,
+		Concurrency:    k.Concurrency,
+	}
+	cfg.Build.NList = k.NList
+	cfg.Build.M = k.M
+	cfg.Build.NBits = k.NBits
+	cfg.Build.HNSWM = k.HNSWM
+	cfg.Build.EfConstruction = k.EfConstruction
+	cfg.Search.NProbe = k.NProbe
+	cfg.Search.Ef = k.Ef
+	cfg.Search.ReorderK = k.ReorderK
+	return cfg, nil
+}
+
+// SaveObservations writes observations as a JSON knowledge base.
+func SaveObservations(w io.Writer, obs []Observation) error {
+	f := kbFile{Version: 1}
+	for _, o := range obs {
+		f.Observations = append(f.Observations, kbObs{
+			IndexType: o.Type.String(),
+			Config:    toWireConfig(o.Config),
+			X:         o.X,
+			ObjA:      o.ObjA,
+			ObjB:      o.ObjB,
+			Result: vdmsResultWire{
+				QPS: o.Result.QPS, Recall: o.Result.Recall,
+				MemoryBytes:  o.Result.MemoryBytes,
+				BuildSeconds: o.Result.BuildSeconds, ReplaySeconds: o.Result.ReplaySeconds,
+				Failed: o.Result.Failed, FailReason: o.Result.FailReason,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadObservations reads a JSON knowledge base back into observations
+// suitable for Options.Bootstrap.
+func LoadObservations(r io.Reader) ([]Observation, error) {
+	var f kbFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding knowledge base: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported knowledge base version %d", f.Version)
+	}
+	var out []Observation
+	for i, ko := range f.Observations {
+		cfg, err := fromWireConfig(ko.Config)
+		if err != nil {
+			return nil, fmt.Errorf("core: observation %d: %w", i, err)
+		}
+		t, err := index.ParseType(ko.IndexType)
+		if err != nil {
+			return nil, fmt.Errorf("core: observation %d: %w", i, err)
+		}
+		x := space.Vector(ko.X)
+		if len(x) != space.Dims {
+			// Re-encode from the config when the vector is missing or
+			// from a different space layout.
+			x = space.Encode(cfg)
+		}
+		out = append(out, Observation{
+			Config: cfg, X: x, Type: t, ObjA: ko.ObjA, ObjB: ko.ObjB,
+			Result: vdms.Result{
+				QPS: ko.Result.QPS, Recall: ko.Result.Recall,
+				MemoryBytes:  ko.Result.MemoryBytes,
+				BuildSeconds: ko.Result.BuildSeconds, ReplaySeconds: ko.Result.ReplaySeconds,
+				Failed: ko.Result.Failed, FailReason: ko.Result.FailReason,
+			},
+		})
+	}
+	return out, nil
+}
+
+// SaveKnowledgeBase writes the tuner's observations to path.
+func (t *Tuner) SaveKnowledgeBase(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveObservations(f, t.obs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadKnowledgeBase reads observations from path, for Options.Bootstrap.
+func LoadKnowledgeBase(path string) ([]Observation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadObservations(f)
+}

@@ -1,0 +1,47 @@
+package core
+
+import "vdtuner/internal/mobo"
+
+// ParetoFront returns the non-dominated observations (objective A and B
+// both maximized) among obs, skipping failed evaluations.
+func ParetoFront(obs []Observation) []Observation {
+	var ok []Observation
+	for _, o := range obs {
+		if !o.Result.Failed {
+			ok = append(ok, o)
+		}
+	}
+	idx := mobo.NonDominated(pointsOf(ok))
+	out := make([]Observation, len(idx))
+	for i, j := range idx {
+		out[i] = ok[j]
+	}
+	return out
+}
+
+// BestUnderRecall returns the observation with the highest objective A
+// among those with recall strictly above floor. ok is false when no
+// observation qualifies.
+func BestUnderRecall(obs []Observation, floor float64) (Observation, bool) {
+	var best Observation
+	found := false
+	for _, o := range obs {
+		if o.Result.Failed || o.Result.Recall <= floor {
+			continue
+		}
+		if !found || o.ObjA > best.ObjA {
+			best = o
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ParetoFront returns the tuner's current non-dominated observations.
+func (t *Tuner) ParetoFront() []Observation { return ParetoFront(t.obs) }
+
+// BestUnderRecall returns the tuner's best-speed observation above the
+// recall floor.
+func (t *Tuner) BestUnderRecall(floor float64) (Observation, bool) {
+	return BestUnderRecall(t.obs, floor)
+}

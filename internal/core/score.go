@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/mobo"
+)
+
+// scoreTypes implements Eq. 6: for each remaining index type, measure how
+// much the hypervolume of the global non-dominated set shrinks when that
+// type's points are removed. The reference point is half the balanced base
+// of the full set (Eq. 5's r = 0.5·y).
+func (t *Tuner) scoreTypes() map[index.Type]float64 {
+	all := pointsOf(t.obs)
+	nd := mobo.NonDominated(all)
+	frontPts := make([]mobo.Point, len(nd))
+	frontTypes := make([]index.Type, len(nd))
+	for i, j := range nd {
+		frontPts[i] = all[j]
+		frontTypes[i] = t.obs[j].Type
+	}
+	g := balancedBase(all)
+	ref := mobo.Point{A: 0.5 * g.a, B: 0.5 * g.b}
+
+	// HV of the front with each type excluded.
+	hvWithout := map[index.Type]float64{}
+	for _, typ := range t.remaining {
+		var kept []mobo.Point
+		for i, p := range frontPts {
+			if frontTypes[i] != typ {
+				kept = append(kept, p)
+			}
+		}
+		hvWithout[typ] = mobo.Hypervolume(ref, kept)
+	}
+	maxHV := math.Inf(-1)
+	for _, hv := range hvWithout {
+		if hv > maxHV {
+			maxHV = hv
+		}
+	}
+	scores := make(map[index.Type]float64, len(hvWithout))
+	for typ, hv := range hvWithout {
+		scores[typ] = maxHV - hv // Eq. 6: bigger = bigger contribution
+	}
+	return scores
+}
+
+// updateAbandonment scores the remaining types and abandons the worst one
+// once it has ranked worst for a full window of iterations (§IV-D's
+// windowed trigger).
+func (t *Tuner) updateAbandonment() {
+	scores := t.scoreTypes()
+	t.lastScores = scores
+
+	worst := t.remaining[0]
+	for _, typ := range t.remaining[1:] {
+		if scores[typ] < scores[worst] {
+			worst = typ
+		}
+	}
+	if worst == t.worstType {
+		t.worstStreak++
+	} else {
+		t.worstType = worst
+		t.worstStreak = 1
+	}
+	if t.worstStreak >= t.opts.window() && len(t.remaining) > 1 {
+		kept := t.remaining[:0]
+		for _, typ := range t.remaining {
+			if typ != worst {
+				kept = append(kept, typ)
+			}
+		}
+		t.remaining = kept
+		t.abandonLog = append(t.abandonLog, worst)
+		t.worstStreak = 0
+		t.worstType = index.Type(-1)
+	}
+}

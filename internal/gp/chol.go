@@ -1,0 +1,67 @@
+package gp
+
+import (
+	"errors"
+	"math"
+)
+
+// errNotPD reports a matrix that is not positive definite even after
+// jitter; callers escalate the jitter and retry.
+var errNotPD = errors.New("gp: matrix not positive definite")
+
+// cholesky computes the lower-triangular factor L of a = L Lᵀ in place
+// into a fresh matrix. a must be symmetric positive definite.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range l {
+		l[i], buf = buf[:n], buf[n:]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errNotPD
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// solveLower solves L x = b for lower-triangular L.
+func solveLower(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l[i]
+		for k := 0; k < i; k++ {
+			sum -= row[k] * x[k]
+		}
+		x[i] = sum / row[i]
+	}
+	return x
+}
+
+// solveUpperT solves Lᵀ x = b given lower-triangular L.
+func solveUpperT(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

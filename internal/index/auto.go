@@ -1,0 +1,39 @@
+package index
+
+import "vdtuner/internal/linalg"
+
+// autoIndex mirrors Milvus' AUTOINDEX: a fixed, reasonable default with no
+// user-tunable parameters. It delegates to an HNSW graph with stock
+// settings and ignores all search parameters, using a fixed beam width.
+type autoIndex struct {
+	inner *hnsw
+}
+
+// Fixed AUTOINDEX configuration, deliberately not exposed for tuning.
+const (
+	autoM      = 16
+	autoEfCons = 128
+	autoEf     = 64
+)
+
+func newAutoIndex(m linalg.Metric, dim int, p BuildParams) (*autoIndex, error) {
+	inner, err := newHNSW(m, dim, BuildParams{HNSWM: autoM, EfConstruction: autoEfCons, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &autoIndex{inner: inner}, nil
+}
+
+func (a *autoIndex) Type() Type { return AutoIndex }
+
+func (a *autoIndex) Build(vecs [][]float32, ids []int64) error {
+	return a.inner.Build(vecs, ids)
+}
+
+func (a *autoIndex) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Neighbor {
+	return a.inner.Search(q, k, SearchParams{Ef: autoEf}, st)
+}
+
+func (a *autoIndex) MemoryBytes() int64 { return a.inner.MemoryBytes() }
+
+func (a *autoIndex) BuildStats() Stats { return a.inner.BuildStats() }

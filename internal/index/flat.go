@@ -1,0 +1,74 @@
+package index
+
+import (
+	"fmt"
+
+	"vdtuner/internal/linalg"
+)
+
+// flat is the exhaustive index: it scans every stored vector per query.
+// It is exact (recall 1.0 by construction) and the slowest option on large
+// segments, matching Milvus' FLAT.
+type flat struct {
+	metric linalg.Metric
+	dim    int
+	vecs   [][]float32
+	ids    []int64
+	built  bool
+}
+
+func newFlat(m linalg.Metric, dim int) *flat {
+	return &flat{metric: m, dim: dim}
+}
+
+func (f *flat) Type() Type { return Flat }
+
+func (f *flat) Build(vecs [][]float32, ids []int64) error {
+	if f.built {
+		return fmt.Errorf("flat: Build called twice")
+	}
+	if len(vecs) != len(ids) {
+		return fmt.Errorf("flat: %d vectors but %d ids", len(vecs), len(ids))
+	}
+	for i, v := range vecs {
+		if len(v) != f.dim {
+			return fmt.Errorf("flat: vector %d has dim %d, want %d", i, len(v), f.dim)
+		}
+	}
+	f.vecs = vecs
+	f.ids = ids
+	f.built = true
+	return nil
+}
+
+func (f *flat) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Neighbor {
+	if len(f.vecs) == 0 || k < 1 {
+		return nil
+	}
+	top := linalg.NewTopK(k)
+	for i, v := range f.vecs {
+		top.Push(f.ids[i], linalg.Distance(f.metric, q, v))
+	}
+	accumulate(st, Stats{DistComps: int64(len(f.vecs))})
+	return top.Results()
+}
+
+func (f *flat) MemoryBytes() int64 {
+	return int64(len(f.vecs)) * int64(f.dim) * float32Bytes
+}
+
+func (f *flat) BuildStats() Stats { return Stats{} }
+
+// ScanSubset searches an explicit subset of vectors exhaustively. The
+// engine uses it for growing (unsealed) segment tails.
+func ScanSubset(m linalg.Metric, q []float32, vecs [][]float32, ids []int64, k int, st *Stats) []linalg.Neighbor {
+	if len(vecs) == 0 || k < 1 {
+		return nil
+	}
+	top := linalg.NewTopK(k)
+	for i, v := range vecs {
+		top.Push(ids[i], linalg.Distance(m, q, v))
+	}
+	accumulate(st, Stats{DistComps: int64(len(vecs))})
+	return top.Results()
+}

@@ -1,0 +1,372 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vdtuner/internal/linalg"
+)
+
+// hnsw implements the Hierarchical Navigable Small World graph (Malkov &
+// Yashunin), matching Milvus' HNSW index. Build parameters: M (graph
+// degree) and efConstruction (build beam width). Search parameter: ef
+// (query beam width, clamped up to k).
+type hnsw struct {
+	metric linalg.Metric
+	dim    int
+	m      int // max links per node on upper layers; layer 0 allows 2M
+	efCons int
+	seed   int64
+
+	vecs     [][]float32
+	ids      []int64
+	links    [][][]int32 // links[node][layer] -> neighbor nodes
+	levels   []int
+	entry    int
+	maxLevel int
+	built    bool
+	work     Stats
+
+	levelMult float64
+}
+
+func newHNSW(metric linalg.Metric, dim int, p BuildParams) (*hnsw, error) {
+	m := p.HNSWM
+	if m == 0 {
+		m = 16
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("hnsw: M must be >= 2, got %d", m)
+	}
+	ef := p.EfConstruction
+	if ef == 0 {
+		ef = 128
+	}
+	if ef < m {
+		ef = m
+	}
+	return &hnsw{
+		metric: metric, dim: dim, m: m, efCons: ef, seed: p.Seed,
+		entry: -1, maxLevel: -1,
+		levelMult: 1 / math.Log(float64(m)),
+	}, nil
+}
+
+func (h *hnsw) Type() Type { return HNSW }
+
+func (h *hnsw) dist(a, b []float32) float32 {
+	h.work.DistComps++ // build-time accounting; search uses searchWork
+	return linalg.Distance(h.metric, a, b)
+}
+
+func (h *hnsw) Build(vecs [][]float32, ids []int64) error {
+	if h.built {
+		return fmt.Errorf("hnsw: Build called twice")
+	}
+	if len(vecs) != len(ids) {
+		return fmt.Errorf("hnsw: %d vectors but %d ids", len(vecs), len(ids))
+	}
+	for i, v := range vecs {
+		if len(v) != h.dim {
+			return fmt.Errorf("hnsw: vector %d has dim %d, want %d", i, len(v), h.dim)
+		}
+	}
+	h.vecs = vecs
+	h.ids = ids
+	h.links = make([][][]int32, len(vecs))
+	h.levels = make([]int, len(vecs))
+	rng := rand.New(rand.NewSource(h.seed))
+	for i := range vecs {
+		h.insert(i, rng)
+	}
+	h.repairConnectivity()
+	h.built = true
+	return nil
+}
+
+func (h *hnsw) randomLevel(rng *rand.Rand) int {
+	u := rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return int(-math.Log(u) * h.levelMult)
+}
+
+func (h *hnsw) insert(node int, rng *rand.Rand) {
+	level := h.randomLevel(rng)
+	h.levels[node] = level
+	h.links[node] = make([][]int32, level+1)
+
+	if h.entry < 0 {
+		h.entry = node
+		h.maxLevel = level
+		return
+	}
+	q := h.vecs[node]
+	ep := h.entry
+	// Greedy descent on layers above the node's level.
+	for l := h.maxLevel; l > level; l-- {
+		ep = h.greedyClosest(q, ep, l)
+	}
+	// Beam search and link on the node's layers.
+	top := level
+	if top > h.maxLevel {
+		top = h.maxLevel
+	}
+	eps := []int32{int32(ep)}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(q, eps, h.efCons, l, nil)
+		maxM := h.m
+		if l == 0 {
+			maxM = 2 * h.m
+		}
+		selected := h.selectNeighbors(q, cands, h.m)
+		h.links[node][l] = selected
+		for _, nb := range selected {
+			h.links[nb][l] = append(h.links[nb][l], int32(node))
+			if len(h.links[nb][l]) > maxM {
+				h.links[nb][l] = h.pruneNeighbors(int(nb), h.links[nb][l], maxM)
+			}
+		}
+		eps = cands
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = node
+	}
+}
+
+// greedyClosest walks layer l greedily from ep toward q and returns the
+// local minimum.
+func (h *hnsw) greedyClosest(q []float32, ep, l int) int {
+	cur := ep
+	curD := h.dist(q, h.vecs[cur])
+	for {
+		improved := false
+		for _, nb := range h.links[cur][l] {
+			if d := h.dist(q, h.vecs[nb]); d < curD {
+				cur, curD = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the beam search of the HNSW paper (Algorithm 2). It
+// returns up to ef candidate nodes sorted by ascending distance. When st is
+// non-nil the distance evaluations are charged to it instead of build work.
+func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int32 {
+	visited := map[int32]bool{}
+	type cand struct {
+		node int32
+		d    float32
+	}
+	evaluate := func(n int32) float32 {
+		if st != nil {
+			st.DistComps++
+			return linalg.Distance(h.metric, q, h.vecs[n])
+		}
+		return h.dist(q, h.vecs[n])
+	}
+	var frontier []cand // min-ordered by scan (kept sorted)
+	results := linalg.NewTopK(ef)
+	for _, ep := range eps {
+		if visited[ep] {
+			continue
+		}
+		visited[ep] = true
+		d := evaluate(ep)
+		frontier = append(frontier, cand{ep, d})
+		results.Push(int64(ep), d)
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].d < frontier[j].d })
+	for len(frontier) > 0 {
+		c := frontier[0]
+		frontier = frontier[1:]
+		if results.Full() && c.d > results.Worst() {
+			break
+		}
+		for _, nb := range h.links[c.node][l] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := evaluate(nb)
+			if !results.Full() || d < results.Worst() {
+				results.Push(int64(nb), d)
+				// Insert keeping the frontier sorted (small beams, the
+				// linear insert is cheaper than heap churn).
+				pos := sort.Search(len(frontier), func(i int) bool { return frontier[i].d >= d })
+				frontier = append(frontier, cand{})
+				copy(frontier[pos+1:], frontier[pos:])
+				frontier[pos] = cand{nb, d}
+			}
+		}
+	}
+	res := results.Results()
+	out := make([]int32, len(res))
+	for i, r := range res {
+		out[i] = int32(r.ID)
+	}
+	return out
+}
+
+// selectNeighbors keeps up to m diverse candidates using the HNSW
+// paper's Algorithm 4 heuristic: a candidate (scanned in ascending
+// distance to q) is kept only when it is closer to q than to every
+// already-kept neighbor, which preserves graph connectivity across
+// cluster boundaries. Remaining slots are filled with the closest
+// rejected candidates, mirroring hnswlib's keepPrunedConnections.
+func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int) []int32 {
+	if len(cands) <= m {
+		out := make([]int32, len(cands))
+		copy(out, cands)
+		return out
+	}
+	out := make([]int32, 0, m)
+	var rejected []int32
+	for _, c := range cands {
+		if len(out) >= m {
+			break
+		}
+		dq := h.dist(q, h.vecs[c])
+		keep := true
+		for _, s := range out {
+			if h.dist(h.vecs[c], h.vecs[s]) < dq {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		} else {
+			rejected = append(rejected, c)
+		}
+	}
+	for _, c := range rejected {
+		if len(out) >= m {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// pruneNeighbors trims node's link list to maxM diverse neighbors (the
+// same Algorithm 4 heuristic applied with the node itself as the query).
+func (h *hnsw) pruneNeighbors(node int, nbs []int32, maxM int) []int32 {
+	v := h.vecs[node]
+	sort.Slice(nbs, func(i, j int) bool {
+		return h.dist(v, h.vecs[nbs[i]]) < h.dist(v, h.vecs[nbs[j]])
+	})
+	return h.selectNeighbors(v, nbs, maxM)
+}
+
+// repairConnectivity links any layer-0 node unreachable from the entry
+// point to its nearest reachable node. Distance-based pruning can orphan
+// nodes (it may drop a node's only inbound edge); orphans would be
+// permanently unfindable, so the build pays a small extra cost to
+// reconnect them. The work is charged to build stats via h.dist.
+func (h *hnsw) repairConnectivity() {
+	n := len(h.vecs)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(h.entry))
+	visited[h.entry] = true
+	reachable := make([]int32, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		reachable = append(reachable, u)
+		for _, nb := range h.links[u][0] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if visited[u] {
+			continue
+		}
+		// Link u to its nearest already-reachable node, bidirectionally,
+		// then absorb u's component.
+		best := reachable[0]
+		bestD := h.dist(h.vecs[u], h.vecs[best])
+		for _, r := range reachable[1:] {
+			if d := h.dist(h.vecs[u], h.vecs[r]); d < bestD {
+				best, bestD = r, d
+			}
+		}
+		h.links[u][0] = append(h.links[u][0], best)
+		h.links[best][0] = append(h.links[best][0], int32(u))
+		queue = append(queue[:0], int32(u))
+		visited[u] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			reachable = append(reachable, v)
+			for _, nb := range h.links[v][0] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+}
+
+func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	if len(h.vecs) == 0 || k < 1 || h.entry < 0 {
+		return nil
+	}
+	ef := p.Ef
+	if ef < k {
+		ef = k
+	}
+	var work Stats
+	ep := h.entry
+	cur := ep
+	curD := linalg.Distance(h.metric, q, h.vecs[cur])
+	work.DistComps++
+	for l := h.maxLevel; l > 0; l-- {
+		for {
+			improved := false
+			for _, nb := range h.links[cur][l] {
+				work.DistComps++
+				if d := linalg.Distance(h.metric, q, h.vecs[nb]); d < curD {
+					cur, curD = int(nb), d
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	cands := h.searchLayer(q, []int32{int32(cur)}, ef, 0, &work)
+	top := linalg.NewTopK(k)
+	for _, c := range cands {
+		top.Push(h.ids[c], linalg.Distance(h.metric, q, h.vecs[c]))
+	}
+	work.DistComps += int64(len(cands))
+	accumulate(st, work)
+	return top.Results()
+}
+
+func (h *hnsw) MemoryBytes() int64 {
+	var linkCount int64
+	for _, perNode := range h.links {
+		for _, l := range perNode {
+			linkCount += int64(len(l))
+		}
+	}
+	return int64(len(h.vecs))*int64(h.dim)*float32Bytes + linkCount*4
+}
+
+func (h *hnsw) BuildStats() Stats { return h.work }

@@ -1,0 +1,181 @@
+// Package index implements the approximate-nearest-neighbor index types the
+// tuner chooses between, mirroring Milvus' supported indexes (paper Table I):
+//
+//	FLAT       exhaustive scan                        (no parameters)
+//	IVF_FLAT   inverted file over k-means cells       (nlist; nprobe)
+//	IVF_SQ8    IVF with 8-bit scalar quantization     (nlist; nprobe)
+//	IVF_PQ     IVF with product quantization          (nlist, m, nbits; nprobe)
+//	HNSW       hierarchical navigable small world     (M, efConstruction; ef)
+//	SCANN      quantized IVF with exact re-ranking    (nlist; nprobe, reorder_k)
+//	AUTOINDEX  a fixed default configuration
+//
+// Every index counts the work it performs (full-precision distance
+// computations, quantized-code computations, PQ table lookups) in a Stats
+// value. The vdms engine converts those counts into a deterministic
+// simulated latency, which is what makes tuning runs reproducible; see
+// DESIGN.md ("Substitutions").
+//
+// Angular metrics are handled upstream: the engine normalizes vectors and
+// builds indexes with the L2 metric, which ranks identically on unit
+// vectors. Indexes therefore support L2 and InnerProduct.
+package index
+
+import (
+	"fmt"
+
+	"vdtuner/internal/linalg"
+)
+
+// Type enumerates the supported index types.
+type Type int
+
+const (
+	Flat Type = iota
+	IVFFlat
+	IVFSQ8
+	IVFPQ
+	HNSW
+	SCANN
+	AutoIndex
+	numTypes
+)
+
+// AllTypes lists every selectable index type in a stable order.
+func AllTypes() []Type {
+	return []Type{Flat, IVFFlat, IVFSQ8, IVFPQ, HNSW, SCANN, AutoIndex}
+}
+
+// String returns the Milvus-style name of the index type.
+func (t Type) String() string {
+	switch t {
+	case Flat:
+		return "FLAT"
+	case IVFFlat:
+		return "IVF_FLAT"
+	case IVFSQ8:
+		return "IVF_SQ8"
+	case IVFPQ:
+		return "IVF_PQ"
+	case HNSW:
+		return "HNSW"
+	case SCANN:
+		return "SCANN"
+	case AutoIndex:
+		return "AUTOINDEX"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType maps a Milvus-style name back to a Type.
+func ParseType(s string) (Type, error) {
+	for _, t := range AllTypes() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("index: unknown type %q", s)
+}
+
+// BuildParams carries every build-time parameter of every index type; each
+// implementation reads only the fields it owns (paper Table I). Zero fields
+// fall back to per-type defaults.
+type BuildParams struct {
+	// NList is the number of IVF cells (IVF_FLAT, IVF_SQ8, IVF_PQ, SCANN).
+	NList int
+	// M is the number of PQ subquantizers (IVF_PQ). It must divide the
+	// dimension; the constructor rounds it down to the nearest divisor.
+	M int
+	// NBits is the PQ code width in bits (IVF_PQ), 4..12.
+	NBits int
+	// HNSWM is the HNSW graph degree (paper parameter "M"; renamed here to
+	// avoid colliding with the PQ field).
+	HNSWM int
+	// EfConstruction is the HNSW build-time beam width.
+	EfConstruction int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// SearchParams carries every query-time parameter of every index type.
+type SearchParams struct {
+	// NProbe is the number of IVF cells scanned (IVF family, SCANN).
+	NProbe int
+	// Ef is the HNSW query-time beam width.
+	Ef int
+	// ReorderK is the number of quantized candidates re-ranked exactly
+	// (SCANN).
+	ReorderK int
+}
+
+// Stats counts the work performed by a build or a search. The engine turns
+// these counts into simulated time; per-unit costs live in the vdms package.
+type Stats struct {
+	// DistComps counts full-precision, full-dimension distance computations.
+	DistComps int64
+	// CodeComps counts quantized-domain distance computations (cheaper:
+	// byte-wide memory traffic).
+	CodeComps int64
+	// Lookups counts PQ ADC table lookups (one per subquantizer per
+	// candidate).
+	Lookups int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.DistComps += o.DistComps
+	s.CodeComps += o.CodeComps
+	s.Lookups += o.Lookups
+}
+
+// Index is a built ANN structure over one immutable set of vectors
+// (one sealed segment in the engine).
+type Index interface {
+	// Type identifies the index algorithm.
+	Type() Type
+	// Build trains and populates the index. ids[i] labels vecs[i]; the
+	// slices must have equal length. Build may be called once.
+	Build(vecs [][]float32, ids []int64) error
+	// Search returns up to k nearest neighbors of q, accumulating the
+	// work performed into st (which may be nil).
+	Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor
+	// MemoryBytes reports the resident size of the built structure.
+	MemoryBytes() int64
+	// BuildStats reports the work performed by Build.
+	BuildStats() Stats
+}
+
+// New constructs an unbuilt index of the given type for vectors of the
+// given dimension under metric m.
+func New(t Type, m linalg.Metric, dim int, p BuildParams) (Index, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("index: dimension must be positive, got %d", dim)
+	}
+	switch t {
+	case Flat:
+		return newFlat(m, dim), nil
+	case IVFFlat:
+		return newIVFFlat(m, dim, p)
+	case IVFSQ8:
+		return newIVFSQ8(m, dim, p)
+	case IVFPQ:
+		return newIVFPQ(m, dim, p)
+	case HNSW:
+		return newHNSW(m, dim, p)
+	case SCANN:
+		return newSCANN(m, dim, p)
+	case AutoIndex:
+		return newAutoIndex(m, dim, p)
+	default:
+		return nil, fmt.Errorf("index: unknown type %v", t)
+	}
+}
+
+// accumulate adds o into st when st is non-nil.
+func accumulate(st *Stats, o Stats) {
+	if st != nil {
+		st.Add(o)
+	}
+}
+
+const float32Bytes = 4

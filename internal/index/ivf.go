@@ -1,0 +1,162 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"vdtuner/internal/kmeans"
+	"vdtuner/internal/linalg"
+)
+
+// ivfCoarse is the shared coarse quantizer of the IVF family: a k-means
+// partition of the data into nlist cells plus the per-cell posting lists.
+type ivfCoarse struct {
+	metric    linalg.Metric
+	dim       int
+	nlist     int
+	seed      int64
+	centroids [][]float32
+	lists     [][]int32 // local offsets into the owning index's storage
+	built     bool
+	buildWork Stats
+}
+
+func newIVFCoarse(m linalg.Metric, dim, nlist int, seed int64) (*ivfCoarse, error) {
+	if nlist < 1 {
+		return nil, fmt.Errorf("ivf: nlist must be >= 1, got %d", nlist)
+	}
+	return &ivfCoarse{metric: m, dim: dim, nlist: nlist, seed: seed}, nil
+}
+
+// train clusters the vectors and fills the posting lists.
+func (c *ivfCoarse) train(vecs [][]float32) error {
+	if c.built {
+		return fmt.Errorf("ivf: Build called twice")
+	}
+	if len(vecs) == 0 {
+		return fmt.Errorf("ivf: no vectors")
+	}
+	for i, v := range vecs {
+		if len(v) != c.dim {
+			return fmt.Errorf("ivf: vector %d has dim %d, want %d", i, len(v), c.dim)
+		}
+	}
+	sample := 20 * c.nlist
+	if sample < 2000 {
+		sample = 2000
+	}
+	res, err := kmeans.Run(vecs, kmeans.Config{
+		K: c.nlist, Seed: c.seed, MaxIters: 12, SampleLimit: sample,
+	})
+	if err != nil {
+		return fmt.Errorf("ivf: training: %w", err)
+	}
+	c.centroids = res.Centroids
+	c.lists = make([][]int32, len(c.centroids))
+	for i, a := range res.Assign {
+		c.lists[a] = append(c.lists[a], int32(i))
+	}
+	// Approximate training cost: iters * points * centroids comparisons
+	// on the (possibly sampled) training set plus the final full assign.
+	trainN := len(vecs)
+	if trainN > sample {
+		trainN = sample
+	}
+	c.buildWork = Stats{DistComps: int64(res.Iters)*int64(trainN)*int64(len(c.centroids)) +
+		int64(len(vecs))*int64(len(c.centroids))}
+	c.built = true
+	return nil
+}
+
+// probeOrder returns cell indices sorted by centroid distance to q and
+// charges the coarse comparison work to st.
+func (c *ivfCoarse) probeOrder(q []float32, st *Stats) []int {
+	type cd struct {
+		cell int
+		d    float32
+	}
+	ds := make([]cd, len(c.centroids))
+	for i, ct := range c.centroids {
+		ds[i] = cd{i, linalg.Distance(c.metric, q, ct)}
+	}
+	accumulate(st, Stats{DistComps: int64(len(c.centroids))})
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	order := make([]int, len(ds))
+	for i, x := range ds {
+		order[i] = x.cell
+	}
+	return order
+}
+
+func (c *ivfCoarse) clampProbe(nprobe int) int {
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > len(c.centroids) {
+		nprobe = len(c.centroids)
+	}
+	return nprobe
+}
+
+func (c *ivfCoarse) centroidBytes() int64 {
+	return int64(len(c.centroids)) * int64(c.dim) * float32Bytes
+}
+
+// ivfFlat stores raw vectors in IVF posting lists and scans the probed
+// cells exactly, matching Milvus' IVF_FLAT.
+type ivfFlat struct {
+	coarse *ivfCoarse
+	vecs   [][]float32
+	ids    []int64
+}
+
+func newIVFFlat(m linalg.Metric, dim int, p BuildParams) (*ivfFlat, error) {
+	nlist := p.NList
+	if nlist == 0 {
+		nlist = 128
+	}
+	c, err := newIVFCoarse(m, dim, nlist, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ivfFlat{coarse: c}, nil
+}
+
+func (x *ivfFlat) Type() Type { return IVFFlat }
+
+func (x *ivfFlat) Build(vecs [][]float32, ids []int64) error {
+	if len(vecs) != len(ids) {
+		return fmt.Errorf("ivf_flat: %d vectors but %d ids", len(vecs), len(ids))
+	}
+	if err := x.coarse.train(vecs); err != nil {
+		return err
+	}
+	x.vecs = vecs
+	x.ids = ids
+	return nil
+}
+
+func (x *ivfFlat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	if len(x.vecs) == 0 || k < 1 {
+		return nil
+	}
+	order := x.coarse.probeOrder(q, st)
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	top := linalg.NewTopK(k)
+	var scanned int64
+	for _, cell := range order[:nprobe] {
+		for _, off := range x.coarse.lists[cell] {
+			top.Push(x.ids[off], linalg.Distance(x.coarse.metric, q, x.vecs[off]))
+		}
+		scanned += int64(len(x.coarse.lists[cell]))
+	}
+	accumulate(st, Stats{DistComps: scanned})
+	return top.Results()
+}
+
+func (x *ivfFlat) MemoryBytes() int64 {
+	return int64(len(x.vecs))*int64(x.coarse.dim)*float32Bytes +
+		x.coarse.centroidBytes() + int64(len(x.vecs))*4 // posting offsets
+}
+
+func (x *ivfFlat) BuildStats() Stats { return x.coarse.buildWork }

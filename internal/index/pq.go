@@ -1,0 +1,166 @@
+package index
+
+import (
+	"fmt"
+
+	"vdtuner/internal/kmeans"
+	"vdtuner/internal/linalg"
+)
+
+// ivfPQ is IVF with product quantization: vectors are split into m
+// subspaces, each encoded by a 2^nbits-entry codebook, and probed cells are
+// scanned with asymmetric distance computation (per-query lookup tables),
+// matching Milvus' IVF_PQ. Distances are approximate; recall degrades as m
+// shrinks or nbits shrinks, which is exactly the trade-off the tuner must
+// learn.
+type ivfPQ struct {
+	coarse *ivfCoarse
+	m      int // subquantizers; divides dim
+	nbits  int // code width; codebook size is 1<<nbits
+	subDim int
+	// codebooks[s] is a (1<<nbits) x subDim matrix for subspace s.
+	codebooks [][][]float32
+	codes     [][]uint16 // one code per subspace per vector
+	ids       []int64
+}
+
+func newIVFPQ(metric linalg.Metric, dim int, p BuildParams) (*ivfPQ, error) {
+	nlist := p.NList
+	if nlist == 0 {
+		nlist = 128
+	}
+	m := p.M
+	if m == 0 {
+		m = 8
+	}
+	// m must divide dim; round down to the nearest divisor.
+	for m > 1 && dim%m != 0 {
+		m--
+	}
+	if m < 1 {
+		m = 1
+	}
+	nbits := p.NBits
+	if nbits == 0 {
+		nbits = 8
+	}
+	if nbits < 4 {
+		nbits = 4
+	}
+	if nbits > 12 {
+		nbits = 12
+	}
+	c, err := newIVFCoarse(metric, dim, nlist, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ivfPQ{coarse: c, m: m, nbits: nbits, subDim: dim / m}, nil
+}
+
+func (x *ivfPQ) Type() Type { return IVFPQ }
+
+func (x *ivfPQ) Build(vecs [][]float32, ids []int64) error {
+	if len(vecs) != len(ids) {
+		return fmt.Errorf("ivf_pq: %d vectors but %d ids", len(vecs), len(ids))
+	}
+	if err := x.coarse.train(vecs); err != nil {
+		return err
+	}
+	ksub := 1 << x.nbits
+	x.codebooks = make([][][]float32, x.m)
+	x.codes = make([][]uint16, len(vecs))
+	codeBuf := make([]uint16, len(vecs)*x.m)
+	for i := range vecs {
+		x.codes[i], codeBuf = codeBuf[:x.m], codeBuf[x.m:]
+	}
+	sub := make([][]float32, len(vecs))
+	for s := 0; s < x.m; s++ {
+		lo, hi := s*x.subDim, (s+1)*x.subDim
+		for i, v := range vecs {
+			sub[i] = v[lo:hi]
+		}
+		res, err := kmeans.Run(sub, kmeans.Config{
+			K: ksub, Seed: x.coarse.seed + int64(s) + 1, MaxIters: 10,
+			SampleLimit: 8 * ksub,
+		})
+		if err != nil {
+			return fmt.Errorf("ivf_pq: codebook %d: %w", s, err)
+		}
+		x.codebooks[s] = res.Centroids
+		for i, a := range res.Assign {
+			x.codes[i][s] = uint16(a)
+		}
+	}
+	x.ids = ids
+	// Codebook training cost, scaled to full-dimension units: each
+	// subspace comparison touches subDim of dim dimensions.
+	x.coarse.buildWork.Add(Stats{
+		DistComps: int64(len(vecs)) * int64(ksub) / int64(maxInt(1, x.m)) * int64(x.m) / int64(maxInt(1, x.m)),
+		CodeComps: int64(len(vecs)),
+	})
+	return nil
+}
+
+func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	if len(x.codes) == 0 || k < 1 {
+		return nil
+	}
+	order := x.coarse.probeOrder(q, st)
+	nprobe := x.coarse.clampProbe(p.NProbe)
+
+	// Build the ADC lookup tables: table[s][c] is the distance between the
+	// query's subvector s and codeword c. Total work is m * ksub subspace
+	// distances = ksub full-dimension equivalents.
+	ksub := len(x.codebooks[0])
+	tables := make([][]float32, x.m)
+	for s := 0; s < x.m; s++ {
+		lo, hi := s*x.subDim, (s+1)*x.subDim
+		qs := q[lo:hi]
+		tables[s] = make([]float32, ksub)
+		for c, cw := range x.codebooks[s] {
+			if x.coarse.metric == linalg.InnerProduct {
+				tables[s][c] = -linalg.Dot(qs, cw)
+			} else {
+				tables[s][c] = linalg.SquaredL2(qs, cw)
+			}
+		}
+	}
+	accumulate(st, Stats{DistComps: int64(ksub)})
+
+	top := linalg.NewTopK(k)
+	var candidates int64
+	for _, cell := range order[:nprobe] {
+		for _, off := range x.coarse.lists[cell] {
+			code := x.codes[off]
+			var d float32
+			for s := 0; s < x.m; s++ {
+				d += tables[s][code[s]]
+			}
+			top.Push(x.ids[off], d)
+		}
+		candidates += int64(len(x.coarse.lists[cell]))
+	}
+	accumulate(st, Stats{Lookups: candidates * int64(x.m)})
+	return top.Results()
+}
+
+func (x *ivfPQ) MemoryBytes() int64 {
+	ksub := int64(1) << x.nbits
+	codeBytes := int64(1)
+	if x.nbits > 8 {
+		codeBytes = 2
+	}
+	return int64(len(x.codes))*int64(x.m)*codeBytes +
+		int64(x.m)*ksub*int64(x.subDim)*float32Bytes + // codebooks
+		x.coarse.centroidBytes() +
+		int64(len(x.codes))*4 // posting offsets
+}
+
+func (x *ivfPQ) BuildStats() Stats { return x.coarse.buildWork }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

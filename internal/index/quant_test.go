@@ -1,0 +1,245 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vdtuner/internal/linalg"
+)
+
+func TestSQ8CodecRoundTripError(t *testing.T) {
+	// Property: reconstruction error per dimension is bounded by one
+	// quantization step.
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		dim := rng.Intn(16) + 2
+		n := rng.Intn(50) + 2
+		vecs := make([][]float32, n)
+		for i := range vecs {
+			vecs[i] = make([]float32, dim)
+			for j := range vecs[i] {
+				vecs[i][j] = float32(rng.NormFloat64() * 10)
+			}
+		}
+		codec := trainSQ8(vecs, dim)
+		code := make([]byte, dim)
+		for _, v := range vecs {
+			codec.encode(v, code)
+			for j, b := range code {
+				rec := codec.min[j] + float32(b)*codec.scale[j]
+				if step := codec.scale[j]; math.Abs(float64(rec-v[j])) > float64(step)+1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 50; i++ {
+		if !f() {
+			t.Fatal("SQ8 reconstruction error exceeded one quantization step")
+		}
+	}
+}
+
+func TestSQ8DistancePreservesRanking(t *testing.T) {
+	// Quantized distances must correlate with exact distances: the
+	// quantized nearest neighbor should be among the exact top few.
+	rng := rand.New(rand.NewSource(2))
+	dim := 16
+	n := 200
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		vecs[i] = make([]float32, dim)
+		for j := range vecs[i] {
+			vecs[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	codec := trainSQ8(vecs, dim)
+	codes := make([][]byte, n)
+	for i, v := range vecs {
+		codes[i] = make([]byte, dim)
+		codec.encode(v, codes[i])
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		type pair struct {
+			i     int
+			exact float32
+			quant float32
+		}
+		ps := make([]pair, n)
+		for i := range vecs {
+			ps[i] = pair{i, linalg.SquaredL2(q, vecs[i]), codec.dist(linalg.L2, q, codes[i])}
+		}
+		sort.Slice(ps, func(a, b int) bool { return ps[a].quant < ps[b].quant })
+		bestQuant := ps[0].i
+		sort.Slice(ps, func(a, b int) bool { return ps[a].exact < ps[b].exact })
+		rank := -1
+		for r, p := range ps {
+			if p.i == bestQuant {
+				rank = r
+				break
+			}
+		}
+		if rank > 5 {
+			t.Fatalf("quantized nearest neighbor ranks %d exactly", rank)
+		}
+	}
+}
+
+func TestSQ8ConstantDimension(t *testing.T) {
+	vecs := [][]float32{{1, 5}, {2, 5}, {3, 5}}
+	codec := trainSQ8(vecs, 2)
+	code := make([]byte, 2)
+	codec.encode(vecs[0], code)
+	if code[1] != 0 {
+		t.Fatalf("constant dim encoded as %d", code[1])
+	}
+	d := codec.dist(linalg.L2, []float32{1, 5}, code)
+	if d > 1e-6 {
+		t.Fatalf("distance to own code in constant dim = %v", d)
+	}
+}
+
+func TestHNSWLayer0Connectivity(t *testing.T) {
+	// Every node must be reachable from the entry point on layer 0 —
+	// otherwise some vectors are permanently unfindable.
+	vecs, ids, _, _ := testData(t, 800, 1, 16, 1, 21)
+	idx, err := New(HNSW, linalg.L2, 16, BuildParams{HNSWM: 8, EfConstruction: 64, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(vecs, ids); err != nil {
+		t.Fatal(err)
+	}
+	h := idx.(*hnsw)
+	visited := make([]bool, len(vecs))
+	queue := []int{h.entry}
+	visited[h.entry] = true
+	count := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		count++
+		for _, nb := range h.links[n][0] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, int(nb))
+			}
+		}
+	}
+	if count != len(vecs) {
+		t.Fatalf("layer 0 reaches %d of %d nodes", count, len(vecs))
+	}
+}
+
+func TestHNSWLevelDistribution(t *testing.T) {
+	// Levels follow a geometric-ish decay: level 0 must dominate.
+	vecs, ids, _, _ := testData(t, 1000, 1, 8, 1, 22)
+	idx, err := New(HNSW, linalg.L2, 8, BuildParams{HNSWM: 16, EfConstruction: 32, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(vecs, ids); err != nil {
+		t.Fatal(err)
+	}
+	h := idx.(*hnsw)
+	level0 := 0
+	for _, l := range h.levels {
+		if l == 0 {
+			level0++
+		}
+	}
+	if level0 < len(vecs)/2 {
+		t.Fatalf("only %d of %d nodes at level 0", level0, len(vecs))
+	}
+	if h.maxLevel < 1 {
+		t.Fatalf("graph never grew above level 0 (maxLevel %d)", h.maxLevel)
+	}
+}
+
+func TestHNSWDegreeBounds(t *testing.T) {
+	// After pruning, no node exceeds 2M links at layer 0 or M above.
+	vecs, ids, _, _ := testData(t, 600, 1, 8, 1, 23)
+	m := 8
+	idx, err := New(HNSW, linalg.L2, 8, BuildParams{HNSWM: m, EfConstruction: 48, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(vecs, ids); err != nil {
+		t.Fatal(err)
+	}
+	h := idx.(*hnsw)
+	for node, perLayer := range h.links {
+		for l, nbs := range perLayer {
+			limit := m
+			if l == 0 {
+				// Layer 0 allows 2M, plus a small slack for
+				// connectivity-repair links added after pruning.
+				limit = 2*m + 4
+			}
+			if len(nbs) > limit {
+				t.Fatalf("node %d layer %d has %d links (limit %d)", node, l, len(nbs), limit)
+			}
+		}
+	}
+}
+
+func TestPQCodeWidth(t *testing.T) {
+	// Codes must stay within 2^nbits.
+	vecs, ids, _, _ := testData(t, 400, 1, 16, 1, 24)
+	idx, err := New(IVFPQ, linalg.L2, 16, BuildParams{NList: 8, M: 4, NBits: 5, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(vecs, ids); err != nil {
+		t.Fatal(err)
+	}
+	pq := idx.(*ivfPQ)
+	limit := uint16(1) << pq.nbits
+	for i, code := range pq.codes {
+		for s, c := range code {
+			if c >= limit {
+				t.Fatalf("vector %d subspace %d code %d >= %d", i, s, c, limit)
+			}
+		}
+	}
+}
+
+func TestTopKQuickProperty(t *testing.T) {
+	// quick.Check: TopK results are always the k smallest values.
+	f := func(vals []float32) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		k := 3
+		top := linalg.NewTopK(k)
+		for i, v := range clean {
+			top.Push(int64(i), v)
+		}
+		res := top.Results()
+		sorted := append([]float32(nil), clean...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, r := range res {
+			if r.Dist != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

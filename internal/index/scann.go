@@ -1,0 +1,98 @@
+package index
+
+import (
+	"fmt"
+
+	"vdtuner/internal/linalg"
+)
+
+// scann approximates Milvus' SCANN index: an IVF partition whose posting
+// lists are scored in a quantized domain (SQ8 codes standing in for SCANN's
+// anisotropic quantization), followed by exact re-ranking of the best
+// reorder_k candidates against the retained raw vectors. Parameters:
+// nlist (build); nprobe and reorder_k (search).
+type scann struct {
+	coarse *ivfCoarse
+	codec  *sq8Codec
+	codes  [][]byte
+	vecs   [][]float32 // raw vectors kept for re-ranking
+	ids    []int64
+}
+
+func newSCANN(m linalg.Metric, dim int, p BuildParams) (*scann, error) {
+	nlist := p.NList
+	if nlist == 0 {
+		nlist = 128
+	}
+	c, err := newIVFCoarse(m, dim, nlist, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &scann{coarse: c}, nil
+}
+
+func (x *scann) Type() Type { return SCANN }
+
+func (x *scann) Build(vecs [][]float32, ids []int64) error {
+	if len(vecs) != len(ids) {
+		return fmt.Errorf("scann: %d vectors but %d ids", len(vecs), len(ids))
+	}
+	if err := x.coarse.train(vecs); err != nil {
+		return err
+	}
+	x.codec = trainSQ8(vecs, x.coarse.dim)
+	x.codes = make([][]byte, len(vecs))
+	buf := make([]byte, len(vecs)*x.coarse.dim)
+	for i, v := range vecs {
+		x.codes[i], buf = buf[:x.coarse.dim], buf[x.coarse.dim:]
+		x.codec.encode(v, x.codes[i])
+	}
+	x.vecs = vecs
+	x.ids = ids
+	x.coarse.buildWork.Add(Stats{CodeComps: int64(len(vecs))})
+	return nil
+}
+
+func (x *scann) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	if len(x.codes) == 0 || k < 1 {
+		return nil
+	}
+	order := x.coarse.probeOrder(q, st)
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	reorder := p.ReorderK
+	if reorder < k {
+		reorder = k
+	}
+
+	// Stage 1: quantized scoring of the probed cells, keeping the best
+	// reorder_k candidates by local offset.
+	stage1 := linalg.NewTopK(reorder)
+	var scanned int64
+	for _, cell := range order[:nprobe] {
+		for _, off := range x.coarse.lists[cell] {
+			stage1.Push(int64(off), x.codec.dist(x.coarse.metric, q, x.codes[off]))
+		}
+		scanned += int64(len(x.coarse.lists[cell]))
+	}
+	accumulate(st, Stats{CodeComps: scanned})
+
+	// Stage 2: exact re-ranking of the survivors.
+	cands := stage1.Results()
+	top := linalg.NewTopK(k)
+	for _, c := range cands {
+		off := int(c.ID)
+		top.Push(x.ids[off], linalg.Distance(x.coarse.metric, q, x.vecs[off]))
+	}
+	accumulate(st, Stats{DistComps: int64(len(cands))})
+	return top.Results()
+}
+
+func (x *scann) MemoryBytes() int64 {
+	return int64(len(x.vecs))*int64(x.coarse.dim)*float32Bytes + // raw
+		int64(len(x.codes))*int64(x.coarse.dim) + // codes
+		x.coarse.centroidBytes() +
+		2*int64(x.coarse.dim)*float32Bytes +
+		int64(len(x.codes))*4
+}
+
+func (x *scann) BuildStats() Stats { return x.coarse.buildWork }

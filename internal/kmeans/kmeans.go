@@ -1,0 +1,196 @@
+// Package kmeans implements k-means clustering with k-means++ seeding.
+// It is the clustering substrate for the IVF-family indexes (IVF_FLAT,
+// IVF_SQ8, IVF_PQ, SCANN) and for product-quantization codebook training.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdtuner/internal/linalg"
+)
+
+// Config controls a clustering run.
+type Config struct {
+	// K is the number of clusters. Required, >= 1.
+	K int
+	// MaxIters bounds Lloyd iterations. Defaults to 20 when zero.
+	MaxIters int
+	// Tol stops early when the relative decrease of total distortion
+	// falls below it. Defaults to 1e-4 when zero.
+	Tol float64
+	// Seed makes runs deterministic.
+	Seed int64
+	// SampleLimit, when > 0, trains on at most this many points sampled
+	// uniformly (assignments are still computed for every point).
+	SampleLimit int
+}
+
+// Result holds the outcome of a clustering run.
+type Result struct {
+	// Centroids has K rows.
+	Centroids [][]float32
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Distortion is the final total squared distance to assigned centroids.
+	Distortion float64
+	// Iters is the number of Lloyd iterations executed.
+	Iters int
+}
+
+// Run clusters the points under squared-L2 distance. It returns an error
+// when the configuration is invalid or the input is empty. When K exceeds
+// the number of points, K is clamped down to len(points).
+func Run(points [][]float32, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K must be >= 1, got %d", cfg.K)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	k := cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 20
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	train := points
+	if cfg.SampleLimit > 0 && len(points) > cfg.SampleLimit {
+		train = make([][]float32, cfg.SampleLimit)
+		perm := rng.Perm(len(points))
+		for i := 0; i < cfg.SampleLimit; i++ {
+			train[i] = points[perm[i]]
+		}
+	}
+
+	centroids := seedPlusPlus(train, k, rng)
+	assignTrain := make([]int, len(train))
+	prev := math.Inf(1)
+	iters := 0
+	for iters = 1; iters <= maxIters; iters++ {
+		distortion := assignAll(train, centroids, assignTrain)
+		recompute(train, assignTrain, centroids, rng)
+		if prev-distortion <= tol*math.Abs(prev) {
+			prev = distortion
+			break
+		}
+		prev = distortion
+	}
+
+	assign := make([]int, len(points))
+	distortion := assignAll(points, centroids, assign)
+	return &Result{
+		Centroids:  centroids,
+		Assign:     assign,
+		Distortion: distortion,
+		Iters:      iters,
+	}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D^2 weighting.
+func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
+	centroids := make([][]float32, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, linalg.Clone(first))
+
+	// dists[i] is the squared distance from point i to its nearest chosen
+	// centroid, updated incrementally as centroids are added.
+	dists := make([]float64, len(points))
+	total := 0.0
+	for i, p := range points {
+		dists[i] = float64(linalg.SquaredL2(p, centroids[0]))
+		total += dists[i]
+	}
+	for len(centroids) < k {
+		var chosen int
+		if total <= 0 {
+			chosen = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			chosen = len(points) - 1
+			for i, d := range dists {
+				acc += d
+				if acc >= target {
+					chosen = i
+					break
+				}
+			}
+		}
+		c := linalg.Clone(points[chosen])
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := float64(linalg.SquaredL2(p, c)); d < dists[i] {
+				total += d - dists[i]
+				dists[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// assignAll assigns every point to its nearest centroid, filling assign,
+// and returns the total distortion.
+func assignAll(points [][]float32, centroids [][]float32, assign []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		best := 0
+		bestD := linalg.SquaredL2(p, centroids[0])
+		for c := 1; c < len(centroids); c++ {
+			if d := linalg.SquaredL2(p, centroids[c]); d < bestD {
+				bestD = d
+				best = c
+			}
+		}
+		assign[i] = best
+		total += float64(bestD)
+	}
+	return total
+}
+
+// recompute replaces each centroid with the mean of its assigned points.
+// Empty clusters are re-seeded from a random point to keep K stable.
+func recompute(points [][]float32, assign []int, centroids [][]float32, rng *rand.Rand) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		for j := 0; j < dim; j++ {
+			centroids[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		linalg.AddInto(centroids[c], p)
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			copy(centroids[c], points[rng.Intn(len(points))])
+			continue
+		}
+		linalg.Scale(centroids[c], 1/float32(counts[c]))
+	}
+}
+
+// NearestCentroid returns the index of the centroid closest to p and the
+// squared distance to it.
+func NearestCentroid(p []float32, centroids [][]float32) (int, float32) {
+	best := 0
+	bestD := linalg.SquaredL2(p, centroids[0])
+	for c := 1; c < len(centroids); c++ {
+		if d := linalg.SquaredL2(p, centroids[c]); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best, bestD
+}

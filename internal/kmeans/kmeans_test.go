@@ -1,0 +1,164 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+// blobs generates n points around k well-separated centers.
+func blobs(n, k, dim int, seed int64) ([][]float32, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, k)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for j := range centers[c] {
+			centers[c][j] = float32(rng.NormFloat64()) * 10
+		}
+	}
+	points := make([][]float32, n)
+	labels := make([]int, n)
+	for i := range points {
+		c := rng.Intn(k)
+		labels[i] = c
+		points[i] = make([]float32, dim)
+		for j := range points[i] {
+			points[i][j] = centers[c][j] + float32(rng.NormFloat64())*0.1
+		}
+	}
+	return points, labels
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	points, labels := blobs(300, 4, 8, 1)
+	res, err := Run(points, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 4 {
+		t.Fatalf("got %d centroids, want 4", len(res.Centroids))
+	}
+	// Every pair of points with the same true label must share a cluster,
+	// and different labels must differ (blobs are far apart).
+	clusterOf := map[int]int{}
+	for i, a := range res.Assign {
+		want, seen := clusterOf[labels[i]]
+		if !seen {
+			clusterOf[labels[i]] = a
+			continue
+		}
+		if a != want {
+			t.Fatalf("point %d (label %d) in cluster %d, expected %d", i, labels[i], a, want)
+		}
+	}
+	if len(clusterOf) != 4 {
+		t.Fatalf("recovered %d clusters, want 4", len(clusterOf))
+	}
+}
+
+func TestRunAssignmentOptimality(t *testing.T) {
+	// Invariant: every point is assigned to its nearest centroid.
+	points, _ := blobs(200, 5, 6, 2)
+	res, err := Run(points, Config{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		nearest, _ := NearestCentroid(p, res.Centroids)
+		if res.Assign[i] != nearest {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], nearest)
+		}
+	}
+}
+
+func TestRunDistortionDecreasesWithK(t *testing.T) {
+	points, _ := blobs(200, 4, 4, 3)
+	var prev float64
+	for i, k := range []int{1, 2, 4, 8} {
+		res, err := Run(points, Config{K: k, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Distortion > prev*1.05 {
+			t.Fatalf("distortion grew with k=%d: %v -> %v", k, prev, res.Distortion)
+		}
+		prev = res.Distortion
+	}
+}
+
+func TestRunKClamped(t *testing.T) {
+	points, _ := blobs(3, 1, 4, 4)
+	res, err := Run(points, Config{K: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) > 3 {
+		t.Fatalf("K not clamped: %d centroids for 3 points", len(res.Centroids))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, Config{K: 2}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	pts := [][]float32{{1, 2}}
+	if _, err := Run(pts, Config{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	points, _ := blobs(150, 3, 4, 5)
+	a, err := Run(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Distortion != b.Distortion {
+		t.Fatalf("non-deterministic: %v vs %v", a.Distortion, b.Distortion)
+	}
+	for c := range a.Centroids {
+		if linalg.SquaredL2(a.Centroids[c], b.Centroids[c]) != 0 {
+			t.Fatalf("centroid %d differs across identical runs", c)
+		}
+	}
+}
+
+func TestRunSampleLimit(t *testing.T) {
+	points, _ := blobs(500, 4, 4, 6)
+	res, err := Run(points, Config{K: 4, Seed: 6, SampleLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(points) {
+		t.Fatalf("assignments cover %d points, want %d", len(res.Assign), len(points))
+	}
+}
+
+func TestRunIdenticalPoints(t *testing.T) {
+	points := make([][]float32, 20)
+	for i := range points {
+		points[i] = []float32{1, 1, 1}
+	}
+	res, err := Run(points, Config{K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distortion != 0 {
+		t.Fatalf("distortion %v for identical points, want 0", res.Distortion)
+	}
+}
+
+func BenchmarkRun1kx32(b *testing.B) {
+	points, _ := blobs(1000, 16, 32, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(points, Config{K: 16, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

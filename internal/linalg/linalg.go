@@ -1,0 +1,146 @@
+// Package linalg provides the float32 vector math kernel shared by every
+// index implementation: distance functions, norms, and small dense helpers.
+//
+// All distances follow the "smaller is better" convention. For angular
+// (cosine) similarity the engine stores normalized vectors and uses
+// 1 - dot(a, b), which is a monotone transform of the angle.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a distance function.
+type Metric int
+
+const (
+	// L2 is squared Euclidean distance (monotone in Euclidean distance,
+	// cheaper to compute; rankings are identical).
+	L2 Metric = iota
+	// InnerProduct is negative dot product, so that smaller is better.
+	InnerProduct
+	// Angular is cosine distance, 1 - cos(a, b), assuming unit vectors.
+	Angular
+)
+
+// String returns the conventional name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case L2:
+		return "L2"
+	case InnerProduct:
+		return "IP"
+	case Angular:
+		return "Angular"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Dot returns the dot product of a and b. The slices must have equal length.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(v, v))))
+}
+
+// Normalize scales v to unit norm in place. Zero vectors are left unchanged.
+func Normalize(v []float32) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Distance computes the distance between a and b under metric m.
+// For Angular the inputs are assumed to be unit vectors.
+func Distance(m Metric, a, b []float32) float32 {
+	switch m {
+	case L2:
+		return SquaredL2(a, b)
+	case InnerProduct:
+		return -Dot(a, b)
+	case Angular:
+		return 1 - Dot(a, b)
+	default:
+		panic("linalg: unknown metric " + m.String())
+	}
+}
+
+// Scale multiplies v by s in place.
+func Scale(v []float32, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddInto accumulates src into dst element-wise. Lengths must match.
+func AddInto(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float32) []float32 {
+	c := make([]float32, len(v))
+	copy(c, v)
+	return c
+}
+
+// Mean returns the element-wise mean of the given vectors. It panics if
+// vecs is empty. All vectors must share the same dimension.
+func Mean(vecs [][]float32) []float32 {
+	if len(vecs) == 0 {
+		panic("linalg: Mean of empty set")
+	}
+	dim := len(vecs[0])
+	m := make([]float32, dim)
+	for _, v := range vecs {
+		AddInto(m, v)
+	}
+	Scale(m, 1/float32(len(vecs)))
+	return m
+}

@@ -1,0 +1,285 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDotBasic(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Fatalf("Dot = %v, want 35", got)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) + 1
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float64
+		for i := range a {
+			a[i] = rng.Float32() - 0.5
+			b[i] = rng.Float32() - 0.5
+			want += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		if !almostEqual(got, want, 1e-4) {
+			t.Fatalf("n=%d Dot = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSquaredL2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) + 1
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float64
+		for i := range a {
+			a[i] = rng.Float32()
+			b[i] = rng.Float32()
+			d := float64(a[i]) - float64(b[i])
+			want += d * d
+		}
+		got := float64(SquaredL2(a, b))
+		if !almostEqual(got, want, 1e-4) {
+			t.Fatalf("n=%d SquaredL2 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSquaredL2Identity(t *testing.T) {
+	// d(x, x) == 0 for arbitrary vectors (property test).
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		return SquaredL2(vals, vals) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquaredL2Symmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := rng.Intn(20) + 1
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()
+			b[i] = rng.Float32()
+		}
+		return SquaredL2(a, b) == SquaredL2(b, a)
+	}
+	for i := 0; i < 100; i++ {
+		if !f() {
+			t.Fatal("SquaredL2 not symmetric")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	Normalize(v)
+	if !almostEqual(float64(Norm(v)), 1, 1e-6) {
+		t.Fatalf("norm after Normalize = %v", Norm(v))
+	}
+	zero := []float32{0, 0, 0}
+	Normalize(zero) // must not panic or produce NaN
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatalf("zero vector changed: %v", zero)
+		}
+	}
+}
+
+func TestAngularRange(t *testing.T) {
+	// For unit vectors, angular distance lies in [0, 2].
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(16) + 2
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		Normalize(a)
+		Normalize(b)
+		d := Distance(Angular, a, b)
+		if d < -1e-5 || d > 2+1e-5 {
+			t.Fatalf("angular distance out of range: %v", d)
+		}
+	}
+}
+
+func TestDistanceMetricsAgreeOnOrdering(t *testing.T) {
+	// For unit vectors, L2 and Angular must rank neighbors identically:
+	// ||a-b||^2 = 2 - 2*dot = 2*angular.
+	rng := rand.New(rand.NewSource(5))
+	q := make([]float32, 8)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	Normalize(q)
+	type pair struct{ l2, ang float32 }
+	var ps []pair
+	for i := 0; i < 50; i++ {
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		Normalize(v)
+		ps = append(ps, pair{SquaredL2(q, v), Distance(Angular, q, v)})
+	}
+	byL2 := make([]pair, len(ps))
+	copy(byL2, ps)
+	sort.Slice(byL2, func(i, j int) bool { return byL2[i].l2 < byL2[j].l2 })
+	for i := 1; i < len(byL2); i++ {
+		if byL2[i].ang < byL2[i-1].ang-1e-5 {
+			t.Fatalf("ordering disagrees at %d: %+v before %+v", i, byL2[i-1], byL2[i])
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m[0] != 3 || m[1] != 4 {
+		t.Fatalf("Mean = %v, want [3 4]", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of empty set did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestTopKExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200) + 1
+		k := rng.Intn(20) + 1
+		dists := make([]float32, n)
+		top := NewTopK(k)
+		for i := range dists {
+			dists[i] = rng.Float32()
+			top.Push(int64(i), dists[i])
+		}
+		got := top.Results()
+		sorted := append([]float32(nil), dists...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("got %d results, want %d", len(got), want)
+		}
+		for i, nb := range got {
+			if nb.Dist != sorted[i] {
+				t.Fatalf("trial %d: result[%d] = %v, want %v", trial, i, nb.Dist, sorted[i])
+			}
+		}
+	}
+}
+
+func TestTopKSortedAscending(t *testing.T) {
+	f := func(dists []float32) bool {
+		if len(dists) == 0 {
+			return true
+		}
+		top := NewTopK(5)
+		for i, d := range dists {
+			if math.IsNaN(float64(d)) {
+				continue
+			}
+			top.Push(int64(i), d)
+		}
+		res := top.Results()
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKRejectsWorse(t *testing.T) {
+	top := NewTopK(2)
+	top.Push(1, 0.1)
+	top.Push(2, 0.2)
+	if top.Push(3, 0.5) {
+		t.Fatal("Push retained a worse candidate when full")
+	}
+	if !top.Push(4, 0.05) {
+		t.Fatal("Push rejected a better candidate")
+	}
+}
+
+func TestTopKInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTopK(0) did not panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestMergeNeighborsDedup(t *testing.T) {
+	a := []Neighbor{{ID: 1, Dist: 0.3}, {ID: 2, Dist: 0.5}}
+	b := []Neighbor{{ID: 1, Dist: 0.1}, {ID: 3, Dist: 0.4}}
+	got := MergeNeighbors(3, a, b)
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	if got[0].ID != 1 || got[0].Dist != 0.1 {
+		t.Fatalf("dedup kept wrong copy: %+v", got[0])
+	}
+}
+
+func BenchmarkDot128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(128 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkSquaredL2_128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(128 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredL2(x, y)
+	}
+}

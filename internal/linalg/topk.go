@@ -1,0 +1,114 @@
+package linalg
+
+// Neighbor is a candidate search result: a vector id and its distance to
+// the query under the active metric (smaller is better).
+type Neighbor struct {
+	ID   int64
+	Dist float32
+}
+
+// TopK maintains the k nearest neighbors seen so far using a bounded
+// max-heap keyed on distance: the root is the worst retained neighbor, so a
+// new candidate replaces it in O(log k) when closer.
+//
+// The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor
+}
+
+// NewTopK returns a collector for the k nearest neighbors. k must be >= 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("linalg: TopK requires k >= 1")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Len reports how many neighbors are currently retained.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbors are retained.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Worst returns the distance of the worst retained neighbor. It panics when
+// the collector is empty; callers should guard with Full or Len.
+func (t *TopK) Worst() float32 { return t.heap[0].Dist }
+
+// Push offers a candidate. It reports whether the candidate was retained.
+func (t *TopK) Push(id int64, dist float32) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.siftDown(0)
+	return true
+}
+
+// Results returns the retained neighbors sorted by ascending distance and
+// resets the collector.
+func (t *TopK) Results() []Neighbor {
+	out := make([]Neighbor, len(t.heap))
+	for i := len(t.heap) - 1; i >= 0; i-- {
+		out[i] = t.heap[0]
+		last := len(t.heap) - 1
+		t.heap[0] = t.heap[last]
+		t.heap = t.heap[:last]
+		if last > 0 {
+			t.siftDown(0)
+		}
+	}
+	return out
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// MergeNeighbors merges several ascending-sorted neighbor lists into the k
+// best overall, deduplicating by id (keeping the smaller distance).
+func MergeNeighbors(k int, lists ...[]Neighbor) []Neighbor {
+	top := NewTopK(k)
+	seen := make(map[int64]float32, k*2)
+	for _, list := range lists {
+		for _, n := range list {
+			if d, ok := seen[n.ID]; ok && d <= n.Dist {
+				continue
+			}
+			seen[n.ID] = n.Dist
+			top.Push(n.ID, n.Dist)
+		}
+	}
+	return top.Results()
+}

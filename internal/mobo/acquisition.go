@@ -1,0 +1,87 @@
+package mobo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// NormalPDF is the standard normal density.
+func NormalPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// EI is the analytic expected improvement of a Gaussian posterior
+// N(mean, std²) over the incumbent best (maximization).
+func EI(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean > best {
+			return mean - best
+		}
+		return 0
+	}
+	z := (mean - best) / std
+	return (mean-best)*NormalCDF(z) + std*NormalPDF(z)
+}
+
+// ConstrainedEI is the paper's Eq. 7: EI on the speed objective times the
+// probability that the recall posterior N(recMean, recStd²) exceeds the
+// user's floor.
+func ConstrainedEI(spdMean, spdStd, bestSpd, recMean, recStd, recFloor float64) float64 {
+	var pr float64
+	if recStd <= 0 {
+		if recMean > recFloor {
+			pr = 1
+		}
+	} else {
+		pr = 1 - NormalCDF((recFloor-recMean)/recStd)
+	}
+	return EI(spdMean, spdStd, bestSpd) * pr
+}
+
+// EHVI estimates the expected hypervolume improvement (Eq. 4) of a
+// candidate whose two objectives have independent Gaussian posteriors, by
+// Monte Carlo integration over the posterior as in the paper (which
+// follows qEHVI's MC estimator). front must already be measured against
+// ref; hvFront is Hypervolume(ref, front), passed in so batched candidate
+// scoring does not recompute it.
+func EHVI(meanA, stdA, meanB, stdB float64, ref Point, front []Point, hvFront float64, samples int, rng *rand.Rand) float64 {
+	if samples < 1 {
+		samples = 32
+	}
+	sum := 0.0
+	buf := make([]Point, 0, len(front)+1)
+	for s := 0; s < samples; s++ {
+		y := Point{
+			A: meanA + stdA*rng.NormFloat64(),
+			B: meanB + stdB*rng.NormFloat64(),
+		}
+		buf = append(buf[:0], front...)
+		buf = append(buf, y)
+		hv := Hypervolume(ref, buf)
+		if hv > hvFront {
+			sum += hv - hvFront
+		}
+	}
+	return sum / float64(samples)
+}
+
+// LHS returns n Latin-hypercube samples in [0,1]^dim: each dimension is
+// split into n strata and every stratum is hit exactly once.
+func LHS(n, dim int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+	for d := 0; d < dim; d++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}

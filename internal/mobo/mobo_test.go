@@ -1,0 +1,290 @@
+package mobo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{2, 2}, Point{1, 1}, true},
+		{Point{2, 1}, Point{1, 1}, true},
+		{Point{1, 1}, Point{1, 1}, false},
+		{Point{2, 0}, Point{1, 1}, false},
+		{Point{0, 2}, Point{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Fatalf("%v dominates %v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestNonDominated(t *testing.T) {
+	ps := []Point{{1, 5}, {3, 3}, {5, 1}, {2, 2}, {0, 0}}
+	got := NonDominated(ps)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("NonDominated = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NonDominated = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNonDominatedDuplicates(t *testing.T) {
+	ps := []Point{{1, 1}, {1, 1}, {2, 2}}
+	got := NonDominated(ps)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("NonDominated with dups = %v, want [2]", got)
+	}
+	all := []Point{{1, 1}, {1, 1}}
+	got = NonDominated(all)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NonDominated of identical pair = %v, want [0]", got)
+	}
+}
+
+func TestFrontIrredundant(t *testing.T) {
+	// Property: no point on the returned front dominates another.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(30) + 1
+		ps := make([]Point, n)
+		for i := range ps {
+			ps[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		front := Front(ps)
+		for i := range front {
+			for j := range front {
+				if i != j && front[i].Dominates(front[j]) {
+					t.Fatalf("front point %v dominates front point %v", front[i], front[j])
+				}
+			}
+		}
+	}
+}
+
+func TestHypervolumeKnownValues(t *testing.T) {
+	ref := Point{0, 0}
+	if hv := Hypervolume(ref, []Point{{1, 1}}); hv != 1 {
+		t.Fatalf("single point HV = %v, want 1", hv)
+	}
+	// Two points: (2,1), (1,2) → 2*1 + 1*(2-1) = 3.
+	if hv := Hypervolume(ref, []Point{{2, 1}, {1, 2}}); hv != 3 {
+		t.Fatalf("two-point HV = %v, want 3", hv)
+	}
+	// Dominated point adds nothing.
+	if hv := Hypervolume(ref, []Point{{2, 1}, {1, 2}, {0.5, 0.5}}); hv != 3 {
+		t.Fatalf("dominated point changed HV: %v", hv)
+	}
+	// Points below the reference add nothing.
+	if hv := Hypervolume(Point{1, 1}, []Point{{0.5, 2}, {2, 0.5}}); hv != 0 {
+		t.Fatalf("sub-reference points gave HV %v", hv)
+	}
+}
+
+func TestHypervolumeMonotoneUnderInsertion(t *testing.T) {
+	// Property: adding a point never decreases hypervolume.
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := rng.Intn(20) + 1
+		ps := make([]Point, n)
+		for i := range ps {
+			ps[i] = Point{rng.Float64() * 5, rng.Float64() * 5}
+		}
+		ref := Point{0, 0}
+		before := Hypervolume(ref, ps)
+		ps = append(ps, Point{rng.Float64() * 5, rng.Float64() * 5})
+		after := Hypervolume(ref, ps)
+		return after >= before-1e-12
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatal("hypervolume decreased when adding a point")
+		}
+	}
+}
+
+func TestHypervolumeMatchesGridEstimate(t *testing.T) {
+	// Cross-check the sweep against a brute-force grid integration.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(8) + 1
+		ps := make([]Point, n)
+		for i := range ps {
+			ps[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		ref := Point{0, 0}
+		want := 0.0
+		const g = 200
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				x := (float64(i) + 0.5) / g
+				y := (float64(j) + 0.5) / g
+				for _, p := range ps {
+					if p.A >= x && p.B >= y {
+						want += 1.0 / (g * g)
+						break
+					}
+				}
+			}
+		}
+		got := Hypervolume(ref, ps)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("trial %d: HV sweep %v vs grid %v (points %v)", trial, got, want, ps)
+		}
+	}
+}
+
+func TestEIProperties(t *testing.T) {
+	// Higher mean → higher EI.
+	if EI(2, 1, 1) <= EI(0, 1, 1) {
+		t.Fatal("EI not increasing in mean")
+	}
+	// At best with zero std → zero.
+	if EI(1, 0, 1) != 0 {
+		t.Fatal("EI(best, 0) != 0")
+	}
+	// Deterministic improvement.
+	if EI(3, 0, 1) != 2 {
+		t.Fatalf("EI(3,0,1) = %v, want 2", EI(3, 0, 1))
+	}
+	// Always non-negative over a sane numeric range.
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		mean := rng.NormFloat64() * 10
+		std := math.Abs(rng.NormFloat64()) * 5
+		best := rng.NormFloat64() * 10
+		if v := EI(mean, std, best); v < 0 {
+			t.Fatalf("EI(%v, %v, %v) = %v < 0", mean, std, best, v)
+		}
+	}
+}
+
+func TestConstrainedEI(t *testing.T) {
+	// Certain constraint satisfaction equals plain EI.
+	plain := EI(2, 0.5, 1)
+	cei := ConstrainedEI(2, 0.5, 1, 10, 0.01, 0.9)
+	if math.Abs(cei-plain) > 1e-6 {
+		t.Fatalf("CEI with certain feasibility = %v, want %v", cei, plain)
+	}
+	// Certain violation zeroes it.
+	cei = ConstrainedEI(2, 0.5, 1, 0.1, 0.0, 0.9)
+	if cei != 0 {
+		t.Fatalf("CEI with certain violation = %v, want 0", cei)
+	}
+	// Tighter floors lower the score.
+	loose := ConstrainedEI(2, 0.5, 1, 0.9, 0.05, 0.85)
+	tight := ConstrainedEI(2, 0.5, 1, 0.9, 0.05, 0.95)
+	if tight >= loose {
+		t.Fatalf("CEI not decreasing in floor: %v vs %v", loose, tight)
+	}
+}
+
+func TestEHVIPrefersDominatingCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := Point{0, 0}
+	front := []Point{{0.5, 0.5}}
+	hv := Hypervolume(ref, front)
+	good := EHVI(0.9, 0.01, 0.9, 0.01, ref, front, hv, 128, rng)
+	bad := EHVI(0.1, 0.01, 0.1, 0.01, ref, front, hv, 128, rng)
+	if good <= bad {
+		t.Fatalf("EHVI good %v not above bad %v", good, bad)
+	}
+	if bad > 1e-6 {
+		t.Fatalf("EHVI of dominated candidate = %v, want ~0", bad)
+	}
+}
+
+func TestEHVINonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := Point{0, 0}
+	front := []Point{{1, 0.2}, {0.2, 1}}
+	hv := Hypervolume(ref, front)
+	for trial := 0; trial < 100; trial++ {
+		v := EHVI(rng.Float64()*2-0.5, rng.Float64(), rng.Float64()*2-0.5, rng.Float64(), ref, front, hv, 16, rng)
+		if v < 0 {
+			t.Fatalf("EHVI negative: %v", v)
+		}
+	}
+}
+
+func TestEHVIFigure4Semantics(t *testing.T) {
+	// Paper Figure 4: x2, which extends the front, beats x1, which sits
+	// in an already-dominated region boundary.
+	rng := rand.New(rand.NewSource(6))
+	ref := Point{0, 0}
+	front := []Point{{0.9, 0.3}, {0.6, 0.6}, {0.3, 0.9}}
+	hv := Hypervolume(ref, front)
+	x1 := EHVI(0.65, 0.02, 0.55, 0.02, ref, front, hv, 256, rng) // inside
+	x2 := EHVI(0.85, 0.02, 0.55, 0.02, ref, front, hv, 256, rng) // extends
+	if x2 <= x1 {
+		t.Fatalf("EHVI(x2)=%v not above EHVI(x1)=%v", x2, x1)
+	}
+}
+
+func TestLHSStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, dim := 20, 3
+	s := LHS(n, dim, rng)
+	if len(s) != n {
+		t.Fatalf("LHS returned %d samples", len(s))
+	}
+	for d := 0; d < dim; d++ {
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := s[i][d]
+			if v < 0 || v >= 1 {
+				t.Fatalf("sample out of range: %v", v)
+			}
+			stratum := int(v * float64(n))
+			if seen[stratum] {
+				t.Fatalf("dim %d stratum %d hit twice", d, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	if math.Abs(NormalCDF(0)-0.5) > 1e-12 {
+		t.Fatalf("CDF(0) = %v", NormalCDF(0))
+	}
+	if math.Abs(NormalCDF(1.959964)-0.975) > 1e-4 {
+		t.Fatalf("CDF(1.96) = %v", NormalCDF(1.959964))
+	}
+	if NormalCDF(-10) > 1e-12 {
+		t.Fatalf("CDF(-10) = %v", NormalCDF(-10))
+	}
+}
+
+func BenchmarkHypervolume100(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ps := make([]Point, 100)
+	for i := range ps {
+		ps[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	ref := Point{0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hypervolume(ref, ps)
+	}
+}
+
+func BenchmarkEHVI(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ref := Point{0, 0}
+	front := []Point{{0.9, 0.3}, {0.6, 0.6}, {0.3, 0.9}}
+	hv := Hypervolume(ref, front)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EHVI(0.7, 0.1, 0.7, 0.1, ref, front, hv, 64, rng)
+	}
+}

@@ -1,0 +1,85 @@
+// Package mobo provides the multi-objective Bayesian optimization
+// machinery of the paper (§III-B, §IV-C): Pareto dominance, 2-D
+// hypervolume, Monte Carlo expected hypervolume improvement (EHVI),
+// analytic expected improvement (EI), constrained EI (Eq. 7), and Latin
+// hypercube sampling. Both objectives are maximized.
+package mobo
+
+import "sort"
+
+// Point is one bi-objective observation (both maximized). For VDMS tuning
+// the coordinates are (search speed, recall rate), possibly normalized.
+type Point struct {
+	A, B float64
+}
+
+// Dominates reports whether p is at least as good as q in both objectives
+// and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	return p.A >= q.A && p.B >= q.B && (p.A > q.A || p.B > q.B)
+}
+
+// NonDominated returns the indexes of the Pareto-optimal points in ps,
+// in ascending order of index.
+func NonDominated(ps []Point) []int {
+	var out []int
+	for i, p := range ps {
+		dominated := false
+		for j, q := range ps {
+			if i == j {
+				continue
+			}
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+			// Duplicates: keep the first occurrence only.
+			if q == p && j < i {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Front returns the Pareto-optimal subset of ps.
+func Front(ps []Point) []Point {
+	idx := NonDominated(ps)
+	out := make([]Point, len(idx))
+	for i, j := range idx {
+		out[i] = ps[j]
+	}
+	return out
+}
+
+// Hypervolume computes the 2-D hypervolume of the region dominated by ps
+// and bounded below by ref (maximization). Points not dominating ref
+// contribute nothing.
+func Hypervolume(ref Point, ps []Point) float64 {
+	// Keep points strictly better than ref in both objectives.
+	var kept []Point
+	for _, p := range ps {
+		if p.A > ref.A && p.B > ref.B {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return 0
+	}
+	// Rectangle decomposition over the Pareto front: sorted by
+	// descending A the front has ascending B, and point i contributes
+	// (A_i − ref.A) × (B_i − B_{i−1}) with B_0 = ref.B.
+	front := Front(kept)
+	sort.Slice(front, func(i, j int) bool { return front[i].A > front[j].A })
+	hv := 0.0
+	prevB := ref.B
+	for _, p := range front {
+		hv += (p.A - ref.A) * (p.B - prevB)
+		prevB = p.B
+	}
+	return hv
+}

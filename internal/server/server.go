@@ -1,0 +1,277 @@
+// Package server provides the engine's access layer: a TCP front end over
+// a live vdms.Collection speaking newline-delimited JSON, plus a matching
+// client. It mirrors the access/worker split of the paper's VDMS
+// architecture (§II-A, "Multiple Components") so that the engine can be
+// exercised over a real network path.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/vdms"
+)
+
+// Request is one client command.
+type Request struct {
+	// Op is one of "ping", "insert", "search", "delete", "flush",
+	// "stats".
+	Op string `json:"op"`
+	// Vectors carries the rows for "insert".
+	Vectors [][]float32 `json:"vectors,omitempty"`
+	// Query and K parameterize "search".
+	Query []float32 `json:"query,omitempty"`
+	K     int       `json:"k,omitempty"`
+	// IDs carries the ids for "delete".
+	IDs []int64 `json:"ids,omitempty"`
+}
+
+// Neighbor is one search hit on the wire.
+type Neighbor struct {
+	ID   int64   `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// Response is the server's reply to one Request.
+type Response struct {
+	OK        bool                  `json:"ok"`
+	Error     string                `json:"error,omitempty"`
+	IDs       []int64               `json:"ids,omitempty"`
+	Neighbors []Neighbor            `json:"neighbors,omitempty"`
+	Stats     *vdms.CollectionStats `json:"stats,omitempty"`
+	// Deleted is the number of ids newly tombstoned by "delete".
+	Deleted int `json:"deleted,omitempty"`
+}
+
+// Server exposes one collection over TCP.
+type Server struct {
+	coll *vdms.Collection
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a server for coll listening on addr (e.g. "127.0.0.1:0").
+func New(coll *vdms.Collection, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{coll: coll, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection, and waits for handlers.
+// The underlying collection is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken stream: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case "ping":
+		return &Response{OK: true}
+	case "insert":
+		if len(req.Vectors) == 0 {
+			return &Response{Error: "insert: no vectors"}
+		}
+		ids, err := s.coll.Insert(req.Vectors)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, IDs: ids}
+	case "search":
+		if req.K < 1 {
+			return &Response{Error: "search: k must be >= 1"}
+		}
+		var st index.Stats
+		res, err := s.coll.Search(req.Query, req.K, &st)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		out := make([]Neighbor, len(res))
+		for i, n := range res {
+			out[i] = Neighbor{ID: n.ID, Dist: n.Dist}
+		}
+		return &Response{OK: true, Neighbors: out}
+	case "delete":
+		n, err := s.coll.Delete(req.IDs)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Deleted: n}
+	case "flush":
+		if err := s.coll.Flush(); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case "stats":
+		st := s.coll.Stats()
+		return &Response{OK: true, Stats: &st}
+	default:
+		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a synchronous connection to a Server. It is safe for
+// concurrent use; requests are serialized on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	w    *bufio.Writer
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(conn)
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(w),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		w:    w,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: "ping"})
+	return err
+}
+
+// Insert sends rows and returns their assigned ids.
+func (c *Client) Insert(vecs [][]float32) ([]int64, error) {
+	resp, err := c.call(&Request{Op: "insert", Vectors: vecs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Search returns the k nearest neighbors of q.
+func (c *Client) Search(q []float32, k int) ([]Neighbor, error) {
+	resp, err := c.call(&Request{Op: "search", Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// Delete tombstones ids on the server and reports how many were new.
+func (c *Client) Delete(ids []int64) (int, error) {
+	resp, err := c.call(&Request{Op: "delete", IDs: ids})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Deleted, nil
+}
+
+// Flush seals and waits for index builds on the server.
+func (c *Client) Flush() error {
+	_, err := c.call(&Request{Op: "flush"})
+	return err
+}
+
+// Stats fetches the collection snapshot.
+func (c *Client) Stats() (*vdms.CollectionStats, error) {
+	resp, err := c.call(&Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/vdms"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = index.IVFFlat
+	cfg.Build.NList = 8
+	cfg.Search.NProbe = 8
+	coll, err := vdms.NewCollection(cfg, linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+		coll.Close()
+	})
+	return srv, cl
+}
+
+func vecsFor(n int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = make([]float32, 8)
+		for j := range out[i] {
+			out[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func TestPing(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearchOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	vecs := vecsFor(60, 1)
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 60 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	res, err := cl.Search(vecs[11], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != ids[11] {
+		t.Fatalf("self-search returned %+v, want id %d", res, ids[11])
+	}
+}
+
+func TestFlushAndStats(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Insert(vecsFor(300, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 300 {
+		t.Fatalf("stats rows = %d", st.Rows)
+	}
+	if st.Sealed < 1 || st.GrowingRows != 0 {
+		t.Fatalf("flush did not seal: %+v", st)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Insert(nil); err == nil {
+		t.Fatal("empty insert accepted")
+	}
+	if _, err := cl.Search([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := cl.Insert([][]float32{{1}}); err == nil {
+		t.Fatal("wrong-dim insert accepted")
+	}
+	// The connection must survive errors.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	srv, _ := startServer(t)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.call(&Request{Op: "bogus"})
+	if err == nil {
+		t.Fatalf("unknown op accepted: %+v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, seedClient := startServer(t)
+	if _, err := seedClient.Insert(vecsFor(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			q := vecsFor(1, int64(100+w))[0]
+			for i := 0; i < 25; i++ {
+				if _, err := cl.Search(q, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := cl.Insert(vecsFor(10, int64(200+w))); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := seedClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 100+8*10 {
+		t.Fatalf("rows = %d, want 180", st.Rows)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	cfg := vdms.DefaultConfig()
+	coll, err := vdms.NewCollection(cfg, linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	srv, err := New(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		return // connection refused: fine
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping succeeded on closed server")
+	}
+}
+
+func TestDeleteOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	vecs := vecsFor(40, 4)
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.Delete(ids[:3])
+	if err != nil || n != 3 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	res, err := cl.Search(vecs[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == ids[0] {
+			t.Fatal("deleted id returned over the wire")
+		}
+	}
+	// Idempotent re-delete.
+	n, err = cl.Delete(ids[:3])
+	if err != nil || n != 0 {
+		t.Fatalf("re-Delete = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package space defines the 16-dimensional VDMS configuration space of the
+// paper (§V-A): the index type, the eight index parameters of Table I, and
+// the seven recommended system parameters. It provides the encoding the
+// surrogate model works in ([0,1]^16), decoding back to engine
+// configurations, per-index-type parameter ownership, defaults, and
+// random/LHS sampling restricted to an index type's subspace.
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/mobo"
+	"vdtuner/internal/vdms"
+)
+
+// Param identifies one tunable dimension.
+type Param int
+
+const (
+	// Index parameters (paper Table I).
+	NList Param = iota
+	NProbe
+	PQM
+	PQNBits
+	HNSWM
+	EfConstruction
+	Ef
+	ReorderK
+	// System parameters (Milvus documentation; see vdms.Config).
+	SegmentMaxSize
+	SealProportion
+	GracefulTime
+	InsertBufSize
+	Parallelism
+	CacheRatio
+	FlushInterval
+	numParams
+)
+
+// NumParams is the number of scalar parameters (excluding the index type).
+const NumParams = int(numParams)
+
+// Dims is the total encoded dimensionality: index type + NumParams.
+const Dims = NumParams + 1
+
+// Def describes one parameter: its range, integrality, default, and the
+// index types that own it (nil owners = shared by all types).
+type Def struct {
+	Param   Param
+	Name    string
+	Min     float64
+	Max     float64
+	Integer bool
+	Default float64
+	Owners  []index.Type
+}
+
+var defs = [NumParams]Def{
+	NList:          {NList, "nlist", 16, 1024, true, 128, []index.Type{index.IVFFlat, index.IVFSQ8, index.IVFPQ, index.SCANN}},
+	NProbe:         {NProbe, "nprobe", 1, 256, true, 16, []index.Type{index.IVFFlat, index.IVFSQ8, index.IVFPQ, index.SCANN}},
+	PQM:            {PQM, "m", 2, 16, true, 8, []index.Type{index.IVFPQ}},
+	PQNBits:        {PQNBits, "nbits", 4, 12, true, 8, []index.Type{index.IVFPQ}},
+	HNSWM:          {HNSWM, "M", 4, 64, true, 16, []index.Type{index.HNSW}},
+	EfConstruction: {EfConstruction, "efConstruction", 8, 512, true, 128, []index.Type{index.HNSW}},
+	Ef:             {Ef, "ef", 8, 512, true, 64, []index.Type{index.HNSW}},
+	ReorderK:       {ReorderK, "reorder_k", 10, 500, true, 100, []index.Type{index.SCANN}},
+	SegmentMaxSize: {SegmentMaxSize, "segment_maxSize", 100, 2048, true, 512, nil},
+	SealProportion: {SealProportion, "segment_sealProportion", 0.05, 1, false, 0.25, nil},
+	GracefulTime:   {GracefulTime, "gracefulTime", 0, 5000, false, 1000, nil},
+	InsertBufSize:  {InsertBufSize, "insertBufSize", 64, 2048, true, 256, nil},
+	Parallelism:    {Parallelism, "queryNode_parallelism", 1, 32, true, 4, nil},
+	CacheRatio:     {CacheRatio, "queryNode_cacheRatio", 0.05, 1, false, 0.3, nil},
+	FlushInterval:  {FlushInterval, "flushInterval", 1, 120, false, 10, nil},
+}
+
+// Lookup returns the definition of p.
+func Lookup(p Param) Def { return defs[p] }
+
+// All returns every parameter definition in declaration order.
+func All() []Def {
+	out := make([]Def, NumParams)
+	copy(out, defs[:])
+	return out
+}
+
+// ByName finds a definition by its Milvus-style name.
+func ByName(name string) (Def, error) {
+	for _, d := range defs {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Def{}, fmt.Errorf("space: unknown parameter %q", name)
+}
+
+// OwnedBy reports whether index type t tunes parameter p. Shared (system)
+// parameters are owned by every type; FLAT and AUTOINDEX own only shared
+// parameters (Table I: "N/A ; N/A").
+func OwnedBy(p Param, t index.Type) bool {
+	d := defs[p]
+	if d.Owners == nil {
+		return true
+	}
+	for _, o := range d.Owners {
+		if o == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Vector is an encoded configuration in [0,1]^Dims: Vector[0] encodes the
+// index type, Vector[1+p] encodes parameter p.
+type Vector []float64
+
+// typeCount is the number of selectable index types.
+var typeCount = len(index.AllTypes())
+
+// EncodeType maps an index type to its [0,1] coordinate.
+func EncodeType(t index.Type) float64 {
+	return float64(int(t)) / float64(typeCount-1)
+}
+
+// DecodeType maps a [0,1] coordinate back to the nearest index type.
+func DecodeType(v float64) index.Type {
+	i := int(math.Round(v * float64(typeCount-1)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= typeCount {
+		i = typeCount - 1
+	}
+	return index.AllTypes()[i]
+}
+
+// encodeVal maps a raw parameter value to [0,1].
+func encodeVal(d Def, v float64) float64 {
+	u := (v - d.Min) / (d.Max - d.Min)
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// decodeVal maps a [0,1] coordinate back to the parameter's range,
+// rounding integer parameters.
+func decodeVal(d Def, u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	v := d.Min + u*(d.Max-d.Min)
+	if d.Integer {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// Encode maps an engine configuration to its surrogate-space vector.
+func Encode(cfg vdms.Config) Vector {
+	x := make(Vector, Dims)
+	x[0] = EncodeType(cfg.IndexType)
+	set := func(p Param, v float64) { x[1+int(p)] = encodeVal(defs[p], v) }
+	set(NList, float64(cfg.Build.NList))
+	set(NProbe, float64(cfg.Search.NProbe))
+	set(PQM, float64(cfg.Build.M))
+	set(PQNBits, float64(cfg.Build.NBits))
+	set(HNSWM, float64(cfg.Build.HNSWM))
+	set(EfConstruction, float64(cfg.Build.EfConstruction))
+	set(Ef, float64(cfg.Search.Ef))
+	set(ReorderK, float64(cfg.Search.ReorderK))
+	set(SegmentMaxSize, cfg.SegmentMaxSize)
+	set(SealProportion, cfg.SealProportion)
+	set(GracefulTime, cfg.GracefulTime)
+	set(InsertBufSize, cfg.InsertBufSize)
+	set(Parallelism, float64(cfg.Parallelism))
+	set(CacheRatio, cfg.CacheRatio)
+	set(FlushInterval, cfg.FlushInterval)
+	return x
+}
+
+// Decode maps a surrogate-space vector back to an engine configuration.
+// Parameters not owned by the decoded index type are reset to defaults, so
+// two vectors that differ only in unowned dimensions decode identically.
+func Decode(x Vector) vdms.Config {
+	t := DecodeType(x[0])
+	get := func(p Param) float64 {
+		if !OwnedBy(p, t) {
+			return defs[p].Default
+		}
+		return decodeVal(defs[p], x[1+int(p)])
+	}
+	cfg := vdms.Config{
+		IndexType: t,
+		Build: index.BuildParams{
+			NList:          int(get(NList)),
+			M:              int(get(PQM)),
+			NBits:          int(get(PQNBits)),
+			HNSWM:          int(get(HNSWM)),
+			EfConstruction: int(get(EfConstruction)),
+		},
+		Search: index.SearchParams{
+			NProbe:   int(get(NProbe)),
+			Ef:       int(get(Ef)),
+			ReorderK: int(get(ReorderK)),
+		},
+		SegmentMaxSize: get(SegmentMaxSize),
+		SealProportion: get(SealProportion),
+		GracefulTime:   get(GracefulTime),
+		InsertBufSize:  get(InsertBufSize),
+		Parallelism:    int(get(Parallelism)),
+		CacheRatio:     get(CacheRatio),
+		FlushInterval:  get(FlushInterval),
+	}
+	return cfg
+}
+
+// DefaultVector returns the encoded default configuration for index type t
+// (defaults everywhere, type coordinate set to t).
+func DefaultVector(t index.Type) Vector {
+	x := make(Vector, Dims)
+	x[0] = EncodeType(t)
+	for p := 0; p < NumParams; p++ {
+		x[1+p] = encodeVal(defs[p], defs[p].Default)
+	}
+	return x
+}
+
+// DefaultConfig returns the engine default configuration with the index
+// type forced to t.
+func DefaultConfig(t index.Type) vdms.Config {
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = t
+	return Decode(DefaultVector(t))
+}
+
+// SampleSubspace draws a uniform random vector for index type t: owned
+// dimensions uniform in [0,1], unowned index parameters at defaults.
+func SampleSubspace(t index.Type, rng *rand.Rand) Vector {
+	x := DefaultVector(t)
+	for p := 0; p < NumParams; p++ {
+		if OwnedBy(Param(p), t) {
+			x[1+p] = rng.Float64()
+		}
+	}
+	return x
+}
+
+// PerturbSubspace returns a copy of x with each owned dimension nudged by
+// Gaussian noise of the given scale (clamped to [0,1]); the index type is
+// preserved. It provides the local half of the acquisition candidate set.
+func PerturbSubspace(x Vector, t index.Type, scale float64, rng *rand.Rand) Vector {
+	out := make(Vector, len(x))
+	copy(out, x)
+	out[0] = EncodeType(t)
+	for p := 0; p < NumParams; p++ {
+		if !OwnedBy(Param(p), t) {
+			continue
+		}
+		v := out[1+p] + rng.NormFloat64()*scale
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[1+p] = v
+	}
+	return out
+}
+
+// LHSAcrossTypes draws n Latin-hypercube samples over the full holistic
+// space (index type treated as one more dimension), as the baselines do.
+func LHSAcrossTypes(n int, rng *rand.Rand) []Vector {
+	raw := mobo.LHS(n, Dims, rng)
+	out := make([]Vector, n)
+	for i, r := range raw {
+		out[i] = Vector(r)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package vdms implements the vector data management system under tuning:
+// a Milvus-like engine with a segmented storage layer, growing/sealed
+// segment lifecycle, per-segment ANN indexes, a bounded-consistency window,
+// intra-query parallelism, and memory accounting.
+//
+// The engine exposes exactly the 16-dimensional configuration surface of
+// the paper (index type + 8 index parameters + 7 system parameters) and
+// reports deterministic simulated performance derived from the real work
+// its index structures perform; see DESIGN.md "Substitutions".
+package vdms
+
+import (
+	"fmt"
+
+	"vdtuner/internal/index"
+)
+
+// Config is one complete VDMS configuration: the selected index type, its
+// build/search parameters, and the seven system parameters.
+type Config struct {
+	// IndexType selects the ANN algorithm for sealed segments.
+	IndexType index.Type
+	// Build carries the index build parameters (nlist, m, nbits, M,
+	// efConstruction).
+	Build index.BuildParams
+	// Search carries the index search parameters (nprobe, ef, reorder_k).
+	Search index.SearchParams
+
+	// SegmentMaxSize is the sealed-segment size budget in MB-equivalents
+	// (Milvus segment.maxSize), range [100, 2048].
+	SegmentMaxSize float64
+	// SealProportion is the fraction of SegmentMaxSize at which a growing
+	// segment seals (Milvus segment.sealProportion), range [0.05, 1].
+	SealProportion float64
+	// GracefulTime is the bounded-consistency staleness tolerance in
+	// milliseconds (Milvus gracefulTime), range [0, 5000]. Small values
+	// force queries to wait for sync.
+	GracefulTime float64
+	// InsertBufSize is the insert buffer size in MB-equivalents (Milvus
+	// insertBufSize), range [64, 2048]. Larger buffers delay flushes,
+	// enlarging the unindexed tail and memory footprint.
+	InsertBufSize float64
+	// Parallelism is the intra-query segment-level parallelism (query
+	// node worker count), range [1, 32].
+	Parallelism int
+	// CacheRatio is the fraction of index data kept hot in cache,
+	// range [0.05, 1]. Lower values add per-candidate access cost.
+	CacheRatio float64
+	// FlushInterval is the background flush cadence in seconds,
+	// range [1, 120]. It trades unindexed-tail size against background
+	// build load.
+	FlushInterval float64
+
+	// Concurrency is the number of in-flight search requests during
+	// replay (the paper uses 10). Zero means 10. It is a workload
+	// property, not a tuned parameter.
+	Concurrency int
+}
+
+// DefaultConfig is the paper's "Default" baseline: AUTOINDEX plus stock
+// system parameters.
+func DefaultConfig() Config {
+	return Config{
+		IndexType:      index.AutoIndex,
+		SegmentMaxSize: 512,
+		SealProportion: 0.25,
+		GracefulTime:   1000,
+		InsertBufSize:  256,
+		Parallelism:    4,
+		CacheRatio:     0.3,
+		FlushInterval:  10,
+		Concurrency:    10,
+	}
+}
+
+// Validate reports configuration errors. Values outside the documented
+// ranges are errors rather than silently clamped: the tuner's encoder is
+// responsible for staying in range, and out-of-range values here indicate
+// a bug.
+func (c *Config) Validate() error {
+	if c.SegmentMaxSize < 100 || c.SegmentMaxSize > 2048 {
+		return fmt.Errorf("vdms: segment_maxSize %v outside [100, 2048]", c.SegmentMaxSize)
+	}
+	if c.SealProportion < 0.05 || c.SealProportion > 1 {
+		return fmt.Errorf("vdms: segment_sealProportion %v outside [0.05, 1]", c.SealProportion)
+	}
+	if c.GracefulTime < 0 || c.GracefulTime > 5000 {
+		return fmt.Errorf("vdms: gracefulTime %v outside [0, 5000]", c.GracefulTime)
+	}
+	if c.InsertBufSize < 64 || c.InsertBufSize > 2048 {
+		return fmt.Errorf("vdms: insertBufSize %v outside [64, 2048]", c.InsertBufSize)
+	}
+	if c.Parallelism < 1 || c.Parallelism > 32 {
+		return fmt.Errorf("vdms: parallelism %v outside [1, 32]", c.Parallelism)
+	}
+	if c.CacheRatio < 0.05 || c.CacheRatio > 1 {
+		return fmt.Errorf("vdms: cacheRatio %v outside [0.05, 1]", c.CacheRatio)
+	}
+	if c.FlushInterval < 1 || c.FlushInterval > 120 {
+		return fmt.Errorf("vdms: flushInterval %v outside [1, 120]", c.FlushInterval)
+	}
+	return nil
+}
+
+func (c *Config) concurrency() int {
+	if c.Concurrency <= 0 {
+		return 10
+	}
+	return c.Concurrency
+}

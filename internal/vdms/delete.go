@@ -1,0 +1,75 @@
+package vdms
+
+import (
+	"fmt"
+
+	"vdtuner/internal/linalg"
+)
+
+// Deletion support for live collections. Milvus implements deletes as
+// tombstones filtered at query time until compaction; this file does the
+// same: deleted ids are recorded in a set, filtered out of every search,
+// and physically removed from growing data immediately (sealed segments
+// are immutable, so their tombstones persist until a rebuild).
+
+// Delete marks ids as deleted. Unknown ids are ignored (idempotent, as in
+// Milvus). It returns the number of ids newly tombstoned.
+func (c *Collection) Delete(ids []int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("vdms: collection closed")
+	}
+	if c.tombstones == nil {
+		c.tombstones = make(map[int64]struct{})
+	}
+	added := 0
+	for _, id := range ids {
+		if id < 0 || id >= c.nextID {
+			continue
+		}
+		if _, dup := c.tombstones[id]; dup {
+			continue
+		}
+		c.tombstones[id] = struct{}{}
+		added++
+	}
+	// Compact the growing tail in place: growing data is mutable, so
+	// tombstoned rows can be dropped immediately.
+	if added > 0 && len(c.growingVecs) > 0 {
+		keepV := c.growingVecs[:0]
+		keepI := c.growingIDs[:0]
+		for i, id := range c.growingIDs {
+			if _, dead := c.tombstones[id]; dead {
+				continue
+			}
+			keepV = append(keepV, c.growingVecs[i])
+			keepI = append(keepI, id)
+		}
+		c.growingVecs = keepV
+		c.growingIDs = keepI
+	}
+	return added, nil
+}
+
+// Deleted reports the current tombstone count.
+func (c *Collection) Deleted() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tombstones)
+}
+
+// filterTombstones drops deleted ids from a result list in place.
+func (c *Collection) filterTombstones(res []linalg.Neighbor) []linalg.Neighbor {
+	if len(c.tombstones) == 0 {
+		return res
+	}
+	keep := res[:0]
+	for _, n := range res {
+		if _, dead := c.tombstones[n.ID]; dead {
+			continue
+		}
+		keep = append(keep, n)
+	}
+	return keep
+}

@@ -1,0 +1,240 @@
+package vdms
+
+import (
+	"fmt"
+	"sync"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+)
+
+// Collection is the live (streaming) face of the engine: vectors are
+// inserted at runtime into a growing segment, which seals when it reaches
+// the configured proportion of the segment budget; sealed segments get
+// their index built by a background worker while remaining brute-force
+// searchable, exactly like Milvus' growing/sealed/indexed lifecycle.
+//
+// Collection complements Open/Evaluate (the static, simulated-clock path
+// used by the tuner): it is the substrate for wall-clock measurements and
+// for the online-tuning extension.
+type Collection struct {
+	cfg    Config
+	metric linalg.Metric
+	dim    int
+	// sealRows is the rows-per-segment derived from segment_maxSize ×
+	// sealProportion at the declared expected corpus size.
+	sealRows int
+
+	mu     sync.RWMutex
+	nextID int64
+	rows   int64
+	// growing is the current unsealed segment.
+	growingVecs [][]float32
+	growingIDs  []int64
+	// sealing holds segments whose index build is in flight; they are
+	// scanned exactly until the build lands.
+	sealing []*sealingSegment
+	sealed  []index.Index
+	sealSeq int64
+	// tombstones holds deleted ids, filtered from every search (see
+	// delete.go).
+	tombstones map[int64]struct{}
+	closed     bool
+
+	builds sync.WaitGroup
+	// buildErr records the first background build failure.
+	buildErrOnce sync.Once
+	buildErr     error
+}
+
+type sealingSegment struct {
+	vecs [][]float32
+	ids  []int64
+}
+
+// NewCollection creates an empty live collection. expectedRows scales the
+// segment-size model the same way Open does for bulk loads; it must be
+// positive.
+func NewCollection(cfg Config, metric linalg.Metric, dim, expectedRows int) (*Collection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("vdms: dimension must be positive, got %d", dim)
+	}
+	if expectedRows <= 0 {
+		return nil, fmt.Errorf("vdms: expectedRows must be positive, got %d", expectedRows)
+	}
+	sealRows := int(cfg.SegmentMaxSize * cfg.SealProportion * float64(expectedRows) / 512)
+	if sealRows < 48 {
+		sealRows = 48
+	}
+	return &Collection{cfg: cfg, metric: metric, dim: dim, sealRows: sealRows}, nil
+}
+
+// Insert appends vectors and returns their assigned ids. Vectors are
+// copied; the caller may reuse the slices. Growing data is searchable
+// immediately. When the growing segment reaches the seal threshold it is
+// sealed and handed to a background index build.
+func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("vdms: collection closed")
+	}
+	ids := make([]int64, len(vecs))
+	for i, v := range vecs {
+		if len(v) != c.dim {
+			return nil, fmt.Errorf("vdms: vector %d has dim %d, want %d", i, len(v), c.dim)
+		}
+		cp := linalg.Clone(v)
+		if c.metric == linalg.Angular {
+			linalg.Normalize(cp)
+		}
+		ids[i] = c.nextID
+		c.nextID++
+		c.rows++
+		c.growingVecs = append(c.growingVecs, cp)
+		c.growingIDs = append(c.growingIDs, ids[i])
+		if len(c.growingVecs) >= c.sealRows {
+			c.sealLocked()
+		}
+	}
+	return ids, nil
+}
+
+// sealLocked moves the growing segment into the sealing state and starts
+// its background index build. Callers hold c.mu.
+func (c *Collection) sealLocked() {
+	seg := &sealingSegment{vecs: c.growingVecs, ids: c.growingIDs}
+	c.growingVecs = nil
+	c.growingIDs = nil
+	c.sealing = append(c.sealing, seg)
+	seq := c.sealSeq
+	c.sealSeq++
+
+	c.builds.Add(1)
+	go func() {
+		defer c.builds.Done()
+		bp := c.cfg.Build
+		bp.Seed = c.cfg.Build.Seed + seq*7919
+		m := c.metric
+		if m == linalg.Angular {
+			m = linalg.L2 // inputs were normalized on insert
+		}
+		idx, err := index.New(c.cfg.IndexType, m, c.dim, bp)
+		if err == nil {
+			err = idx.Build(seg.vecs, seg.ids)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		// Remove seg from the sealing list regardless of outcome.
+		for i, s := range c.sealing {
+			if s == seg {
+				c.sealing = append(c.sealing[:i], c.sealing[i+1:]...)
+				break
+			}
+		}
+		if err != nil {
+			c.buildErrOnce.Do(func() { c.buildErr = err })
+			// Keep the data searchable: put the rows back into growing.
+			c.growingVecs = append(c.growingVecs, seg.vecs...)
+			c.growingIDs = append(c.growingIDs, seg.ids...)
+			return
+		}
+		c.sealed = append(c.sealed, idx)
+	}()
+}
+
+// Flush seals the current growing segment (even if partial) and blocks
+// until every pending index build completes. It returns the first build
+// error, if any.
+func (c *Collection) Flush() error {
+	c.mu.Lock()
+	if len(c.growingVecs) > 0 {
+		c.sealLocked()
+	}
+	c.mu.Unlock()
+	c.builds.Wait()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.buildErr
+}
+
+// Search returns the k nearest neighbors of q across every segment state:
+// indexed sealed segments, in-flight sealing segments (scanned exactly),
+// and the growing tail. st may be nil.
+func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
+	}
+	qq := q
+	m := c.metric
+	if m == linalg.Angular {
+		qq = linalg.Clone(q)
+		linalg.Normalize(qq)
+		m = linalg.L2
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, fmt.Errorf("vdms: collection closed")
+	}
+	// Over-fetch to survive tombstone filtering: deleted ids may occupy
+	// top slots inside immutable sealed segments.
+	fetch := k + len(c.tombstones)
+	lists := make([][]linalg.Neighbor, 0, len(c.sealed)+len(c.sealing)+1)
+	for _, idx := range c.sealed {
+		lists = append(lists, idx.Search(qq, fetch, c.cfg.Search, st))
+	}
+	for _, seg := range c.sealing {
+		lists = append(lists, index.ScanSubset(m, qq, seg.vecs, seg.ids, fetch, st))
+	}
+	if len(c.growingVecs) > 0 {
+		lists = append(lists, index.ScanSubset(m, qq, c.growingVecs, c.growingIDs, fetch, st))
+	}
+	merged := c.filterTombstones(linalg.MergeNeighbors(fetch, lists...))
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// CollectionStats is a point-in-time snapshot of a live collection.
+type CollectionStats struct {
+	Rows        int64
+	Sealed      int
+	Sealing     int
+	GrowingRows int
+	MemoryBytes int64
+}
+
+// Stats reports the collection's current segment layout and footprint.
+func (c *Collection) Stats() CollectionStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := CollectionStats{
+		Rows:        c.rows,
+		Sealed:      len(c.sealed),
+		Sealing:     len(c.sealing),
+		GrowingRows: len(c.growingVecs),
+	}
+	bytesPerRow := int64(c.dim) * 4
+	for _, idx := range c.sealed {
+		s.MemoryBytes += idx.MemoryBytes()
+	}
+	for _, seg := range c.sealing {
+		s.MemoryBytes += int64(len(seg.vecs)) * bytesPerRow
+	}
+	s.MemoryBytes += int64(len(c.growingVecs)) * bytesPerRow * 2
+	return s
+}
+
+// Close waits for pending builds and marks the collection unusable.
+func (c *Collection) Close() error {
+	c.builds.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return c.buildErr
+}

@@ -1,0 +1,365 @@
+package vdms
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/workload"
+)
+
+func liveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IndexType = index.IVFFlat
+	cfg.Build.NList = 16
+	cfg.Search.NProbe = 16
+	return cfg
+}
+
+func randVecs(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = make([]float32, dim)
+		for j := range out[i] {
+			out[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func TestCollectionInsertSearch(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(50, 8, 1)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 50 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	// A stored vector must be its own nearest neighbor.
+	res, err := coll.Search(vecs[7], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != ids[7] {
+		t.Fatalf("self-search returned %+v, want id %d", res, ids[7])
+	}
+}
+
+func TestCollectionSealsAndBuilds(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	// sealRows = max(48, 512*0.25*1000/512) = 250.
+	vecs := randVecs(600, 8, 2)
+	if _, err := coll.Insert(vecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := coll.Stats()
+	if st.Rows != 600 {
+		t.Fatalf("rows = %d", st.Rows)
+	}
+	if st.Sealed < 2 {
+		t.Fatalf("expected >= 2 sealed segments, got %+v", st)
+	}
+	if st.Sealing != 0 || st.GrowingRows != 0 {
+		t.Fatalf("flush left unsealed data: %+v", st)
+	}
+	if st.MemoryBytes <= 0 {
+		t.Fatalf("memory = %d", st.MemoryBytes)
+	}
+}
+
+func TestCollectionSearchDuringBuild(t *testing.T) {
+	// Data must remain findable through every lifecycle state.
+	cfg := liveConfig()
+	cfg.IndexType = index.HNSW
+	cfg.Build.HNSWM = 8
+	cfg.Build.EfConstruction = 64
+	cfg.Search.Ef = 64
+	coll, err := NewCollection(cfg, linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(520, 8, 3)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediately search (builds may be in flight) for several vectors.
+	for _, probe := range []int{0, 120, 300, 519} {
+		res, err := coll.Search(vecs[probe], 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range res {
+			if r.ID == ids[probe] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("vector %d not findable mid-build", probe)
+		}
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionConcurrentInsertSearch(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(1000, 8, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 250; i < (w+1)*250; i += 10 {
+				if _, err := coll.Insert(vecs[i : i+10]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := vecs[w]
+			for i := 0; i < 50; i++ {
+				if _, err := coll.Search(q, 5, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := coll.Stats(); st.Rows != 1000 {
+		t.Fatalf("rows = %d, want 1000", st.Rows)
+	}
+}
+
+func TestCollectionAngularNormalizes(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.Angular, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	// Same direction, different magnitudes: must be nearest neighbors.
+	a := []float32{1, 0, 0, 0}
+	b := []float32{100, 0, 0, 0}
+	cvec := []float32{0, 1, 0, 0}
+	ids, err := coll.Insert([][]float32{a, cvec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coll.Search(b, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != ids[0] {
+		t.Fatalf("angular search returned %+v, want id %d", res, ids[0])
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	if _, err := NewCollection(liveConfig(), linalg.L2, 0, 100); err == nil {
+		t.Fatal("accepted dim=0")
+	}
+	if _, err := NewCollection(liveConfig(), linalg.L2, 4, 0); err == nil {
+		t.Fatal("accepted expectedRows=0")
+	}
+	bad := liveConfig()
+	bad.Parallelism = 0
+	if _, err := NewCollection(bad, linalg.L2, 4, 100); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+	coll, err := NewCollection(liveConfig(), linalg.L2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.Insert([][]float32{{1, 2}}); err == nil {
+		t.Fatal("accepted wrong dimension")
+	}
+	if _, err := coll.Search([]float32{1, 2, 3, 4}, 0, nil); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if err := coll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.Insert([][]float32{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("insert after close succeeded")
+	}
+	if _, err := coll.Search([]float32{1, 2, 3, 4}, 1, nil); err == nil {
+		t.Fatal("search after close succeeded")
+	}
+}
+
+func TestCollectionMatchesGroundTruth(t *testing.T) {
+	// Recall of a fully-probed IVF collection over streamed inserts must
+	// be exact.
+	ds, err := workload.Load(workload.Spec{
+		Name: "live-truth", N: 600, NQ: 10, Dim: 16, K: 5,
+		Clusters: 6, ClusterStd: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := liveConfig()
+	cfg.Search.NProbe = 256 // probe everything: exact
+	coll, err := NewCollection(cfg, ds.Metric, ds.Dim, len(ds.Vectors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	if _, err := coll.Insert(ds.Vectors); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range ds.Queries {
+		res, err := coll.Search(q, ds.K, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := ds.Recall(qi, res); r < 0.999 {
+			t.Fatalf("query %d recall = %v with full probing", qi, r)
+		}
+	}
+}
+
+func TestMeasureWallClock(t *testing.T) {
+	ds, err := workload.Load(workload.Spec{
+		Name: "wallclock", N: 800, NQ: 20, Dim: 16, K: 5,
+		Clusters: 8, ClusterStd: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := liveConfig()
+	res, err := MeasureWallClock(ds, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QPS <= 0 {
+		t.Fatalf("wall-clock QPS = %v", res.QPS)
+	}
+	if res.Recall <= 0 || res.Recall > 1 {
+		t.Fatalf("wall-clock recall = %v", res.Recall)
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("P99 %v below P50 %v", res.P99, res.P50)
+	}
+	if res.Queries != 40 {
+		t.Fatalf("served %d queries, want 40", res.Queries)
+	}
+}
+
+func TestDeleteFromGrowing(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(30, 8, 7)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := coll.Delete([]int64{ids[5]})
+	if err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	res, err := coll.Search(vecs[5], 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == ids[5] {
+			t.Fatal("deleted id returned from search")
+		}
+	}
+	// Growing data is compacted immediately.
+	if st := coll.Stats(); st.GrowingRows != 29 {
+		t.Fatalf("growing rows = %d, want 29", st.GrowingRows)
+	}
+}
+
+func TestDeleteFromSealed(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(300, 8, 8)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.Delete(ids[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Deleted() != 10 {
+		t.Fatalf("Deleted = %d", coll.Deleted())
+	}
+	for probe := 0; probe < 10; probe++ {
+		res, err := coll.Search(vecs[probe], 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == ids[probe] {
+				t.Fatalf("tombstoned sealed id %d returned", ids[probe])
+			}
+		}
+		if len(res) != 5 {
+			t.Fatalf("over-fetch failed: got %d results", len(res))
+		}
+	}
+}
+
+func TestDeleteIdempotentAndBounds(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	ids, err := coll.Insert(randVecs(10, 8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := coll.Delete([]int64{ids[0], ids[0], -5, 9999}); n != 1 {
+		t.Fatalf("Delete counted %d, want 1 (dups and unknown ids ignored)", n)
+	}
+	if n, _ := coll.Delete([]int64{ids[0]}); n != 0 {
+		t.Fatalf("re-delete counted %d, want 0", n)
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import "sync"
+
+// Scale adjusts every named dataset's corpus size; 1.0 is the default
+// laptop-friendly scale. The paper's corpora are ~1M vectors; these
+// generators keep the same dimensionality and structure at a size where a
+// full 200-iteration tuning run finishes in minutes.
+type Scale float64
+
+// Named dataset constructors mirroring the paper's Table III (plus
+// ArXiv-titles from Table V and deep-image from §V-E).
+
+// GloVeLike mirrors GloVe: 100-d angular word embeddings — clustered and
+// strongly correlated, the "easy" dataset where many index types do well.
+func GloVeLike(scale Scale) Spec {
+	return Spec{
+		Name: "glove-like", N: n(scale, 6000), NQ: 60, Dim: 100, K: 20,
+		Clusters: 64, ClusterStd: 0.65, Correlated: true, Seed: 101,
+	}
+}
+
+// KeywordLike mirrors Keyword-match: 100-d angular with low correlation
+// between dimensions, which the paper observes needs a larger nprobe for
+// the same recall.
+func KeywordLike(scale Scale) Spec {
+	return Spec{
+		Name: "keyword-like", N: n(scale, 6000), NQ: 60, Dim: 100, K: 20,
+		Clusters: 16, ClusterStd: 1.2, Correlated: false, Seed: 102,
+	}
+}
+
+// GeoLike mirrors Geo-radius: very high-dimensional (2048-d) angular
+// vectors, the dataset with the largest improvement headroom in Table IV.
+// The corpus is smaller because each vector is 20x bigger.
+func GeoLike(scale Scale) Spec {
+	return Spec{
+		Name: "geo-like", N: n(scale, 1500), NQ: 40, Dim: 512, K: 20,
+		Clusters: 8, ClusterStd: 1.4, Correlated: false, Seed: 103,
+	}
+}
+
+// ArxivLike mirrors ArXiv-titles: sentence-embedding-like, moderately
+// clustered and correlated; Table V selects HNSW here.
+func ArxivLike(scale Scale) Spec {
+	return Spec{
+		Name: "arxiv-like", N: n(scale, 5000), NQ: 50, Dim: 128, K: 20,
+		Clusters: 32, ClusterStd: 0.8, Correlated: true, Seed: 104,
+	}
+}
+
+// DeepImageLike mirrors deep-image: 10x larger than GloVe (§V-E
+// scalability study).
+func DeepImageLike(scale Scale) Spec {
+	g := GloVeLike(scale)
+	return Spec{
+		Name: "deep-image-like", N: 10 * g.N, NQ: 60, Dim: 96, K: 20,
+		Clusters: 128, ClusterStd: 0.6, Correlated: true, Seed: 105,
+	}
+}
+
+func n(scale Scale, base int) int {
+	v := int(float64(base) * float64(scale))
+	if v < 200 {
+		v = 200
+	}
+	return v
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Dataset{}
+)
+
+// Load generates (or returns a cached copy of) the dataset for a spec.
+// Generation includes exact ground truth and is the expensive step, so
+// experiment code shares datasets through this cache.
+func Load(s Spec) (*Dataset, error) {
+	key := specKey(s)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d, nil
+	}
+	d, err := Generate(s)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = d
+	return d, nil
+}
+
+func specKey(s Spec) string {
+	return s.Name + "/" + itoa(s.N) + "/" + itoa(s.NQ) + "/" + itoa(s.Dim) + "/" + itoa(s.K) + "/" + itoa(int(s.Seed))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+func TestFvecsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([][]float32, 20)
+	for i := range vecs {
+		vecs[i] = make([]float32, 12)
+		for j := range vecs[i] {
+			vecs[i][j] = rng.Float32()
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vecs) {
+		t.Fatalf("read %d vectors, want %d", len(got), len(vecs))
+	}
+	for i := range vecs {
+		if linalg.SquaredL2(got[i], vecs[i]) != 0 {
+			t.Fatalf("vector %d corrupted", i)
+		}
+	}
+}
+
+func TestReadFvecsLimit(t *testing.T) {
+	vecs := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("limit ignored: read %d", len(got))
+	}
+}
+
+func TestReadFvecsErrors(t *testing.T) {
+	if _, err := ReadFvecs(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+	// Implausible dimension.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(-3))
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("accepted negative dimension")
+	}
+	// Truncated payload.
+	buf.Reset()
+	binary.Write(&buf, binary.LittleEndian, int32(4))
+	binary.Write(&buf, binary.LittleEndian, float32(1))
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+	// Inconsistent dimensions.
+	buf.Reset()
+	WriteFvecs(&buf, [][]float32{{1, 2}})
+	WriteFvecs(&buf, [][]float32{{1, 2, 3}})
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("accepted inconsistent dims")
+	}
+}
+
+func TestReadIvecs(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]int32{{7, 3, 9}, {1, 0, 2}}
+	for _, row := range rows {
+		binary.Write(&buf, binary.LittleEndian, int32(len(row)))
+		binary.Write(&buf, binary.LittleEndian, row)
+	}
+	got, err := ReadIvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0] != 7 || got[1][2] != 2 {
+		t.Fatalf("ReadIvecs = %v", got)
+	}
+}
+
+// writeTexmexDataset materializes a synthetic dataset as TEXMEX files and
+// returns their paths.
+func writeTexmexDataset(t *testing.T, withGT bool) (base, query, gt string, ds *Dataset) {
+	t.Helper()
+	ds, err := Generate(Spec{Name: "texmex", N: 200, NQ: 8, Dim: 10, K: 4, Clusters: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base = filepath.Join(dir, "base.fvecs")
+	query = filepath.Join(dir, "query.fvecs")
+	writeF := func(path string, vecs [][]float32) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := WriteFvecs(f, vecs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeF(base, ds.Vectors)
+	writeF(query, ds.Queries)
+	if withGT {
+		gt = filepath.Join(dir, "gt.ivecs")
+		f, err := os.Create(gt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var buf bytes.Buffer
+		for _, row := range ds.Truth {
+			binary.Write(&buf, binary.LittleEndian, int32(len(row)))
+			for _, id := range row {
+				binary.Write(&buf, binary.LittleEndian, int32(id))
+			}
+		}
+		if _, err := f.Write(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return base, query, gt, ds
+}
+
+func TestLoadFileComputedTruth(t *testing.T) {
+	base, query, _, want := writeTexmexDataset(t, false)
+	got, err := LoadFile(FileSpec{
+		Name: "file-ds", BasePath: base, QueryPath: query,
+		Metric: linalg.L2, K: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vectors) != len(want.Vectors) || got.Dim != want.Dim {
+		t.Fatalf("shape mismatch: %d x %d", len(got.Vectors), got.Dim)
+	}
+	// Computed truth must match the generator's truth by distance
+	// boundary (id ties may differ).
+	for qi := range got.Queries {
+		wantWorst := linalg.Distance(want.Metric, want.Queries[qi], want.Vectors[want.Truth[qi][len(want.Truth[qi])-1]])
+		for _, id := range got.Truth[qi] {
+			d := linalg.Distance(got.Metric, got.Queries[qi], got.Vectors[id])
+			if d > wantWorst+1e-5 {
+				t.Fatalf("query %d: loaded truth id %d beyond boundary", qi, id)
+			}
+		}
+	}
+}
+
+func TestLoadFileProvidedTruth(t *testing.T) {
+	base, query, gt, want := writeTexmexDataset(t, true)
+	got, err := LoadFile(FileSpec{
+		Name: "file-ds-gt", BasePath: base, QueryPath: query,
+		GroundTruthPath: gt, Metric: linalg.L2, K: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range got.Truth {
+		for j := range got.Truth[qi] {
+			if got.Truth[qi][j] != want.Truth[qi][j] {
+				t.Fatalf("query %d truth differs at %d", qi, j)
+			}
+		}
+	}
+}
+
+func TestLoadFileAngularNormalizes(t *testing.T) {
+	base, query, _, _ := writeTexmexDataset(t, false)
+	got, err := LoadFile(FileSpec{
+		Name: "file-ang", BasePath: base, QueryPath: query,
+		Metric: linalg.Angular, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got.Vectors {
+		n := float64(linalg.Norm(v))
+		if n < 0.999 || n > 1.001 {
+			t.Fatalf("vector %d not normalized: %v", i, n)
+		}
+	}
+	if got.Metric != linalg.L2 {
+		t.Fatalf("angular not mapped to internal L2: %v", got.Metric)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(FileSpec{BasePath: "/nonexistent", QueryPath: "/nonexistent"}); err == nil {
+		t.Fatal("accepted missing files")
+	}
+}

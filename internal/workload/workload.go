@@ -1,0 +1,198 @@
+// Package workload provides the evaluation datasets and query workloads.
+//
+// The paper evaluates on GloVe, Keyword-match, Geo-radius, ArXiv-titles and
+// deep-image from vector-db-benchmark. Those corpora are not available
+// offline, so this package generates synthetic datasets with the same
+// statistical character (dimensionality, cluster structure, inter-dimension
+// correlation) at a laptop-friendly scale; see DESIGN.md "Substitutions".
+// Ground truth is exact top-K computed by brute force once per dataset.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"vdtuner/internal/linalg"
+)
+
+// Dataset is an immutable evaluation corpus: stored vectors, query vectors
+// and exact ground-truth neighbor ids for each query.
+type Dataset struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// Dim is the vector dimensionality.
+	Dim int
+	// Metric is the distance used for ground truth and search. Angular
+	// datasets are pre-normalized and use L2 internally (identical
+	// ranking on unit vectors).
+	Metric linalg.Metric
+	// Vectors is the stored corpus.
+	Vectors [][]float32
+	// Queries are the search requests replayed against the system.
+	Queries [][]float32
+	// K is the ground-truth depth (the paper uses top-100; scaled-down
+	// datasets use top-10 by default).
+	K int
+	// Truth[i] lists the exact K nearest ids of Queries[i].
+	Truth [][]int64
+}
+
+// IDs returns the implicit id of each stored vector (its position).
+func (d *Dataset) IDs() []int64 {
+	ids := make([]int64, len(d.Vectors))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return ids
+}
+
+// RawBytes is the in-memory size of the raw stored vectors.
+func (d *Dataset) RawBytes() int64 {
+	return int64(len(d.Vectors)) * int64(d.Dim) * 4
+}
+
+// Recall computes recall@K of one result list against the ground truth of
+// query qi: the fraction of the true top-K that was retrieved.
+func (d *Dataset) Recall(qi int, results []linalg.Neighbor) float64 {
+	truth := d.Truth[qi]
+	if len(truth) == 0 {
+		return 0
+	}
+	want := make(map[int64]struct{}, len(truth))
+	for _, id := range truth {
+		want[id] = struct{}{}
+	}
+	hit := 0
+	for _, r := range results {
+		if _, ok := want[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// computeTruth fills d.Truth by exact parallel brute force under d.Metric.
+func (d *Dataset) computeTruth() {
+	d.Truth = make([][]int64, len(d.Queries))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(d.Queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(d.Queries) {
+			hi = len(d.Queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for qi := lo; qi < hi; qi++ {
+				top := linalg.NewTopK(d.K)
+				for i, v := range d.Vectors {
+					top.Push(int64(i), linalg.Distance(d.Metric, d.Queries[qi], v))
+				}
+				res := top.Results()
+				ids := make([]int64, len(res))
+				for i, r := range res {
+					ids[i] = r.ID
+				}
+				d.Truth[qi] = ids
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Spec parameterizes a synthetic dataset generator.
+type Spec struct {
+	Name string
+	// N is the corpus size, NQ the query count.
+	N, NQ int
+	Dim   int
+	K     int
+	// Clusters controls how clumpy the data is (0 = isotropic noise).
+	Clusters int
+	// ClusterStd is the within-cluster spread relative to the
+	// between-cluster spread; small values make ANN easy, large values
+	// (or Clusters==0) make the corpus nearly uniform and recall hard.
+	ClusterStd float64
+	// Correlated, when true, introduces strong correlation between
+	// adjacent dimensions (embedding-like); when false dimensions are
+	// independent, which makes vector search harder (paper §V-D on
+	// Keyword-match needing larger nprobe).
+	Correlated bool
+	Seed       int64
+}
+
+// Generate builds the dataset (vectors, queries, exact ground truth).
+// Angular data is normalized here and searched with L2 downstream.
+func Generate(s Spec) (*Dataset, error) {
+	if s.N <= 0 || s.NQ <= 0 || s.Dim <= 0 {
+		return nil, fmt.Errorf("workload: invalid spec %+v", s)
+	}
+	if s.K <= 0 {
+		s.K = 10
+	}
+	if s.K > s.N {
+		s.K = s.N
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	var centers [][]float32
+	if s.Clusters > 0 {
+		centers = make([][]float32, s.Clusters)
+		for c := range centers {
+			centers[c] = make([]float32, s.Dim)
+			for j := range centers[c] {
+				centers[c][j] = float32(rng.NormFloat64())
+			}
+		}
+	}
+	std := s.ClusterStd
+	if std == 0 {
+		std = 0.3
+	}
+	gen := func() []float32 {
+		v := make([]float32, s.Dim)
+		if centers != nil {
+			c := centers[rng.Intn(len(centers))]
+			for j := range v {
+				v[j] = c[j] + float32(rng.NormFloat64()*std)
+			}
+		} else {
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+		}
+		if s.Correlated {
+			// First-order smoothing correlates adjacent dimensions.
+			for j := 1; j < s.Dim; j++ {
+				v[j] = 0.7*v[j-1] + 0.3*v[j]
+			}
+		}
+		linalg.Normalize(v)
+		return v
+	}
+
+	d := &Dataset{
+		Name:    s.Name,
+		Dim:     s.Dim,
+		Metric:  linalg.L2, // angular handled by normalization above
+		Vectors: make([][]float32, s.N),
+		Queries: make([][]float32, s.NQ),
+		K:       s.K,
+	}
+	for i := range d.Vectors {
+		d.Vectors[i] = gen()
+	}
+	for i := range d.Queries {
+		d.Queries[i] = gen()
+	}
+	d.computeTruth()
+	return d, nil
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", N: 500, NQ: 20, Dim: 16, K: 5, Clusters: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Vectors) != 500 || len(d.Queries) != 20 || len(d.Truth) != 20 {
+		t.Fatalf("bad shapes: %d vectors, %d queries, %d truth", len(d.Vectors), len(d.Queries), len(d.Truth))
+	}
+	for _, tr := range d.Truth {
+		if len(tr) != 5 {
+			t.Fatalf("truth depth %d, want 5", len(tr))
+		}
+	}
+}
+
+func TestGenerateNormalized(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", N: 100, NQ: 5, Dim: 8, K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Vectors {
+		n := float64(linalg.Norm(v))
+		if n < 0.999 || n > 1.001 {
+			t.Fatalf("vector %d norm = %v, want 1", i, n)
+		}
+	}
+}
+
+func TestGroundTruthIsExact(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", N: 300, NQ: 10, Dim: 12, K: 4, Clusters: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute truth serially and compare distances (ties may reorder
+	// ids, so compare the distance multiset boundary).
+	for qi, q := range d.Queries {
+		top := linalg.NewTopK(4)
+		for i, v := range d.Vectors {
+			top.Push(int64(i), linalg.Distance(d.Metric, q, v))
+		}
+		want := top.Results()
+		worst := want[len(want)-1].Dist
+		for _, id := range d.Truth[qi] {
+			got := linalg.Distance(d.Metric, q, d.Vectors[id])
+			if got > worst+1e-6 {
+				t.Fatalf("query %d: truth id %d at distance %v beyond exact boundary %v", qi, id, got, worst)
+			}
+		}
+	}
+}
+
+func TestRecallBounds(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", N: 200, NQ: 5, Dim: 8, K: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect results give recall 1.
+	perfect := make([]linalg.Neighbor, 5)
+	for i, id := range d.Truth[0] {
+		perfect[i] = linalg.Neighbor{ID: id}
+	}
+	if r := d.Recall(0, perfect); r != 1 {
+		t.Fatalf("perfect recall = %v", r)
+	}
+	// Junk ids give recall 0.
+	junk := []linalg.Neighbor{{ID: -1}, {ID: -2}}
+	if r := d.Recall(0, junk); r != 0 {
+		t.Fatalf("junk recall = %v", r)
+	}
+	// Empty results give 0.
+	if r := d.Recall(0, nil); r != 0 {
+		t.Fatalf("empty recall = %v", r)
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	if _, err := Generate(Spec{N: 0, NQ: 1, Dim: 4}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := Generate(Spec{N: 10, NQ: 0, Dim: 4}); err == nil {
+		t.Fatal("accepted NQ=0")
+	}
+}
+
+func TestGenerateKClamped(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", N: 5, NQ: 2, Dim: 4, K: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 5 {
+		t.Fatalf("K = %d, want clamped to 5", d.K)
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	spec := Spec{Name: "cache-test", N: 200, NQ: 5, Dim: 8, K: 3, Seed: 6}
+	a, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Load did not cache")
+	}
+}
+
+func TestNamedSpecsDistinct(t *testing.T) {
+	specs := []Spec{GloVeLike(1), KeywordLike(1), GeoLike(1), ArxivLike(1), DeepImageLike(1)}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate dataset name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.N <= 0 || s.Dim <= 0 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+	if DeepImageLike(1).N < 10*GloVeLike(1).N {
+		t.Fatal("deep-image-like is not 10x glove-like")
+	}
+}
+
+func TestScaleShrinks(t *testing.T) {
+	full := GloVeLike(1)
+	small := GloVeLike(0.1)
+	if small.N >= full.N {
+		t.Fatalf("scale 0.1 did not shrink: %d vs %d", small.N, full.N)
+	}
+	if small.N < 200 {
+		t.Fatal("scale floor violated")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	s := Spec{Name: "det", N: 100, NQ: 3, Dim: 6, K: 2, Clusters: 2, Seed: 7}
+	a, _ := Generate(s)
+	b, _ := Generate(s)
+	for i := range a.Vectors {
+		if linalg.SquaredL2(a.Vectors[i], b.Vectors[i]) != 0 {
+			t.Fatalf("vector %d differs across identical seeds", i)
+		}
+	}
+}
