@@ -1,0 +1,30 @@
+# Developer / CI entry points. `make ci` is the gate: vet, the full test
+# suite under the race detector, and a single pass over every benchmark so
+# the macro experiments at least compile and run.
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race-tested suite: every package, including the concurrent
+# SearchBatch / live-collection / server-client tests.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark (root figure/table suite and package
+# micro-benchmarks) — a compile-and-smoke pass, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: vet race bench

@@ -1,0 +1,3 @@
+module vdtuner
+
+go 1.21

@@ -41,7 +41,7 @@ func Figure8(w io.Writer, o Options) ([]Figure8Cell, error) {
 	}
 	fprintf(w, "\n")
 	for _, m := range variants {
-		tr := Run(ds, m, o.iters())
+		tr := RunWorkers(ds, m, o.iters(), o.Workers)
 		fprintf(w, "%-28s", m.Name())
 		for _, s := range Sacrifices {
 			qps, ok := tr.BestQPSUnderRecall(1 - s)
@@ -135,7 +135,7 @@ func Figure10(w io.Writer, o Options) ([]Figure10Point, error) {
 	var points []Figure10Point
 	fprintf(w, "Figure 10: sampling quality, native vs polling surrogate\n")
 	for _, m := range variants {
-		tr := Run(ds, m, o.iters())
+		tr := RunWorkers(ds, m, o.iters(), o.Workers)
 		var pts []mobo.Point
 		for _, r := range tr.Records {
 			pts = append(pts, mobo.Point{A: r.Result.QPS, B: r.Result.Recall})
@@ -192,7 +192,7 @@ func Table5(w io.Writer, o Options) ([]Table5Row, error) {
 			return nil, err
 		}
 		tn := core.New(core.Options{Seed: o.Seed})
-		tr := Run(ds, tn, o.iters())
+		tr := RunWorkers(ds, tn, o.iters(), o.Workers)
 		obs := tr.Observations()
 		// "Best": the most balanced non-dominated configuration.
 		front := core.ParetoFront(obs)
@@ -333,7 +333,7 @@ func HolisticVsIndividual(w io.Writer, o Options) (*HolisticResult, error) {
 		return nil, err
 	}
 	holTn := core.New(core.Options{Seed: o.Seed})
-	hol := Run(ds, holTn, o.iters())
+	hol := RunWorkers(ds, holTn, o.iters(), o.Workers)
 	holBest, ok := core.BestUnderRecall(hol.Observations(), 0.85)
 	if !ok {
 		holBest, _ = core.BestUnderRecall(hol.Observations(), 0)
@@ -348,7 +348,7 @@ func HolisticVsIndividual(w io.Writer, o Options) (*HolisticResult, error) {
 	for _, typ := range index.AllTypes() {
 		typ := typ
 		tn := core.New(core.Options{Seed: o.Seed, FixedType: &typ})
-		tr := Run(ds, tn, perType)
+		tr := RunWorkers(ds, tn, perType, o.Workers)
 		b, ok := core.BestUnderRecall(tr.Observations(), 0.85)
 		if !ok {
 			b, ok = core.BestUnderRecall(tr.Observations(), 0)

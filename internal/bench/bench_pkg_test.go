@@ -11,6 +11,20 @@ import (
 )
 
 // tiny returns experiment options small enough for unit tests.
+
+// skipIfRace skips a macro figure/table reproduction under the race
+// detector: these are deterministic single-flow simulations already
+// exercised by the plain suite, and their order-of-magnitude race
+// slowdown blows the package timeout on small machines. The suites that
+// actually exercise concurrency under -race live in the parallel, index,
+// vdms, and server packages.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("macro experiment skipped under -race; concurrency is race-tested in parallel/index/vdms/server")
+	}
+}
+
 func tiny() Options { return Options{Scale: 0.12, Iters: 16, Seed: 5} }
 
 func TestRunProducesTrace(t *testing.T) {
@@ -77,6 +91,7 @@ func TestTraceAnalysis(t *testing.T) {
 }
 
 func TestFigure1ShowsInterdependence(t *testing.T) {
+	skipIfRace(t)
 	cells, err := Figure1(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +115,7 @@ func TestFigure1ShowsInterdependence(t *testing.T) {
 }
 
 func TestFigure2MarksBestPerConfig(t *testing.T) {
+	skipIfRace(t)
 	rows, err := Figure2(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +134,7 @@ func TestFigure2MarksBestPerConfig(t *testing.T) {
 }
 
 func TestFigure3ProfilesAndCurves(t *testing.T) {
+	skipIfRace(t)
 	profiles, curves, err := Figure3(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +161,7 @@ func TestFigure3ProfilesAndCurves(t *testing.T) {
 }
 
 func TestTable4ReportsImprovements(t *testing.T) {
+	skipIfRace(t)
 	rows, err := Table4(io.Discard, Options{Scale: 0.12, Iters: 20, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -166,6 +184,7 @@ func TestTable4ReportsImprovements(t *testing.T) {
 }
 
 func TestFigure6CoversAllCells(t *testing.T) {
+	skipIfRace(t)
 	o := Options{Scale: 0.1, Iters: 10, Seed: 3}
 	cells, err := Figure6(io.Discard, o)
 	if err != nil {
@@ -187,6 +206,7 @@ func TestFigure6CoversAllCells(t *testing.T) {
 }
 
 func TestFigure7CurvesMonotone(t *testing.T) {
+	skipIfRace(t)
 	series, err := Figure7(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +224,7 @@ func TestFigure7CurvesMonotone(t *testing.T) {
 }
 
 func TestFigure8ThreeVariants(t *testing.T) {
+	skipIfRace(t)
 	cells, err := Figure8(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -218,6 +239,7 @@ func TestFigure8ThreeVariants(t *testing.T) {
 }
 
 func TestFigure9WeightsNormalized(t *testing.T) {
+	skipIfRace(t)
 	points, err := Figure9(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -240,6 +262,7 @@ func TestFigure9WeightsNormalized(t *testing.T) {
 }
 
 func TestFigure10BothVariants(t *testing.T) {
+	skipIfRace(t)
 	points, err := Figure10(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -264,6 +287,7 @@ func TestFigure10BothVariants(t *testing.T) {
 }
 
 func TestTable5BestConfigs(t *testing.T) {
+	skipIfRace(t)
 	rows, err := Table5(io.Discard, Options{Scale: 0.12, Iters: 18, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -288,6 +312,7 @@ func TestTable5BestConfigs(t *testing.T) {
 }
 
 func TestFigure11TracksParams(t *testing.T) {
+	skipIfRace(t)
 	points, err := Figure11(io.Discard, tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -308,6 +333,7 @@ func TestFigure11TracksParams(t *testing.T) {
 }
 
 func TestFigure12ThreeVariants(t *testing.T) {
+	skipIfRace(t)
 	series, err := Figure12(io.Discard, Options{Scale: 0.1, Iters: 10, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -323,6 +349,7 @@ func TestFigure12ThreeVariants(t *testing.T) {
 }
 
 func TestFigure13CostAware(t *testing.T) {
+	skipIfRace(t)
 	res, err := Figure13(io.Discard, Options{Scale: 0.15, Iters: 16, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
@@ -338,6 +365,7 @@ func TestFigure13CostAware(t *testing.T) {
 }
 
 func TestTable6Breakdown(t *testing.T) {
+	skipIfRace(t)
 	rows, err := Table6(io.Discard, Options{Scale: 0.1, Iters: 8, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
@@ -365,6 +393,7 @@ func TestTable6Breakdown(t *testing.T) {
 }
 
 func TestScalability(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("scalability study is slow")
 	}
@@ -378,6 +407,7 @@ func TestScalability(t *testing.T) {
 }
 
 func TestHolisticVsIndividual(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("holistic comparison is slow")
 	}
@@ -391,6 +421,7 @@ func TestHolisticVsIndividual(t *testing.T) {
 }
 
 func TestDesignAblations(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("design sweep is slow")
 	}

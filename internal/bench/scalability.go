@@ -39,8 +39,8 @@ func Figure12(w io.Writer, o Options) ([]Figure12Series, error) {
 	// Variant 1: no constraint model, no bootstrapping — plain
 	// bi-objective VDTuner rerun per phase.
 	{
-		tr1 := Run(ds, core.New(core.Options{Seed: o.Seed}), iters)
-		tr2 := Run(ds, core.New(core.Options{Seed: o.Seed + 1}), iters)
+		tr1 := RunWorkers(ds, core.New(core.Options{Seed: o.Seed}), iters, o.Workers)
+		tr2 := RunWorkers(ds, core.New(core.Options{Seed: o.Seed + 1}), iters, o.Workers)
 		out = append(out, Figure12Series{
 			Variant:  "VDTuner w/o constraint+bootstrap",
 			Curve085: tr1.BestCurve(0.85),
@@ -49,8 +49,8 @@ func Figure12(w io.Writer, o Options) ([]Figure12Series, error) {
 	}
 	// Variant 2: constraint model, fresh start per phase.
 	{
-		tr1 := Run(ds, core.New(core.Options{Seed: o.Seed, RecallFloor: 0.85}), iters)
-		tr2 := Run(ds, core.New(core.Options{Seed: o.Seed + 1, RecallFloor: 0.9}), iters)
+		tr1 := RunWorkers(ds, core.New(core.Options{Seed: o.Seed, RecallFloor: 0.85}), iters, o.Workers)
+		tr2 := RunWorkers(ds, core.New(core.Options{Seed: o.Seed + 1, RecallFloor: 0.9}), iters, o.Workers)
 		out = append(out, Figure12Series{
 			Variant:  "VDTuner w/o bootstrap",
 			Curve085: tr1.BestCurve(0.85),
@@ -61,10 +61,10 @@ func Figure12(w io.Writer, o Options) ([]Figure12Series, error) {
 	// the first phase's observations.
 	{
 		tn1 := core.New(core.Options{Seed: o.Seed, RecallFloor: 0.85})
-		tr1 := Run(ds, tn1, iters)
+		tr1 := RunWorkers(ds, tn1, iters, o.Workers)
 		tn2 := core.New(core.Options{Seed: o.Seed + 1, RecallFloor: 0.9,
 			Bootstrap: tn1.Observations()})
-		tr2 := Run(ds, tn2, iters)
+		tr2 := RunWorkers(ds, tn2, iters, o.Workers)
 		out = append(out, Figure12Series{
 			Variant:  "VDTuner",
 			Curve085: tr1.BestCurve(0.85),
@@ -112,9 +112,9 @@ func Figure13(w io.Writer, o Options) (*Figure13Result, error) {
 		return nil, err
 	}
 	costTn := core.New(core.Options{Seed: o.Seed, CostAware: true})
-	costTr := Run(ds, costTn, o.iters())
+	costTr := RunWorkers(ds, costTn, o.iters(), o.Workers)
 	spdTn := core.New(core.Options{Seed: o.Seed})
-	spdTr := Run(ds, spdTn, o.iters())
+	spdTr := RunWorkers(ds, spdTn, o.iters(), o.Workers)
 
 	res := &Figure13Result{
 		RelQPD: map[float64]float64{},
@@ -319,7 +319,7 @@ func Table6(w io.Writer, o Options) ([]Table6Row, error) {
 	fprintf(w, "Table VI: time breakdown for %d iterations\n", o.iters())
 	fprintf(w, "%-26s %14s %14s %14s %8s\n", "method", "recommend (s)", "replay (s)", "total (s)", "share")
 	for _, m := range AllMethods(o.Seed) {
-		tr := Run(ds, m, o.iters())
+		tr := RunWorkers(ds, m, o.iters(), o.Workers)
 		r := Table6Row{
 			Method:           m.Name(),
 			RecommendSeconds: tr.TotalRecommendSeconds(),
@@ -358,8 +358,8 @@ func Scalability(w io.Writer, o Options) (*ScalabilityResult, error) {
 		return nil, err
 	}
 	const floor = 0.9
-	vt := Run(ds, newVDTuner(o.Seed), o.iters())
-	qe := Run(ds, newBaselines(o.Seed)[3], o.iters())
+	vt := RunWorkers(ds, newVDTuner(o.Seed), o.iters(), o.Workers)
+	qe := RunWorkers(ds, newBaselines(o.Seed)[3], o.iters(), o.Workers)
 
 	vq, _ := vt.BestQPSUnderRecall(floor)
 	qq, _ := qe.BestQPSUnderRecall(floor)

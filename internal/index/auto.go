@@ -17,7 +17,7 @@ const (
 )
 
 func newAutoIndex(m linalg.Metric, dim int, p BuildParams) (*autoIndex, error) {
-	inner, err := newHNSW(m, dim, BuildParams{HNSWM: autoM, EfConstruction: autoEfCons, Seed: p.Seed})
+	inner, err := newHNSW(m, dim, BuildParams{HNSWM: autoM, EfConstruction: autoEfCons, Seed: p.Seed, Workers: p.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -32,6 +32,12 @@ func (a *autoIndex) Build(vecs [][]float32, ids []int64) error {
 
 func (a *autoIndex) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Neighbor {
 	return a.inner.Search(q, k, SearchParams{Ef: autoEf}, st)
+}
+
+// SearchBatch honors only the batch fan-out width; like Search, the
+// per-query beam is pinned to the AUTOINDEX default.
+func (a *autoIndex) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return a.inner.SearchBatch(queries, k, SearchParams{Ef: autoEf, Workers: p.Workers}, st)
 }
 
 func (a *autoIndex) MemoryBytes() int64 { return a.inner.MemoryBytes() }

@@ -1,0 +1,26 @@
+package index
+
+import (
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
+)
+
+// searchBatch is the shared SearchBatch implementation: every index type's
+// Search is a read-only probe of an immutable built structure, so the batch
+// fans out query-per-chunk over a worker pool. Each query charges its own
+// private Stats slot; the slots are merged in query order at the end, so
+// the accumulated counts are exactly those of sequential Searches (integer
+// sums are order-independent), regardless of worker count.
+func searchBatch(ix Index, queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	out := make([][]linalg.Neighbor, len(queries))
+	per := make([]Stats, len(queries))
+	parallel.Parallel(p.Workers, len(queries), func(qi int) {
+		out[qi] = ix.Search(queries[qi], k, p, &per[qi])
+	})
+	if st != nil {
+		for i := range per {
+			st.Add(per[i])
+		}
+	}
+	return out
+}

@@ -53,6 +53,10 @@ func (f *flat) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Ne
 	return top.Results()
 }
 
+func (f *flat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(f, queries, k, p, st)
+}
+
 func (f *flat) MemoryBytes() int64 {
 	return int64(len(f.vecs)) * int64(f.dim) * float32Bytes
 }

@@ -7,18 +7,29 @@ import (
 	"sort"
 
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 )
 
 // hnsw implements the Hierarchical Navigable Small World graph (Malkov &
 // Yashunin), matching Milvus' HNSW index. Build parameters: M (graph
 // degree) and efConstruction (build beam width). Search parameter: ef
 // (query beam width, clamped up to k).
+//
+// Build is parallel but deterministic. Nodes are inserted in waves whose
+// sizes depend only on the corpus size: every node in a wave plans its
+// neighbor lists concurrently against the frozen pre-wave graph (a pure
+// read), then the planned links are applied sequentially in node order
+// (reverse links, pruning, entry-point updates). Because planning never
+// observes intra-wave mutations and the wave schedule ignores the worker
+// count, workers=1 and workers=N build byte-identical graphs; per-node
+// planning Stats are merged in node order so build accounting is exact.
 type hnsw struct {
-	metric linalg.Metric
-	dim    int
-	m      int // max links per node on upper layers; layer 0 allows 2M
-	efCons int
-	seed   int64
+	metric  linalg.Metric
+	dim     int
+	m       int // max links per node on upper layers; layer 0 allows 2M
+	efCons  int
+	seed    int64
+	workers int
 
 	vecs     [][]float32
 	ids      []int64
@@ -31,6 +42,11 @@ type hnsw struct {
 
 	levelMult float64
 }
+
+// hnswWaveCap bounds how many nodes plan concurrently per wave. It is a
+// constant (never derived from the worker count) so the wave schedule, and
+// therefore the built graph, is identical for any Workers value.
+const hnswWaveCap = 64
 
 func newHNSW(metric linalg.Metric, dim int, p BuildParams) (*hnsw, error) {
 	m := p.HNSWM
@@ -49,15 +65,17 @@ func newHNSW(metric linalg.Metric, dim int, p BuildParams) (*hnsw, error) {
 	}
 	return &hnsw{
 		metric: metric, dim: dim, m: m, efCons: ef, seed: p.Seed,
-		entry: -1, maxLevel: -1,
+		workers: p.Workers,
+		entry:   -1, maxLevel: -1,
 		levelMult: 1 / math.Log(float64(m)),
 	}, nil
 }
 
 func (h *hnsw) Type() Type { return HNSW }
 
-func (h *hnsw) dist(a, b []float32) float32 {
-	h.work.DistComps++ // build-time accounting; search uses searchWork
+// dist evaluates one distance and charges it to st.
+func (h *hnsw) dist(st *Stats, a, b []float32) float32 {
+	st.DistComps++
 	return linalg.Distance(h.metric, a, b)
 }
 
@@ -77,9 +95,42 @@ func (h *hnsw) Build(vecs [][]float32, ids []int64) error {
 	h.ids = ids
 	h.links = make([][][]int32, len(vecs))
 	h.levels = make([]int, len(vecs))
+	// Draw every level up front, in node order, so the rng consumption is
+	// independent of the wave/parallel structure.
 	rng := rand.New(rand.NewSource(h.seed))
 	for i := range vecs {
-		h.insert(i, rng)
+		h.levels[i] = h.randomLevel(rng)
+	}
+
+	if len(vecs) > 0 {
+		h.links[0] = make([][]int32, h.levels[0]+1)
+		h.entry = 0
+		h.maxLevel = h.levels[0]
+	}
+	workers := parallel.Workers(h.workers)
+	plans := make([]hnswPlan, hnswWaveCap)
+	for lo := 1; lo < len(vecs); {
+		// Wave size grows with the inserted prefix (so early nodes still
+		// see a dense graph) up to the fixed cap; it never depends on the
+		// worker count.
+		wave := lo
+		if wave > hnswWaveCap {
+			wave = hnswWaveCap
+		}
+		if lo+wave > len(vecs) {
+			wave = len(vecs) - lo
+		}
+		// Plan phase: pure reads of the pre-wave graph, one goroutine per
+		// node, private Stats.
+		parallel.Parallel(workers, wave, func(w int) {
+			h.plan(lo+w, &plans[w])
+		})
+		// Apply phase: sequential, in node order.
+		for w := 0; w < wave; w++ {
+			h.work.Add(plans[w].work)
+			h.apply(lo+w, &plans[w])
+		}
+		lo += wave
 	}
 	h.repairConnectivity()
 	h.built = true
@@ -94,43 +145,63 @@ func (h *hnsw) randomLevel(rng *rand.Rand) int {
 	return int(-math.Log(u) * h.levelMult)
 }
 
-func (h *hnsw) insert(node int, rng *rand.Rand) {
-	level := h.randomLevel(rng)
-	h.levels[node] = level
-	h.links[node] = make([][]int32, level+1)
+// hnswPlan is one node's planned insertion: the neighbor list per layer it
+// will adopt, computed against the frozen pre-wave graph, plus the distance
+// accounting of the planning search.
+type hnswPlan struct {
+	layers [][]int32
+	work   Stats
+}
 
-	if h.entry < 0 {
-		h.entry = node
-		h.maxLevel = level
-		return
-	}
-	q := h.vecs[node]
-	ep := h.entry
-	// Greedy descent on layers above the node's level.
-	for l := h.maxLevel; l > level; l-- {
-		ep = h.greedyClosest(q, ep, l)
-	}
-	// Beam search and link on the node's layers.
+// plan computes node's neighbor lists against the current (frozen) graph.
+// It performs no writes to the graph and charges all distance work to the
+// plan's private Stats, so plans for a whole wave may run concurrently.
+func (h *hnsw) plan(node int, pl *hnswPlan) {
+	pl.work = Stats{}
+	level := h.levels[node]
 	top := level
 	if top > h.maxLevel {
 		top = h.maxLevel
 	}
+	pl.layers = pl.layers[:0]
+	for l := 0; l <= top; l++ {
+		pl.layers = append(pl.layers, nil)
+	}
+	q := h.vecs[node]
+	ep := h.entry
+	for l := h.maxLevel; l > level; l-- {
+		ep = h.greedyClosest(q, ep, l, &pl.work)
+	}
 	eps := []int32{int32(ep)}
 	for l := top; l >= 0; l-- {
-		cands := h.searchLayer(q, eps, h.efCons, l, nil)
+		cands := h.searchLayer(q, eps, h.efCons, l, &pl.work)
+		pl.layers[l] = h.selectNeighbors(q, cands, h.m, &pl.work)
+		eps = cands
+	}
+}
+
+// apply installs a planned node: adopts its forward links, adds reverse
+// links (pruning overfull neighbors), and advances the entry point. Callers
+// run applies sequentially in node order; the pruning work is charged to
+// build stats.
+func (h *hnsw) apply(node int, pl *hnswPlan) {
+	level := h.levels[node]
+	h.links[node] = make([][]int32, level+1)
+	for l := len(pl.layers) - 1; l >= 0; l-- {
+		// selectNeighbors returned a fresh slice, so the graph can adopt
+		// it directly.
+		selected := pl.layers[l]
+		h.links[node][l] = selected
 		maxM := h.m
 		if l == 0 {
 			maxM = 2 * h.m
 		}
-		selected := h.selectNeighbors(q, cands, h.m)
-		h.links[node][l] = selected
 		for _, nb := range selected {
 			h.links[nb][l] = append(h.links[nb][l], int32(node))
 			if len(h.links[nb][l]) > maxM {
 				h.links[nb][l] = h.pruneNeighbors(int(nb), h.links[nb][l], maxM)
 			}
 		}
-		eps = cands
 	}
 	if level > h.maxLevel {
 		h.maxLevel = level
@@ -139,14 +210,14 @@ func (h *hnsw) insert(node int, rng *rand.Rand) {
 }
 
 // greedyClosest walks layer l greedily from ep toward q and returns the
-// local minimum.
-func (h *hnsw) greedyClosest(q []float32, ep, l int) int {
+// local minimum, charging distance work to st.
+func (h *hnsw) greedyClosest(q []float32, ep, l int, st *Stats) int {
 	cur := ep
-	curD := h.dist(q, h.vecs[cur])
+	curD := h.dist(st, q, h.vecs[cur])
 	for {
 		improved := false
 		for _, nb := range h.links[cur][l] {
-			if d := h.dist(q, h.vecs[nb]); d < curD {
+			if d := h.dist(st, q, h.vecs[nb]); d < curD {
 				cur, curD = int(nb), d
 				improved = true
 			}
@@ -158,20 +229,14 @@ func (h *hnsw) greedyClosest(q []float32, ep, l int) int {
 }
 
 // searchLayer is the beam search of the HNSW paper (Algorithm 2). It
-// returns up to ef candidate nodes sorted by ascending distance. When st is
-// non-nil the distance evaluations are charged to it instead of build work.
+// returns up to ef candidate nodes sorted by ascending distance, charging
+// every distance evaluation to st. It only reads the graph, so concurrent
+// calls are safe while no writer runs.
 func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int32 {
 	visited := map[int32]bool{}
 	type cand struct {
 		node int32
 		d    float32
-	}
-	evaluate := func(n int32) float32 {
-		if st != nil {
-			st.DistComps++
-			return linalg.Distance(h.metric, q, h.vecs[n])
-		}
-		return h.dist(q, h.vecs[n])
 	}
 	var frontier []cand // min-ordered by scan (kept sorted)
 	results := linalg.NewTopK(ef)
@@ -180,7 +245,7 @@ func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int
 			continue
 		}
 		visited[ep] = true
-		d := evaluate(ep)
+		d := h.dist(st, q, h.vecs[ep])
 		frontier = append(frontier, cand{ep, d})
 		results.Push(int64(ep), d)
 	}
@@ -196,7 +261,7 @@ func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int
 				continue
 			}
 			visited[nb] = true
-			d := evaluate(nb)
+			d := h.dist(st, q, h.vecs[nb])
 			if !results.Full() || d < results.Worst() {
 				results.Push(int64(nb), d)
 				// Insert keeping the frontier sorted (small beams, the
@@ -222,7 +287,7 @@ func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int
 // already-kept neighbor, which preserves graph connectivity across
 // cluster boundaries. Remaining slots are filled with the closest
 // rejected candidates, mirroring hnswlib's keepPrunedConnections.
-func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int) []int32 {
+func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int, st *Stats) []int32 {
 	if len(cands) <= m {
 		out := make([]int32, len(cands))
 		copy(out, cands)
@@ -234,10 +299,10 @@ func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int) []int32 {
 		if len(out) >= m {
 			break
 		}
-		dq := h.dist(q, h.vecs[c])
+		dq := h.dist(st, q, h.vecs[c])
 		keep := true
 		for _, s := range out {
-			if h.dist(h.vecs[c], h.vecs[s]) < dq {
+			if h.dist(st, h.vecs[c], h.vecs[s]) < dq {
 				keep = false
 				break
 			}
@@ -259,21 +324,25 @@ func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int) []int32 {
 
 // pruneNeighbors trims node's link list to maxM diverse neighbors (the
 // same Algorithm 4 heuristic applied with the node itself as the query).
+// It runs only in the sequential apply/repair phases and charges h.work.
 func (h *hnsw) pruneNeighbors(node int, nbs []int32, maxM int) []int32 {
 	v := h.vecs[node]
 	sort.Slice(nbs, func(i, j int) bool {
-		return h.dist(v, h.vecs[nbs[i]]) < h.dist(v, h.vecs[nbs[j]])
+		return h.dist(&h.work, v, h.vecs[nbs[i]]) < h.dist(&h.work, v, h.vecs[nbs[j]])
 	})
-	return h.selectNeighbors(v, nbs, maxM)
+	return h.selectNeighbors(v, nbs, maxM, &h.work)
 }
 
 // repairConnectivity links any layer-0 node unreachable from the entry
 // point to its nearest reachable node. Distance-based pruning can orphan
 // nodes (it may drop a node's only inbound edge); orphans would be
 // permanently unfindable, so the build pays a small extra cost to
-// reconnect them. The work is charged to build stats via h.dist.
+// reconnect them. The work is charged to build stats.
 func (h *hnsw) repairConnectivity() {
 	n := len(h.vecs)
+	if n == 0 || h.entry < 0 {
+		return
+	}
 	visited := make([]bool, n)
 	queue := make([]int32, 0, n)
 	queue = append(queue, int32(h.entry))
@@ -297,9 +366,9 @@ func (h *hnsw) repairConnectivity() {
 		// Link u to its nearest already-reachable node, bidirectionally,
 		// then absorb u's component.
 		best := reachable[0]
-		bestD := h.dist(h.vecs[u], h.vecs[best])
+		bestD := h.dist(&h.work, h.vecs[u], h.vecs[best])
 		for _, r := range reachable[1:] {
-			if d := h.dist(h.vecs[u], h.vecs[r]); d < bestD {
+			if d := h.dist(&h.work, h.vecs[u], h.vecs[r]); d < bestD {
 				best, bestD = r, d
 			}
 		}
@@ -332,14 +401,12 @@ func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 	var work Stats
 	ep := h.entry
 	cur := ep
-	curD := linalg.Distance(h.metric, q, h.vecs[cur])
-	work.DistComps++
+	curD := h.dist(&work, q, h.vecs[cur])
 	for l := h.maxLevel; l > 0; l-- {
 		for {
 			improved := false
 			for _, nb := range h.links[cur][l] {
-				work.DistComps++
-				if d := linalg.Distance(h.metric, q, h.vecs[nb]); d < curD {
+				if d := h.dist(&work, q, h.vecs[nb]); d < curD {
 					cur, curD = int(nb), d
 					improved = true
 				}
@@ -357,6 +424,10 @@ func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 	work.DistComps += int64(len(cands))
 	accumulate(st, work)
 	return top.Results()
+}
+
+func (h *hnsw) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(h, queries, k, p, st)
 }
 
 func (h *hnsw) MemoryBytes() int64 {

@@ -18,6 +18,18 @@
 // Angular metrics are handled upstream: the engine normalizes vectors and
 // builds indexes with the L2 metric, which ranks identically on unit
 // vectors. Indexes therefore support L2 and InnerProduct.
+//
+// # Concurrency model
+//
+// Build parallelizes its training and encoding phases over
+// BuildParams.Workers goroutines, and SearchBatch fans a query batch over
+// SearchParams.Workers goroutines. Both are deterministic: parallel work
+// is chunked independently of the worker count and per-chunk results
+// (including Stats) are reduced in chunk order, so workers=1 and
+// workers=N produce identical indexes, identical results, and identical
+// accounting — see the parallel package. A built index is immutable;
+// Search and SearchBatch are safe for arbitrary concurrent use. Build
+// itself is not reentrant (it may be called once, by one goroutine).
 package index
 
 import (
@@ -95,6 +107,11 @@ type BuildParams struct {
 	EfConstruction int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers is the build worker-pool size; <= 0 means one worker per
+	// CPU. Builds are deterministic for any value: parallel phases chunk
+	// work independently of the worker count and reduce in chunk order,
+	// so workers=1 and workers=N produce identical structures and Stats.
+	Workers int
 }
 
 // SearchParams carries every query-time parameter of every index type.
@@ -106,6 +123,10 @@ type SearchParams struct {
 	// ReorderK is the number of quantized candidates re-ranked exactly
 	// (SCANN).
 	ReorderK int
+	// Workers is the fan-out of SearchBatch; <= 0 means one worker per
+	// CPU. Single-query Search ignores it. Results and Stats are
+	// identical for any value.
+	Workers int
 }
 
 // Stats counts the work performed by a build or a search. The engine turns
@@ -139,6 +160,12 @@ type Index interface {
 	// Search returns up to k nearest neighbors of q, accumulating the
 	// work performed into st (which may be nil).
 	Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor
+	// SearchBatch answers queries[i] into result slot i, fanning the
+	// batch across p.Workers goroutines (built indexes are immutable, so
+	// concurrent probes are safe). Per-query work is accumulated into
+	// per-worker Stats and merged into st at the end, keeping the
+	// distance-comp accounting exactly equal to k sequential Searches.
+	SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor
 	// MemoryBytes reports the resident size of the built structure.
 	MemoryBytes() int64
 	// BuildStats reports the work performed by Build.

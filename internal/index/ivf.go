@@ -15,17 +15,18 @@ type ivfCoarse struct {
 	dim       int
 	nlist     int
 	seed      int64
+	workers   int
 	centroids [][]float32
 	lists     [][]int32 // local offsets into the owning index's storage
 	built     bool
 	buildWork Stats
 }
 
-func newIVFCoarse(m linalg.Metric, dim, nlist int, seed int64) (*ivfCoarse, error) {
+func newIVFCoarse(m linalg.Metric, dim, nlist int, seed int64, workers int) (*ivfCoarse, error) {
 	if nlist < 1 {
 		return nil, fmt.Errorf("ivf: nlist must be >= 1, got %d", nlist)
 	}
-	return &ivfCoarse{metric: m, dim: dim, nlist: nlist, seed: seed}, nil
+	return &ivfCoarse{metric: m, dim: dim, nlist: nlist, seed: seed, workers: workers}, nil
 }
 
 // train clusters the vectors and fills the posting lists.
@@ -47,6 +48,7 @@ func (c *ivfCoarse) train(vecs [][]float32) error {
 	}
 	res, err := kmeans.Run(vecs, kmeans.Config{
 		K: c.nlist, Seed: c.seed, MaxIters: 12, SampleLimit: sample,
+		Workers: c.workers,
 	})
 	if err != nil {
 		return fmt.Errorf("ivf: training: %w", err)
@@ -115,7 +117,7 @@ func newIVFFlat(m linalg.Metric, dim int, p BuildParams) (*ivfFlat, error) {
 	if nlist == 0 {
 		nlist = 128
 	}
-	c, err := newIVFCoarse(m, dim, nlist, p.Seed)
+	c, err := newIVFCoarse(m, dim, nlist, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +154,10 @@ func (x *ivfFlat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg
 	}
 	accumulate(st, Stats{DistComps: scanned})
 	return top.Results()
+}
+
+func (x *ivfFlat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(x, queries, k, p, st)
 }
 
 func (x *ivfFlat) MemoryBytes() int64 {

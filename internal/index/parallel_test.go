@@ -1,0 +1,160 @@
+package index
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+// parallelCases covers every index type whose build has parallel phases.
+var parallelCases = []struct {
+	name string
+	typ  Type
+	bp   BuildParams
+	sp   SearchParams
+}{
+	{"HNSW", HNSW, BuildParams{HNSWM: 12, EfConstruction: 80}, SearchParams{Ef: 64}},
+	{"IVF_FLAT", IVFFlat, BuildParams{NList: 32}, SearchParams{NProbe: 8}},
+	{"IVF_PQ", IVFPQ, BuildParams{NList: 16, M: 8, NBits: 6}, SearchParams{NProbe: 8}},
+	{"IVF_SQ8", IVFSQ8, BuildParams{NList: 32}, SearchParams{NProbe: 8}},
+	{"SCANN", SCANN, BuildParams{NList: 32}, SearchParams{NProbe: 8, ReorderK: 40}},
+	{"AUTOINDEX", AutoIndex, BuildParams{}, SearchParams{}},
+}
+
+func buildWithWorkers(t *testing.T, typ Type, bp BuildParams, workers int, vecs [][]float32, ids []int64) Index {
+	t.Helper()
+	bp.Seed = 99
+	bp.Workers = workers
+	idx, err := New(typ, linalg.L2, len(vecs[0]), bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(vecs, ids); err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestBuildWorkerCountInvariant is the determinism contract of the
+// parallel build path: for a fixed seed, workers=1 (the reference
+// sequential schedule) and workers=N produce identical structures,
+// identical search results, and identical build Stats.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	vecs, ids, queries, _ := testData(t, 1500, 20, 32, 10, 77)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := buildWithWorkers(t, tc.typ, tc.bp, 1, vecs, ids)
+			for _, workers := range []int{2, 8} {
+				par := buildWithWorkers(t, tc.typ, tc.bp, workers, vecs, ids)
+				if seq.BuildStats() != par.BuildStats() {
+					t.Fatalf("workers=%d: build stats %+v != sequential %+v",
+						workers, par.BuildStats(), seq.BuildStats())
+				}
+				if seq.MemoryBytes() != par.MemoryBytes() {
+					t.Fatalf("workers=%d: memory %d != sequential %d",
+						workers, par.MemoryBytes(), seq.MemoryBytes())
+				}
+				for qi, q := range queries {
+					var sSeq, sPar Stats
+					rSeq := seq.Search(q, 10, tc.sp, &sSeq)
+					rPar := par.Search(q, 10, tc.sp, &sPar)
+					if !reflect.DeepEqual(rSeq, rPar) {
+						t.Fatalf("workers=%d query %d: results differ\nseq: %v\npar: %v",
+							workers, qi, rSeq, rPar)
+					}
+					if sSeq != sPar {
+						t.Fatalf("workers=%d query %d: search stats %+v != %+v",
+							workers, qi, sPar, sSeq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHNSWGraphIdenticalAcrossWorkers compares the raw graph structure,
+// not just observable search behavior.
+func TestHNSWGraphIdenticalAcrossWorkers(t *testing.T) {
+	vecs, ids, _, _ := testData(t, 1200, 1, 16, 1, 78)
+	seq := buildWithWorkers(t, HNSW, BuildParams{HNSWM: 8, EfConstruction: 64}, 1, vecs, ids).(*hnsw)
+	par := buildWithWorkers(t, HNSW, BuildParams{HNSWM: 8, EfConstruction: 64}, 8, vecs, ids).(*hnsw)
+	if seq.entry != par.entry || seq.maxLevel != par.maxLevel {
+		t.Fatalf("entry/maxLevel differ: (%d,%d) vs (%d,%d)",
+			seq.entry, seq.maxLevel, par.entry, par.maxLevel)
+	}
+	if !reflect.DeepEqual(seq.levels, par.levels) {
+		t.Fatal("level assignments differ")
+	}
+	if !reflect.DeepEqual(seq.links, par.links) {
+		t.Fatal("adjacency lists differ between workers=1 and workers=8")
+	}
+}
+
+// TestSearchBatchMatchesSequentialSearch verifies the batched API is a
+// pure fan-out: same per-query results and exactly the same accumulated
+// Stats as k sequential Search calls, for every index type and any
+// worker count.
+func TestSearchBatchMatchesSequentialSearch(t *testing.T) {
+	vecs, ids, queries, _ := testData(t, 1000, 25, 16, 5, 79)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx := buildWithWorkers(t, tc.typ, tc.bp, 0, vecs, ids)
+			var want Stats
+			wantRes := make([][]linalg.Neighbor, len(queries))
+			for qi, q := range queries {
+				wantRes[qi] = idx.Search(q, 5, tc.sp, &want)
+			}
+			for _, workers := range []int{1, 4, 16} {
+				sp := tc.sp
+				sp.Workers = workers
+				var got Stats
+				gotRes := idx.SearchBatch(queries, 5, sp, &got)
+				if !reflect.DeepEqual(gotRes, wantRes) {
+					t.Fatalf("workers=%d: batch results differ from sequential", workers)
+				}
+				if got != want {
+					t.Fatalf("workers=%d: batch stats %+v, sequential %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSearchBatchEmptyAndNilStats(t *testing.T) {
+	vecs, ids, queries, _ := testData(t, 300, 3, 8, 3, 80)
+	idx := buildWithWorkers(t, IVFFlat, BuildParams{NList: 8}, 2, vecs, ids)
+	if out := idx.SearchBatch(nil, 3, SearchParams{NProbe: 4, Workers: 4}, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d slots", len(out))
+	}
+	out := idx.SearchBatch(queries, 3, SearchParams{NProbe: 4, Workers: 4}, nil)
+	if len(out) != len(queries) {
+		t.Fatalf("batch returned %d slots, want %d", len(out), len(queries))
+	}
+	for qi := range out {
+		if len(out[qi]) == 0 {
+			t.Fatalf("query %d returned no neighbors", qi)
+		}
+	}
+}
+
+func TestSearchBatchParallelSpeedupShape(t *testing.T) {
+	// Not a timing assertion (unreliable on small machines/CI): just that
+	// large fan-out requests behave identically to workers=1 on a batch
+	// bigger than any internal chunk size.
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Skip("no CPUs")
+	}
+	vecs, ids, _, _ := testData(t, 800, 1, 16, 1, 81)
+	idx := buildWithWorkers(t, HNSW, BuildParams{HNSWM: 8, EfConstruction: 48}, 0, vecs, ids)
+	batch := make([][]float32, 300)
+	for i := range batch {
+		batch[i] = vecs[(i*7)%len(vecs)]
+	}
+	a := idx.SearchBatch(batch, 5, SearchParams{Ef: 32, Workers: 1}, nil)
+	b := idx.SearchBatch(batch, 5, SearchParams{Ef: 32, Workers: 64}, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("results depend on batch fan-out width")
+	}
+}

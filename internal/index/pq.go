@@ -50,7 +50,7 @@ func newIVFPQ(metric linalg.Metric, dim int, p BuildParams) (*ivfPQ, error) {
 	if nbits > 12 {
 		nbits = 12
 	}
-	c, err := newIVFCoarse(metric, dim, nlist, p.Seed)
+	c, err := newIVFCoarse(metric, dim, nlist, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func (x *ivfPQ) Build(vecs [][]float32, ids []int64) error {
 		}
 		res, err := kmeans.Run(sub, kmeans.Config{
 			K: ksub, Seed: x.coarse.seed + int64(s) + 1, MaxIters: 10,
-			SampleLimit: 8 * ksub,
+			SampleLimit: 8 * ksub, Workers: x.coarse.workers,
 		})
 		if err != nil {
 			return fmt.Errorf("ivf_pq: codebook %d: %w", s, err)
@@ -142,6 +142,10 @@ func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.N
 	}
 	accumulate(st, Stats{Lookups: candidates * int64(x.m)})
 	return top.Results()
+}
+
+func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(x, queries, k, p, st)
 }
 
 func (x *ivfPQ) MemoryBytes() int64 {

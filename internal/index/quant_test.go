@@ -24,7 +24,7 @@ func TestSQ8CodecRoundTripError(t *testing.T) {
 				vecs[i][j] = float32(rng.NormFloat64() * 10)
 			}
 		}
-		codec := trainSQ8(vecs, dim)
+		codec := trainSQ8(vecs, dim, 1)
 		code := make([]byte, dim)
 		for _, v := range vecs {
 			codec.encode(v, code)
@@ -57,7 +57,7 @@ func TestSQ8DistancePreservesRanking(t *testing.T) {
 			vecs[i][j] = float32(rng.NormFloat64())
 		}
 	}
-	codec := trainSQ8(vecs, dim)
+	codec := trainSQ8(vecs, dim, 1)
 	codes := make([][]byte, n)
 	for i, v := range vecs {
 		codes[i] = make([]byte, dim)
@@ -95,7 +95,7 @@ func TestSQ8DistancePreservesRanking(t *testing.T) {
 
 func TestSQ8ConstantDimension(t *testing.T) {
 	vecs := [][]float32{{1, 5}, {2, 5}, {3, 5}}
-	codec := trainSQ8(vecs, 2)
+	codec := trainSQ8(vecs, 2, 1)
 	code := make([]byte, 2)
 	codec.encode(vecs[0], code)
 	if code[1] != 0 {

@@ -24,7 +24,7 @@ func newSCANN(m linalg.Metric, dim int, p BuildParams) (*scann, error) {
 	if nlist == 0 {
 		nlist = 128
 	}
-	c, err := newIVFCoarse(m, dim, nlist, p.Seed)
+	c, err := newIVFCoarse(m, dim, nlist, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -40,13 +40,13 @@ func (x *scann) Build(vecs [][]float32, ids []int64) error {
 	if err := x.coarse.train(vecs); err != nil {
 		return err
 	}
-	x.codec = trainSQ8(vecs, x.coarse.dim)
+	x.codec = trainSQ8(vecs, x.coarse.dim, x.coarse.workers)
 	x.codes = make([][]byte, len(vecs))
 	buf := make([]byte, len(vecs)*x.coarse.dim)
-	for i, v := range vecs {
+	for i := range vecs {
 		x.codes[i], buf = buf[:x.coarse.dim], buf[x.coarse.dim:]
-		x.codec.encode(v, x.codes[i])
 	}
+	x.codec.encodeAll(vecs, x.codes, x.coarse.workers)
 	x.vecs = vecs
 	x.ids = ids
 	x.coarse.buildWork.Add(Stats{CodeComps: int64(len(vecs))})
@@ -85,6 +85,10 @@ func (x *scann) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.N
 	}
 	accumulate(st, Stats{DistComps: int64(len(cands))})
 	return top.Results()
+}
+
+func (x *scann) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(x, queries, k, p, st)
 }
 
 func (x *scann) MemoryBytes() int64 {

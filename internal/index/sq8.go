@@ -4,7 +4,13 @@ import (
 	"fmt"
 
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 )
+
+// sq8Chunk is the fixed row-chunk size of the parallel SQ8 phases; chunk
+// boundaries depend only on the corpus size, keeping training and encoding
+// worker-count-invariant.
+const sq8Chunk = 512
 
 // sq8Codec quantizes vectors to one byte per dimension with a per-dimension
 // affine transform (Milvus' SQ8).
@@ -14,24 +20,44 @@ type sq8Codec struct {
 	scale []float32 // (max-min)/255 per dim; 0 for constant dims
 }
 
-func trainSQ8(vecs [][]float32, dim int) *sq8Codec {
+func trainSQ8(vecs [][]float32, dim, workers int) *sq8Codec {
 	c := &sq8Codec{
 		dim:   dim,
 		min:   make([]float32, dim),
 		scale: make([]float32, dim),
 	}
-	max := make([]float32, dim)
-	for j := 0; j < dim; j++ {
-		c.min[j] = vecs[0][j]
-		max[j] = vecs[0][j]
-	}
-	for _, v := range vecs {
-		for j, x := range v {
-			if x < c.min[j] {
-				c.min[j] = x
+	// Per-chunk min/max, merged in chunk order (min/max are exact, so the
+	// merge order only matters for determinism of NaN handling).
+	nChunks := parallel.NumChunks(len(vecs), sq8Chunk)
+	mins := make([][]float32, nChunks)
+	maxs := make([][]float32, nChunks)
+	parallel.ForRanges(workers, len(vecs), sq8Chunk, func(ch, lo, hi int) {
+		mn := make([]float32, dim)
+		mx := make([]float32, dim)
+		copy(mn, vecs[lo])
+		copy(mx, vecs[lo])
+		for _, v := range vecs[lo+1 : hi] {
+			for j, x := range v {
+				if x < mn[j] {
+					mn[j] = x
+				}
+				if x > mx[j] {
+					mx[j] = x
+				}
 			}
-			if x > max[j] {
-				max[j] = x
+		}
+		mins[ch], maxs[ch] = mn, mx
+	})
+	max := make([]float32, dim)
+	copy(c.min, mins[0])
+	copy(max, maxs[0])
+	for ch := 1; ch < nChunks; ch++ {
+		for j := 0; j < dim; j++ {
+			if mins[ch][j] < c.min[j] {
+				c.min[j] = mins[ch][j]
+			}
+			if maxs[ch][j] > max[j] {
+				max[j] = maxs[ch][j]
 			}
 		}
 	}
@@ -39,6 +65,17 @@ func trainSQ8(vecs [][]float32, dim int) *sq8Codec {
 		c.scale[j] = (max[j] - c.min[j]) / 255
 	}
 	return c
+}
+
+// encodeAll encodes every vector into codes (rows pre-sliced by the
+// caller), fanning rows across the worker pool. Each row writes only its
+// own slot, so the pass is trivially race-free and deterministic.
+func (c *sq8Codec) encodeAll(vecs [][]float32, codes [][]byte, workers int) {
+	parallel.ForRanges(workers, len(vecs), sq8Chunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.encode(vecs[i], codes[i])
+		}
+	})
 }
 
 func (c *sq8Codec) encode(v []float32, dst []byte) {
@@ -93,7 +130,7 @@ func newIVFSQ8(m linalg.Metric, dim int, p BuildParams) (*ivfSQ8, error) {
 	if nlist == 0 {
 		nlist = 128
 	}
-	c, err := newIVFCoarse(m, dim, nlist, p.Seed)
+	c, err := newIVFCoarse(m, dim, nlist, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -109,13 +146,13 @@ func (x *ivfSQ8) Build(vecs [][]float32, ids []int64) error {
 	if err := x.coarse.train(vecs); err != nil {
 		return err
 	}
-	x.codec = trainSQ8(vecs, x.coarse.dim)
+	x.codec = trainSQ8(vecs, x.coarse.dim, x.coarse.workers)
 	x.codes = make([][]byte, len(vecs))
 	buf := make([]byte, len(vecs)*x.coarse.dim)
-	for i, v := range vecs {
+	for i := range vecs {
 		x.codes[i], buf = buf[:x.coarse.dim], buf[x.coarse.dim:]
-		x.codec.encode(v, x.codes[i])
 	}
+	x.codec.encodeAll(vecs, x.codes, x.coarse.workers)
 	x.ids = ids
 	// Encoding charges one code-domain pass over the data.
 	x.coarse.buildWork.Add(Stats{CodeComps: int64(len(vecs))})
@@ -138,6 +175,10 @@ func (x *ivfSQ8) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.
 	}
 	accumulate(st, Stats{CodeComps: scanned})
 	return top.Results()
+}
+
+func (x *ivfSQ8) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
+	return searchBatch(x, queries, k, p, st)
 }
 
 func (x *ivfSQ8) MemoryBytes() int64 {

@@ -1,6 +1,12 @@
 // Package kmeans implements k-means clustering with k-means++ seeding.
 // It is the clustering substrate for the IVF-family indexes (IVF_FLAT,
 // IVF_SQ8, IVF_PQ, SCANN) and for product-quantization codebook training.
+//
+// Clustering is parallelized over fixed-size point chunks (see the parallel
+// package): assignment, centroid recomputation, and the k-means++ D^2
+// updates all reduce per-chunk partials in chunk order, so results are
+// bit-identical for any Workers value. Run(cfg.Workers=1) is the reference
+// sequential path.
 package kmeans
 
 import (
@@ -9,7 +15,13 @@ import (
 	"math/rand"
 
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 )
+
+// chunkSize is the fixed per-chunk point count of every parallel loop. It
+// is a constant so that chunk boundaries — and therefore reduction order —
+// never depend on the worker count.
+const chunkSize = 256
 
 // Config controls a clustering run.
 type Config struct {
@@ -25,6 +37,9 @@ type Config struct {
 	// SampleLimit, when > 0, trains on at most this many points sampled
 	// uniformly (assignments are still computed for every point).
 	SampleLimit int
+	// Workers is the worker-pool size for the parallel phases; <= 0 means
+	// one worker per CPU. The result is identical for every value.
+	Workers int
 }
 
 // Result holds the outcome of a clustering run.
@@ -61,6 +76,7 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 	if tol <= 0 {
 		tol = 1e-4
 	}
+	workers := parallel.Workers(cfg.Workers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	train := points
@@ -72,13 +88,13 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 		}
 	}
 
-	centroids := seedPlusPlus(train, k, rng)
+	centroids := seedPlusPlus(train, k, rng, workers)
 	assignTrain := make([]int, len(train))
 	prev := math.Inf(1)
 	iters := 0
 	for iters = 1; iters <= maxIters; iters++ {
-		distortion := assignAll(train, centroids, assignTrain)
-		recompute(train, assignTrain, centroids, rng)
+		distortion := assignAll(train, centroids, assignTrain, workers)
+		recompute(train, assignTrain, centroids, rng, workers)
 		if prev-distortion <= tol*math.Abs(prev) {
 			prev = distortion
 			break
@@ -87,7 +103,7 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 	}
 
 	assign := make([]int, len(points))
-	distortion := assignAll(points, centroids, assign)
+	distortion := assignAll(points, centroids, assign, workers)
 	return &Result{
 		Centroids:  centroids,
 		Assign:     assign,
@@ -97,19 +113,44 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ D^2 weighting.
-func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
+// The per-point distance updates run in parallel; the weighted draw itself
+// stays sequential so the rng consumption order is fixed.
+func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]float32 {
 	centroids := make([][]float32, 0, k)
 	first := points[rng.Intn(len(points))]
 	centroids = append(centroids, linalg.Clone(first))
 
 	// dists[i] is the squared distance from point i to its nearest chosen
-	// centroid, updated incrementally as centroids are added.
+	// centroid, updated incrementally as centroids are added. The running
+	// total is rebuilt from per-chunk partials in chunk order each round,
+	// so it is worker-count-invariant.
 	dists := make([]float64, len(points))
-	total := 0.0
-	for i, p := range points {
-		dists[i] = float64(linalg.SquaredL2(p, centroids[0]))
-		total += dists[i]
+	nChunks := parallel.NumChunks(len(points), chunkSize)
+	partial := make([]float64, nChunks)
+	updateFrom := func(c []float32) float64 {
+		parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				if c != nil {
+					if d := float64(linalg.SquaredL2(points[i], c)); d < dists[i] {
+						dists[i] = d
+					}
+				} else {
+					dists[i] = float64(linalg.SquaredL2(points[i], centroids[0]))
+				}
+				s += dists[i]
+			}
+			partial[ch] = s
+		})
+		total := 0.0
+		for _, s := range partial {
+			total += s
+		}
+		return total
 	}
+	// c == nil is the init pass: fill dists from the first centroid and
+	// sum in the same sweep.
+	total := updateFrom(nil)
 	for len(centroids) < k {
 		var chosen int
 		if total <= 0 {
@@ -128,49 +169,72 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
 		}
 		c := linalg.Clone(points[chosen])
 		centroids = append(centroids, c)
-		for i, p := range points {
-			if d := float64(linalg.SquaredL2(p, c)); d < dists[i] {
-				total += d - dists[i]
-				dists[i] = d
-			}
-		}
+		total = updateFrom(c)
 	}
 	return centroids
 }
 
 // assignAll assigns every point to its nearest centroid, filling assign,
-// and returns the total distortion.
-func assignAll(points [][]float32, centroids [][]float32, assign []int) float64 {
-	total := 0.0
-	for i, p := range points {
-		best := 0
-		bestD := linalg.SquaredL2(p, centroids[0])
-		for c := 1; c < len(centroids); c++ {
-			if d := linalg.SquaredL2(p, centroids[c]); d < bestD {
-				bestD = d
-				best = c
+// and returns the total distortion. Points are processed in parallel
+// chunks; the distortion reduces per-chunk partial sums in chunk order.
+func assignAll(points [][]float32, centroids [][]float32, assign []int, workers int) float64 {
+	partial := make([]float64, parallel.NumChunks(len(points), chunkSize))
+	parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			best := 0
+			bestD := linalg.SquaredL2(p, centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := linalg.SquaredL2(p, centroids[c]); d < bestD {
+					bestD = d
+					best = c
+				}
 			}
+			assign[i] = best
+			s += float64(bestD)
 		}
-		assign[i] = best
-		total += float64(bestD)
+		partial[ch] = s
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
 	}
 	return total
 }
 
 // recompute replaces each centroid with the mean of its assigned points.
+// Each chunk accumulates private per-centroid sums and counts; the merge
+// walks chunks in order, so the resulting means are worker-count-invariant.
 // Empty clusters are re-seeded from a random point to keep K stable.
-func recompute(points [][]float32, assign []int, centroids [][]float32, rng *rand.Rand) {
+func recompute(points [][]float32, assign []int, centroids [][]float32, rng *rand.Rand, workers int) {
 	dim := len(points[0])
-	counts := make([]int, len(centroids))
+	k := len(centroids)
+	nChunks := parallel.NumChunks(len(points), chunkSize)
+	sums := make([][]float32, nChunks)
+	chunkCounts := make([][]int, nChunks)
+	parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+		sum := make([]float32, k*dim)
+		cnt := make([]int, k)
+		for i := lo; i < hi; i++ {
+			c := assign[i]
+			cnt[c]++
+			linalg.AddInto(sum[c*dim:(c+1)*dim], points[i])
+		}
+		sums[ch] = sum
+		chunkCounts[ch] = cnt
+	})
+	counts := make([]int, k)
 	for c := range centroids {
 		for j := 0; j < dim; j++ {
 			centroids[c][j] = 0
 		}
 	}
-	for i, p := range points {
-		c := assign[i]
-		counts[c]++
-		linalg.AddInto(centroids[c], p)
+	for ch := 0; ch < nChunks; ch++ {
+		for c := 0; c < k; c++ {
+			counts[c] += chunkCounts[ch][c]
+			linalg.AddInto(centroids[c], sums[ch][c*dim:(c+1)*dim])
+		}
 	}
 	for c := range centroids {
 		if counts[c] == 0 {

@@ -128,6 +128,63 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunWorkerCountInvariant(t *testing.T) {
+	// The parallel contract: any Workers value produces bit-identical
+	// centroids, assignments, and distortion (chunk boundaries and
+	// reduction order never depend on the worker count).
+	points, _ := blobs(700, 6, 8, 10)
+	ref, err := Run(points, Config{K: 6, Seed: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := Run(points, Config{K: 6, Seed: 10, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Distortion != ref.Distortion {
+			t.Fatalf("workers=%d: distortion %v != sequential %v", workers, got.Distortion, ref.Distortion)
+		}
+		if got.Iters != ref.Iters {
+			t.Fatalf("workers=%d: iters %d != sequential %d", workers, got.Iters, ref.Iters)
+		}
+		for c := range ref.Centroids {
+			for j := range ref.Centroids[c] {
+				if got.Centroids[c][j] != ref.Centroids[c][j] {
+					t.Fatalf("workers=%d: centroid %d dim %d differs", workers, c, j)
+				}
+			}
+		}
+		for i := range ref.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: point %d assigned %d, sequential %d", workers, i, got.Assign[i], ref.Assign[i])
+			}
+		}
+	}
+}
+
+func TestRunWorkerCountInvariantWithSampling(t *testing.T) {
+	// Sampling draws from the rng before clustering starts, so the
+	// invariance must hold on the sampled path too.
+	points, _ := blobs(900, 4, 6, 11)
+	ref, err := Run(points, Config{K: 4, Seed: 11, SampleLimit: 200, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(points, Config{K: 4, Seed: 11, SampleLimit: 200, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distortion != ref.Distortion {
+		t.Fatalf("sampled distortion %v != sequential %v", got.Distortion, ref.Distortion)
+	}
+	for i := range ref.Assign {
+		if got.Assign[i] != ref.Assign[i] {
+			t.Fatalf("sampled assignment %d differs", i)
+		}
+	}
+}
+
 func TestRunSampleLimit(t *testing.T) {
 	points, _ := blobs(500, 4, 4, 6)
 	res, err := Run(points, Config{K: 4, Seed: 6, SampleLimit: 100})

@@ -1,0 +1,103 @@
+// Package parallel is the shared worker-pool substrate of the engine's hot
+// paths (kmeans, index builds, batched search, workload replay).
+//
+// Its core guarantee is determinism: work is divided into chunks whose
+// boundaries depend only on the problem size, never on the worker count, so
+// any per-chunk partial results can be reduced in chunk order to a value
+// that is bit-identical whether the job ran on 1 worker or N. This is what
+// lets the engine parallelize builds while keeping tuning runs reproducible
+// (workers=1 and workers=NumCPU produce identical indexes and identical
+// Stats).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Parallel runs fn(chunk) for every chunk in [0, chunks) on up to n
+// workers. Chunks are claimed dynamically (work stealing via an atomic
+// counter), so uneven chunk costs balance automatically; fn must therefore
+// not assume any chunk-to-worker affinity. n <= 1 or chunks <= 1 runs
+// inline on the calling goroutine with zero overhead, which is also the
+// reference sequential path. Parallel returns when every chunk is done.
+func Parallel(n, chunks int, fn func(chunk int)) {
+	if chunks <= 0 {
+		return
+	}
+	n = Workers(n)
+	if n > chunks {
+		n = chunks
+	}
+	if n <= 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumChunks reports how many fixed-size chunks cover total items. The
+// answer depends only on (total, chunkSize), which is what makes chunked
+// reductions worker-count-invariant.
+func NumChunks(total, chunkSize int) int {
+	if total <= 0 {
+		return 0
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	return (total + chunkSize - 1) / chunkSize
+}
+
+// Chunk returns the half-open item range [lo, hi) of chunk c under the
+// same fixed chunking as NumChunks.
+func Chunk(c, total, chunkSize int) (lo, hi int) {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	lo = c * chunkSize
+	hi = lo + chunkSize
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// ForRanges runs fn(chunk, lo, hi) over the fixed chunking of total items
+// into chunkSize-sized ranges, on up to n workers. It is the common
+// "parallel loop with deterministic per-chunk slots" shape: callers size
+// their partial-result slices with NumChunks and reduce in chunk order.
+func ForRanges(n, total, chunkSize int, fn func(chunk, lo, hi int)) {
+	chunks := NumChunks(total, chunkSize)
+	Parallel(n, chunks, func(c int) {
+		lo, hi := Chunk(c, total, chunkSize)
+		fn(c, lo, hi)
+	})
+}

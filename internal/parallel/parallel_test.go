@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestParallelCoversEveryChunkOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const chunks = 100
+		var hits [chunks]atomic.Int32
+		Parallel(workers, chunks, func(c int) { hits[c].Add(1) })
+		for c := range hits {
+			if n := hits[c].Load(); n != 1 {
+				t.Fatalf("workers=%d: chunk %d ran %d times", workers, c, n)
+			}
+		}
+	}
+}
+
+func TestParallelEmptyAndSingle(t *testing.T) {
+	ran := 0
+	Parallel(8, 0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("Parallel with 0 chunks ran %d times", ran)
+	}
+	// A single chunk must run inline (no data race on the plain int).
+	Parallel(8, 1, func(int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("Parallel with 1 chunk ran %d times", ran)
+	}
+}
+
+func TestChunkingIsWorkerInvariant(t *testing.T) {
+	// The chunk layout is a pure function of (total, chunkSize).
+	const total, size = 1003, 64
+	n := NumChunks(total, size)
+	if n != 16 {
+		t.Fatalf("NumChunks(%d, %d) = %d, want 16", total, size, n)
+	}
+	covered := 0
+	for c := 0; c < n; c++ {
+		lo, hi := Chunk(c, total, size)
+		if lo != c*size {
+			t.Fatalf("chunk %d starts at %d", c, lo)
+		}
+		if hi < lo || hi > total {
+			t.Fatalf("chunk %d = [%d, %d)", c, lo, hi)
+		}
+		covered += hi - lo
+	}
+	if covered != total {
+		t.Fatalf("chunks cover %d items, want %d", covered, total)
+	}
+}
+
+func TestForRangesDeterministicReduction(t *testing.T) {
+	// The canonical use: per-chunk partial sums reduced in chunk order give
+	// the same float result for any worker count.
+	const total = 5000
+	vals := make([]float64, total)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	sumWith := func(workers int) float64 {
+		partial := make([]float64, NumChunks(total, 256))
+		ForRanges(workers, total, 256, func(c, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			partial[c] = s
+		})
+		total := 0.0
+		for _, s := range partial {
+			total += s
+		}
+		return total
+	}
+	want := sumWith(1)
+	for _, w := range []int{2, 3, 8, 32} {
+		if got := sumWith(w); got != want {
+			t.Fatalf("workers=%d: sum %v != sequential %v", w, got, want)
+		}
+	}
+}

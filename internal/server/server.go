@@ -3,6 +3,14 @@
 // client. It mirrors the access/worker split of the paper's VDMS
 // architecture (§II-A, "Multiple Components") so that the engine can be
 // exercised over a real network path.
+//
+// Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
+// "stats". The "searchBatch" op answers a whole query batch in one round
+// trip; the server fans it across the collection's configured queryNode
+// parallelism under a single read lock, so the batch observes one
+// consistent snapshot of the segment lifecycle. Connections are handled
+// on one goroutine each, and the underlying collection is safe for
+// concurrent use, so any number of clients may mix reads and writes.
 package server
 
 import (
@@ -19,14 +27,18 @@ import (
 
 // Request is one client command.
 type Request struct {
-	// Op is one of "ping", "insert", "search", "delete", "flush",
-	// "stats".
+	// Op is one of "ping", "insert", "search", "searchBatch", "delete",
+	// "flush", "stats".
 	Op string `json:"op"`
 	// Vectors carries the rows for "insert".
 	Vectors [][]float32 `json:"vectors,omitempty"`
-	// Query and K parameterize "search".
+	// Query and K parameterize "search"; K is shared with "searchBatch".
 	Query []float32 `json:"query,omitempty"`
 	K     int       `json:"k,omitempty"`
+	// Queries carries the batch for "searchBatch". The server fans the
+	// batch across the collection's configured parallelism and answers
+	// all queries in one round trip.
+	Queries [][]float32 `json:"queries,omitempty"`
 	// IDs carries the ids for "delete".
 	IDs []int64 `json:"ids,omitempty"`
 }
@@ -39,11 +51,13 @@ type Neighbor struct {
 
 // Response is the server's reply to one Request.
 type Response struct {
-	OK        bool                  `json:"ok"`
-	Error     string                `json:"error,omitempty"`
-	IDs       []int64               `json:"ids,omitempty"`
-	Neighbors []Neighbor            `json:"neighbors,omitempty"`
-	Stats     *vdms.CollectionStats `json:"stats,omitempty"`
+	OK        bool       `json:"ok"`
+	Error     string     `json:"error,omitempty"`
+	IDs       []int64    `json:"ids,omitempty"`
+	Neighbors []Neighbor `json:"neighbors,omitempty"`
+	// Batches[i] answers Queries[i] of a "searchBatch" request.
+	Batches [][]Neighbor          `json:"batches,omitempty"`
+	Stats   *vdms.CollectionStats `json:"stats,omitempty"`
 	// Deleted is the number of ids newly tombstoned by "delete".
 	Deleted int `json:"deleted,omitempty"`
 }
@@ -162,6 +176,23 @@ func (s *Server) dispatch(req *Request) *Response {
 			out[i] = Neighbor{ID: n.ID, Dist: n.Dist}
 		}
 		return &Response{OK: true, Neighbors: out}
+	case "searchBatch":
+		if req.K < 1 {
+			return &Response{Error: "searchBatch: k must be >= 1"}
+		}
+		var st index.Stats
+		res, err := s.coll.SearchBatch(req.Queries, req.K, &st)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		batches := make([][]Neighbor, len(res))
+		for i, list := range res {
+			batches[i] = make([]Neighbor, len(list))
+			for j, n := range list {
+				batches[i][j] = Neighbor{ID: n.ID, Dist: n.Dist}
+			}
+		}
+		return &Response{OK: true, Batches: batches}
 	case "delete":
 		n, err := s.coll.Delete(req.IDs)
 		if err != nil {
@@ -250,6 +281,18 @@ func (c *Client) Search(q []float32, k int) ([]Neighbor, error) {
 		return nil, err
 	}
 	return resp.Neighbors, nil
+}
+
+// SearchBatch answers every query in one round trip; result i corresponds
+// to queries[i]. The server fans the batch across its configured
+// parallelism, so a batched call is both cheaper on the wire and faster to
+// serve than k sequential Searches.
+func (c *Client) SearchBatch(queries [][]float32, k int) ([][]Neighbor, error) {
+	resp, err := c.call(&Request{Op: "searchBatch", Queries: queries, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batches, nil
 }
 
 // Delete tombstones ids on the server and reports how many were new.

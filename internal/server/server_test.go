@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -165,6 +166,130 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if st.Rows != 100+8*10 {
 		t.Fatalf("rows = %d, want 180", st.Rows)
+	}
+}
+
+func TestSearchBatchOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	vecs := vecsFor(80, 5)
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]float32{vecs[3], vecs[17], vecs[42]}
+	res, err := cl.SearchBatch(batch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d batches, want 3", len(res))
+	}
+	for bi, want := range []int64{ids[3], ids[17], ids[42]} {
+		if len(res[bi]) == 0 || res[bi][0].ID != want {
+			t.Fatalf("batch %d: self-search returned %+v, want id %d", bi, res[bi], want)
+		}
+	}
+	// Single-query parity: batch slot must equal the "search" op answer.
+	single, err := cl.Search(vecs[3], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != len(res[0]) || single[0] != res[0][0] {
+		t.Fatalf("batch answer %+v != single answer %+v", res[0], single)
+	}
+}
+
+func TestSearchBatchWireErrors(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Insert(vecsFor(20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SearchBatch(vecsFor(2, 7), 0); err == nil {
+		t.Fatal("k=0 batch accepted")
+	}
+	if _, err := cl.SearchBatch([][]float32{{1, 2}}, 3); err == nil {
+		t.Fatal("wrong-dim batch accepted")
+	}
+	// Empty batches are valid and return no lists.
+	res, err := cl.SearchBatch(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty batch returned %d lists", len(res))
+	}
+	// The connection must survive errors.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection broken after batch errors: %v", err)
+	}
+}
+
+// TestConcurrentBatchClients drives batched searches, inserts, deletes,
+// and flushes from many connections at once; under -race it proves the
+// whole wire path down to the collection's batch fan-out is safe.
+func TestConcurrentBatchClients(t *testing.T) {
+	srv, seedClient := startServer(t)
+	ids, err := seedClient.Insert(vecsFor(200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			batch := vecsFor(8, int64(300+w))
+			for i := 0; i < 20; i++ {
+				switch {
+				case w < 3: // batch searchers
+					res, err := cl.SearchBatch(batch, 4)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res) != len(batch) {
+						errs <- fmt.Errorf("got %d lists, want %d", len(res), len(batch))
+						return
+					}
+				case w == 3: // inserter
+					if _, err := cl.Insert(vecsFor(15, int64(400+i))); err != nil {
+						errs <- err
+						return
+					}
+				case w == 4: // deleter
+					if _, err := cl.Delete(ids[(2*i)%len(ids) : (2*i)%len(ids)+2]); err != nil {
+						errs <- err
+						return
+					}
+				default: // flusher
+					if i%5 == 0 {
+						if err := cl.Flush(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := seedClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 200+20*15 {
+		t.Fatalf("rows = %d, want %d", st.Rows, 200+20*15)
 	}
 }
 

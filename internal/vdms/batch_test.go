@@ -1,0 +1,218 @@
+package vdms
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+)
+
+func batchCollection(t *testing.T, metric linalg.Metric, dim int, parallelism int) *Collection {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.IndexType = index.IVFFlat
+	cfg.Build.NList = 8
+	cfg.Search.NProbe = 8
+	cfg.Parallelism = parallelism
+	coll, err := NewCollection(cfg, metric, dim, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coll.Close() })
+	return coll
+}
+
+// TestSearchBatchEdgeCases is the table-driven contract of the batched
+// search API across degenerate inputs.
+func TestSearchBatchEdgeCases(t *testing.T) {
+	const dim = 8
+	cases := []struct {
+		name    string
+		metric  linalg.Metric
+		rows    int // inserted before the batch
+		queries [][]float32
+		k       int
+		wantErr bool
+		// wantPerQuery is the expected result count per query; -1 skips
+		// the check.
+		wantPerQuery int
+	}{
+		{
+			name: "empty batch", metric: linalg.L2, rows: 50,
+			queries: nil, k: 3, wantPerQuery: -1,
+		},
+		{
+			name: "k greater than n", metric: linalg.L2, rows: 4,
+			queries: randVecs(3, dim, 1), k: 25, wantPerQuery: 4,
+		},
+		{
+			name: "dim mismatch", metric: linalg.L2, rows: 20,
+			queries: [][]float32{make([]float32, dim), make([]float32, dim-3)},
+			k:       3, wantErr: true,
+		},
+		{
+			name: "zero k", metric: linalg.L2, rows: 20,
+			queries: randVecs(2, dim, 2), k: 0, wantErr: true,
+		},
+		{
+			name: "zero-vector angular queries", metric: linalg.Angular, rows: 60,
+			queries: [][]float32{make([]float32, dim), make([]float32, dim)},
+			k:       5, wantPerQuery: 5,
+		},
+		{
+			name: "batch on empty collection", metric: linalg.L2, rows: 0,
+			queries: randVecs(2, dim, 3), k: 3, wantPerQuery: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coll := batchCollection(t, tc.metric, dim, 4)
+			if tc.rows > 0 {
+				if _, err := coll.Insert(randVecs(tc.rows, dim, 42)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var st index.Stats
+			out, err := coll.SearchBatch(tc.queries, tc.k, &st)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("expected error, got %d result lists", len(out))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != len(tc.queries) {
+				t.Fatalf("got %d result lists for %d queries", len(out), len(tc.queries))
+			}
+			if tc.wantPerQuery >= 0 {
+				for qi, res := range out {
+					if len(res) != tc.wantPerQuery {
+						t.Fatalf("query %d returned %d neighbors, want %d", qi, len(res), tc.wantPerQuery)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchBatchMatchesSearch: the batch is observably equivalent to
+// issuing each query through Search against a quiescent collection.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	const dim = 8
+	coll := batchCollection(t, linalg.Angular, dim, 8)
+	if _, err := coll.Insert(randVecs(500, dim, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	queries := randVecs(30, dim, 8)
+	var wantSt index.Stats
+	want := make([][]linalg.Neighbor, len(queries))
+	for qi, q := range queries {
+		res, err := coll.Search(q, 5, &wantSt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qi] = res
+	}
+	var gotSt index.Stats
+	got, err := coll.SearchBatch(queries, 5, &gotSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("batched results differ from sequential Search")
+	}
+	if gotSt != wantSt {
+		t.Fatalf("batched stats %+v, sequential %+v", gotSt, wantSt)
+	}
+}
+
+// TestSearchBatchLiveRace hammers a live collection with concurrent
+// batched searches while inserts, deletes, and flushes mutate the segment
+// lifecycle. Run under -race this is the proof that the batch fan-out
+// (many goroutines sharing one read lock) is safe against writers.
+func TestSearchBatchLiveRace(t *testing.T) {
+	const dim = 8
+	coll := batchCollection(t, linalg.L2, dim, 8)
+	ids, err := coll.Insert(randVecs(300, dim, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	// Batched searchers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := randVecs(16, dim, int64(100+w))
+			for i := 0; i < 30; i++ {
+				var st index.Stats
+				out, err := coll.SearchBatch(queries, 5, &st)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(out) != len(queries) {
+					errs <- fmt.Errorf("batch returned %d of %d lists", len(out), len(queries))
+					return
+				}
+			}
+		}(w)
+	}
+	// Inserters: enough rows to trip seals and background index builds.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := coll.Insert(randVecs(40, dim, int64(200+10*w+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Deleter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i+3 <= len(ids); i += 3 {
+			if _, err := coll.Delete(ids[i : i+3]); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Flusher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := coll.Flush(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := coll.Stats()
+	if st.Rows != 300+2*10*40 {
+		t.Fatalf("rows = %d, want %d", st.Rows, 300+2*10*40)
+	}
+}

@@ -40,8 +40,12 @@ type Config struct {
 	// insertBufSize), range [64, 2048]. Larger buffers delay flushes,
 	// enlarging the unindexed tail and memory footprint.
 	InsertBufSize float64
-	// Parallelism is the intra-query segment-level parallelism (query
-	// node worker count), range [1, 32].
+	// Parallelism is the queryNode worker count, range [1, 32]. It is a
+	// real knob, not just a cost-model input: it sizes the worker pools
+	// of index builds (Open, Collection sealing) and of batched search
+	// (SearchBatch). Results are identical for every value — the engine's
+	// parallel phases are deterministic (see package parallel) — so the
+	// tuner can explore it freely without breaking reproducibility.
 	Parallelism int
 	// CacheRatio is the fraction of index data kept hot in cache,
 	// range [0.05, 1]. Lower values add per-candidate access cost.

@@ -5,6 +5,7 @@ import (
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 	"vdtuner/internal/workload"
 )
 
@@ -93,6 +94,10 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 		}
 		bp := cfg.Build
 		bp.Seed = cfg.Build.Seed + int64(s)*7919
+		// queryNode parallelism doubles as the real build worker-pool
+		// size; builds are deterministic for any value (see package
+		// parallel), so the simulated results stay reproducible.
+		bp.Workers = cfg.Parallelism
 		idx, err := index.New(cfg.IndexType, ds.Metric, ds.Dim, bp)
 		if err != nil {
 			return nil, err
@@ -178,4 +183,26 @@ func (in *Instance) Search(q []float32, k int, st *index.Stats) []linalg.Neighbo
 		st.Add(index.Stats{DistComps: in.extraScanRows})
 	}
 	return linalg.MergeNeighbors(k, lists...)
+}
+
+// SearchBatch answers queries[i] into result slot i, fanning the batch
+// across the configured queryNode parallelism. Instances are immutable
+// after Open, so the fan-out needs no locking; per-query Stats are merged
+// into st in query order, keeping accounting identical to sequential
+// Search calls.
+func (in *Instance) SearchBatch(queries [][]float32, k int, st *index.Stats) [][]linalg.Neighbor {
+	out := make([][]linalg.Neighbor, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	per := make([]index.Stats, len(queries))
+	parallel.Parallel(in.cfg.Parallelism, len(queries), func(qi int) {
+		out[qi] = in.Search(queries[qi], k, &per[qi])
+	})
+	if st != nil {
+		for i := range per {
+			st.Add(per[i])
+		}
+	}
+	return out
 }

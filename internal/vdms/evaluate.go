@@ -2,10 +2,9 @@ package vdms
 
 import (
 	"errors"
-	"runtime"
-	"sync"
 
 	"vdtuner/internal/index"
+	"vdtuner/internal/parallel"
 	"vdtuner/internal/workload"
 )
 
@@ -36,6 +35,15 @@ type Result struct {
 // and returns the measured performance. It is deterministic for a given
 // (dataset, cfg) pair.
 func Evaluate(ds *workload.Dataset, cfg Config) Result {
+	return EvaluateWorkers(ds, cfg, 0)
+}
+
+// EvaluateWorkers is Evaluate with an explicit replay worker-pool size
+// (<= 0 means one worker per CPU). The result is identical for any value
+// — per-query slots are independent and build parallelism is deterministic
+// — so the knob only trades wall-clock time, which is what the bench
+// harness tunes.
+func EvaluateWorkers(ds *workload.Dataset, cfg Config, workers int) Result {
 	inst, err := Open(ds, cfg)
 	if err != nil {
 		var fe *FailureError
@@ -50,30 +58,13 @@ func Evaluate(ds *workload.Dataset, cfg Config) Result {
 	recalls := make([]float64, nq)
 	wait := syncWaitMs(&cfg, inst.pendingFraction)
 
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (nq + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > nq {
-			hi = nq
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for qi := lo; qi < hi; qi++ {
-				var st index.Stats
-				res := inst.Search(ds.Queries[qi], ds.K, &st)
-				recalls[qi] = ds.Recall(qi, res)
-				workNs := workNanos(st, ds.Dim, cfg.CacheRatio)
-				latencies[qi] = queryLatencySec(workNs, inst.segments, &cfg, wait, inst.bgLoad)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.Parallel(workers, nq, func(qi int) {
+		var st index.Stats
+		res := inst.Search(ds.Queries[qi], ds.K, &st)
+		recalls[qi] = ds.Recall(qi, res)
+		workNs := workNanos(st, ds.Dim, cfg.CacheRatio)
+		latencies[qi] = queryLatencySec(workNs, inst.segments, &cfg, wait, inst.bgLoad)
+	})
 
 	var latSum, recSum float64
 	for qi := 0; qi < nq; qi++ {

@@ -6,6 +6,7 @@ import (
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 )
 
 // Collection is the live (streaming) face of the engine: vectors are
@@ -118,6 +119,7 @@ func (c *Collection) sealLocked() {
 		defer c.builds.Done()
 		bp := c.cfg.Build
 		bp.Seed = c.cfg.Build.Seed + seq*7919
+		bp.Workers = c.cfg.Parallelism
 		m := c.metric
 		if m == linalg.Angular {
 			m = linalg.L2 // inputs were normalized on insert
@@ -180,6 +182,14 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	if c.closed {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
+	return c.searchLocked(qq, m, k, st), nil
+}
+
+// searchLocked answers one already-normalized query against the current
+// segment states. Callers hold c.mu (read side suffices): the method only
+// reads collection state, so any number of goroutines holding the same
+// read lock may call it concurrently — that is how SearchBatch fans out.
+func (c *Collection) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
 	// Over-fetch to survive tombstone filtering: deleted ids may occupy
 	// top slots inside immutable sealed segments.
 	fetch := k + len(c.tombstones)
@@ -197,7 +207,54 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, nil
+	return merged
+}
+
+// SearchBatch answers queries[i] into result slot i, fanning the batch
+// across a worker pool sized by the configured queryNode parallelism. The
+// whole batch executes under one read lock, so it observes a single
+// consistent snapshot of the segment lifecycle even while concurrent
+// Insert/Delete/Flush calls are queued. Per-query work is accumulated into
+// private Stats and merged into st in query order (exact, since the counts
+// are integers).
+func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([][]linalg.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
+	}
+	for i, q := range queries {
+		if len(q) != c.dim {
+			return nil, fmt.Errorf("vdms: query %d has dim %d, want %d", i, len(q), c.dim)
+		}
+	}
+	m := c.metric
+	qs := queries
+	if m == linalg.Angular {
+		qs = make([][]float32, len(queries))
+		for i, q := range queries {
+			qs[i] = linalg.Clone(q)
+			linalg.Normalize(qs[i])
+		}
+		m = linalg.L2
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, fmt.Errorf("vdms: collection closed")
+	}
+	out := make([][]linalg.Neighbor, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	per := make([]index.Stats, len(qs))
+	parallel.Parallel(c.cfg.Parallelism, len(qs), func(qi int) {
+		out[qi] = c.searchLocked(qs[qi], m, k, &per[qi])
+	})
+	if st != nil {
+		for i := range per {
+			st.Add(per[i])
+		}
+	}
+	return out, nil
 }
 
 // CollectionStats is a point-in-time snapshot of a live collection.

@@ -1,0 +1,8 @@
+//go:build race
+
+package vdtuner
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under -race because instrumentation overhead
+// swamps the parallel speedup being measured.
+const raceEnabled = true
