@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench bench-churn ci
 
 all: build
 
@@ -22,9 +22,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# One iteration of every benchmark (root figure/table suite and package
-# micro-benchmarks) — a compile-and-smoke pass, not a measurement.
+# One iteration of every benchmark (root figure/table suite, the churn
+# benchmark BenchmarkSearchAfterDeletes, and package micro-benchmarks) —
+# a compile-and-smoke pass, not a measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# The churn benchmark alone: search latency after mass deletes + segment
+# compaction (delete-heavy lifecycle).
+bench-churn:
+	$(GO) test -bench=SearchAfterDeletes -benchtime=1x .
 
 ci: vet race bench

@@ -153,3 +153,19 @@ func BenchmarkDesignAblations(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchAfterDeletes is the churn benchmark: bulk-load a live
+// collection, delete half the corpus, compact, and measure the bounded
+// post-churn search path. It fails if compaction does not shrink the
+// per-query scanned work below the pre-delete level.
+func BenchmarkSearchAfterDeletes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Churn(io.Discard, benchOpts(18))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorkAfter >= res.WorkBefore {
+			b.Fatalf("post-churn scan work %d >= pre-delete %d", res.WorkAfter, res.WorkBefore)
+		}
+	}
+}

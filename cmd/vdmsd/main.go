@@ -6,6 +6,7 @@
 //
 //	vdmsd [-addr 127.0.0.1:7700] [-dim 128] [-metric angular]
 //	      [-index HNSW] [-expected-rows 100000]
+//	      [-compact-ratio 0.2] [-compact-fanin 4] [-compact-workers 2]
 //
 // Clients: see internal/server.Client, e.g.
 //
@@ -32,6 +33,9 @@ func main() {
 	metricName := flag.String("metric", "angular", "distance metric: l2, ip, angular")
 	indexName := flag.String("index", "HNSW", "index type for sealed segments")
 	expectedRows := flag.Int("expected-rows", 100000, "expected corpus size (scales segment sizing)")
+	compactRatio := flag.Float64("compact-ratio", 0, "sealed-segment tombstone ratio that triggers compaction, [0.05, 0.95] (0 = engine default)")
+	compactFanIn := flag.Int("compact-fanin", 0, "max undersized segments merged per compaction, [2, 16] (0 = engine default)")
+	compactWorkers := flag.Int("compact-workers", 0, "compactor worker-pool size, [1, 16] (0 = engine default)")
 	flag.Parse()
 
 	var metric linalg.Metric
@@ -54,6 +58,15 @@ func main() {
 
 	cfg := vdms.DefaultConfig()
 	cfg.IndexType = typ
+	if *compactRatio != 0 {
+		cfg.CompactionTriggerRatio = *compactRatio
+	}
+	if *compactFanIn != 0 {
+		cfg.CompactionMergeFanIn = *compactFanIn
+	}
+	if *compactWorkers != 0 {
+		cfg.CompactionParallelism = *compactWorkers
+	}
 	coll, err := vdms.NewCollection(cfg, metric, *dim, *expectedRows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -438,3 +438,22 @@ func TestDesignAblations(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnReclaimsAndBoundsWork(t *testing.T) {
+	res, err := Churn(io.Discard, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tombstones != 0 {
+		t.Fatalf("tombstones = %d after compaction, want 0", res.Tombstones)
+	}
+	if res.ReclaimedRows != int64(res.DeletedRows) {
+		t.Fatalf("reclaimed %d of %d deleted rows", res.ReclaimedRows, res.DeletedRows)
+	}
+	if res.MemAfter >= res.MemBefore {
+		t.Fatalf("memory not reclaimed: %d >= %d", res.MemAfter, res.MemBefore)
+	}
+	if res.WorkAfter >= res.WorkBefore {
+		t.Fatalf("post-churn scan work %d >= pre-delete %d", res.WorkAfter, res.WorkBefore)
+	}
+}

@@ -51,7 +51,13 @@ type kbConfig struct {
 	Parallelism    int     `json:"queryNode_parallelism"`
 	CacheRatio     float64 `json:"queryNode_cacheRatio"`
 	FlushInterval  float64 `json:"flushInterval"`
-	Concurrency    int     `json:"concurrency,omitempty"`
+	// Compaction knobs; omitted (zero) in knowledge bases written before
+	// the compactor existed, which the engine reads as its defaults.
+	CompactionTriggerRatio float64 `json:"compaction_triggerRatio,omitempty"`
+	CompactionMergeFanIn   int     `json:"compaction_mergeFanIn,omitempty"`
+	CompactionParallelism  int     `json:"compaction_parallelism,omitempty"`
+
+	Concurrency int `json:"concurrency,omitempty"`
 }
 
 type vdmsResultWire struct {
@@ -82,7 +88,12 @@ func toWireConfig(c vdms.Config) kbConfig {
 		Parallelism:    c.Parallelism,
 		CacheRatio:     c.CacheRatio,
 		FlushInterval:  c.FlushInterval,
-		Concurrency:    c.Concurrency,
+
+		CompactionTriggerRatio: c.CompactionTriggerRatio,
+		CompactionMergeFanIn:   c.CompactionMergeFanIn,
+		CompactionParallelism:  c.CompactionParallelism,
+
+		Concurrency: c.Concurrency,
 	}
 }
 
@@ -100,7 +111,12 @@ func fromWireConfig(k kbConfig) (vdms.Config, error) {
 		Parallelism:    k.Parallelism,
 		CacheRatio:     k.CacheRatio,
 		FlushInterval:  k.FlushInterval,
-		Concurrency:    k.Concurrency,
+
+		CompactionTriggerRatio: k.CompactionTriggerRatio,
+		CompactionMergeFanIn:   k.CompactionMergeFanIn,
+		CompactionParallelism:  k.CompactionParallelism,
+
+		Concurrency: k.Concurrency,
 	}
 	cfg.Build.NList = k.NList
 	cfg.Build.M = k.M

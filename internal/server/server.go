@@ -5,12 +5,16 @@
 // exercised over a real network path.
 //
 // Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
-// "stats". The "searchBatch" op answers a whole query batch in one round
-// trip; the server fans it across the collection's configured queryNode
-// parallelism under a single read lock, so the batch observes one
-// consistent snapshot of the segment lifecycle. Connections are handled
-// on one goroutine each, and the underlying collection is safe for
-// concurrent use, so any number of clients may mix reads and writes.
+// "compact", "stats". The "searchBatch" op answers a whole query batch in
+// one round trip; the server fans it across the collection's configured
+// queryNode parallelism under a single read lock, so the batch observes
+// one consistent snapshot of the segment lifecycle. The "compact" op runs
+// segment compaction to quiescence (deletes trigger it in the background
+// anyway; the explicit op exists for operational control). Connections
+// are handled on one goroutine each, and the underlying collection is
+// safe for concurrent use, so any number of clients may mix reads and
+// writes. A panicking request handler answers that request with an error
+// response instead of taking down the process.
 package server
 
 import (
@@ -28,7 +32,7 @@ import (
 // Request is one client command.
 type Request struct {
 	// Op is one of "ping", "insert", "search", "searchBatch", "delete",
-	// "flush", "stats".
+	// "flush", "compact", "stats".
 	Op string `json:"op"`
 	// Vectors carries the rows for "insert".
 	Vectors [][]float32 `json:"vectors,omitempty"`
@@ -125,6 +129,9 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
+		// A panic that escapes dispatch's own recovery (e.g. inside the
+		// codec) drops this connection only, never the whole process.
+		recover()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -149,7 +156,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req *Request) *Response {
+// dispatch answers one request. A panic while serving it (a malformed
+// request slipping past validation, an engine bug) is converted into an
+// error response so one bad request cannot crash the server.
+func (s *Server) dispatch(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Error: fmt.Sprintf("internal error serving %q: %v", req.Op, r)}
+		}
+	}()
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
@@ -201,6 +216,11 @@ func (s *Server) dispatch(req *Request) *Response {
 		return &Response{OK: true, Deleted: n}
 	case "flush":
 		if err := s.coll.Flush(); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case "compact":
+		if err := s.coll.Compact(); err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true}
@@ -307,6 +327,13 @@ func (c *Client) Delete(ids []int64) (int, error) {
 // Flush seals and waits for index builds on the server.
 func (c *Client) Flush() error {
 	_, err := c.call(&Request{Op: "flush"})
+	return err
+}
+
+// Compact runs segment compaction on the server until no segment exceeds
+// the configured tombstone-ratio trigger and no merge is possible.
+func (c *Client) Compact() error {
+	_, err := c.call(&Request{Op: "compact"})
 	return err
 }
 

@@ -288,8 +288,9 @@ func TestConcurrentBatchClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Rows != 200+20*15 {
-		t.Fatalf("rows = %d, want %d", st.Rows, 200+20*15)
+	// Rows counts live rows: the deleter removed ids[0:40], one id each.
+	if st.Rows != 200+20*15-40 {
+		t.Fatalf("rows = %d, want %d", st.Rows, 200+20*15-40)
 	}
 }
 
@@ -342,5 +343,79 @@ func TestDeleteOverWire(t *testing.T) {
 	n, err = cl.Delete(ids[:3])
 	if err != nil || n != 0 {
 		t.Fatalf("re-Delete = %d, %v", n, err)
+	}
+}
+
+func TestWrongDimSearchOverWire(t *testing.T) {
+	// Regression: a wrong-dimension single-query search used to panic
+	// inside the distance kernel and take down the whole process. It must
+	// answer with an error and keep the connection usable.
+	_, cl := startServer(t)
+	if _, err := cl.Insert(vecsFor(60, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Search([]float32{1, 2}, 3); err == nil {
+		t.Fatal("wrong-dim search accepted")
+	}
+	if _, err := cl.Search(nil, 3); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection broken after bad search: %v", err)
+	}
+}
+
+func TestDispatchRecoversPanic(t *testing.T) {
+	// A panicking handler must yield an error response, not crash the
+	// process. A nil collection makes every data op panic.
+	s := &Server{}
+	resp := s.dispatch(&Request{Op: "stats"})
+	if resp == nil || resp.OK || resp.Error == "" {
+		t.Fatalf("panic not converted to error response: %+v", resp)
+	}
+	if resp := s.dispatch(&Request{Op: "ping"}); !resp.OK {
+		t.Fatalf("ping broken by recovery wrapper: %+v", resp)
+	}
+}
+
+func TestCompactOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	vecs := vecsFor(400, 10)
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Delete(ids[:200]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tombstones != 0 {
+		t.Fatalf("tombstones = %d after compact op, want 0", st.Tombstones)
+	}
+	if st.Rows != 200 {
+		t.Fatalf("live rows = %d, want 200", st.Rows)
+	}
+	if st.ReclaimedRows != 200 || st.CompactionPasses == 0 {
+		t.Fatalf("compaction counters not surfaced over the wire: %+v", st)
+	}
+	// Live data still findable, deleted ids gone.
+	res, err := cl.Search(vecs[300], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].ID != ids[300] {
+		t.Fatalf("post-compact search returned %+v, want top id %d", res, ids[300])
 	}
 }

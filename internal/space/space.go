@@ -1,9 +1,12 @@
-// Package space defines the 16-dimensional VDMS configuration space of the
-// paper (§V-A): the index type, the eight index parameters of Table I, and
-// the seven recommended system parameters. It provides the encoding the
-// surrogate model works in ([0,1]^16), decoding back to engine
-// configurations, per-index-type parameter ownership, defaults, and
-// random/LHS sampling restricted to an index type's subspace.
+// Package space defines the VDMS configuration space: the paper's
+// 16 dimensions (§V-A — the index type, the eight index parameters of
+// Table I, and the seven recommended system parameters) plus the three
+// compaction parameters of the engine's segment-compaction extension
+// (trigger ratio, merge fan-in, compactor parallelism), 19 dimensions in
+// all. It provides the encoding the surrogate model works in
+// ([0,1]^Dims), decoding back to engine configurations, per-index-type
+// parameter ownership, defaults, and random/LHS sampling restricted to an
+// index type's subspace.
 package space
 
 import (
@@ -37,6 +40,11 @@ const (
 	Parallelism
 	CacheRatio
 	FlushInterval
+	// Compaction parameters (engine extension: segment compaction +
+	// tombstone GC; see vdms.Config).
+	CompactionTriggerRatio
+	CompactionMergeFanIn
+	CompactionParallelism
 	numParams
 )
 
@@ -74,6 +82,10 @@ var defs = [NumParams]Def{
 	Parallelism:    {Parallelism, "queryNode_parallelism", 1, 32, true, 4, nil},
 	CacheRatio:     {CacheRatio, "queryNode_cacheRatio", 0.05, 1, false, 0.3, nil},
 	FlushInterval:  {FlushInterval, "flushInterval", 1, 120, false, 10, nil},
+
+	CompactionTriggerRatio: {CompactionTriggerRatio, "compaction_triggerRatio", 0.05, 0.95, false, 0.2, nil},
+	CompactionMergeFanIn:   {CompactionMergeFanIn, "compaction_mergeFanIn", 2, 16, true, 4, nil},
+	CompactionParallelism:  {CompactionParallelism, "compaction_parallelism", 1, 16, true, 2, nil},
 }
 
 // Lookup returns the definition of p.
@@ -184,6 +196,17 @@ func Encode(cfg vdms.Config) Vector {
 	set(Parallelism, float64(cfg.Parallelism))
 	set(CacheRatio, cfg.CacheRatio)
 	set(FlushInterval, cfg.FlushInterval)
+	// Compaction knobs treat zero as "engine default" (configurations
+	// recorded before the compactor existed); encode the resolved value.
+	setOrDefault := func(p Param, v float64) {
+		if v == 0 {
+			v = defs[p].Default
+		}
+		set(p, v)
+	}
+	setOrDefault(CompactionTriggerRatio, cfg.CompactionTriggerRatio)
+	setOrDefault(CompactionMergeFanIn, float64(cfg.CompactionMergeFanIn))
+	setOrDefault(CompactionParallelism, float64(cfg.CompactionParallelism))
 	return x
 }
 
@@ -219,6 +242,10 @@ func Decode(x Vector) vdms.Config {
 		Parallelism:    int(get(Parallelism)),
 		CacheRatio:     get(CacheRatio),
 		FlushInterval:  get(FlushInterval),
+
+		CompactionTriggerRatio: get(CompactionTriggerRatio),
+		CompactionMergeFanIn:   int(get(CompactionMergeFanIn)),
+		CompactionParallelism:  int(get(CompactionParallelism)),
 	}
 	return cfg
 }

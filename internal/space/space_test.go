@@ -9,11 +9,11 @@ import (
 )
 
 func TestDefsComplete(t *testing.T) {
-	if len(All()) != 15 {
-		t.Fatalf("expected 15 scalar parameters (8 index + 7 system), got %d", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("expected 18 scalar parameters (8 index + 7 system + 3 compaction), got %d", len(All()))
 	}
-	if Dims != 16 {
-		t.Fatalf("Dims = %d, want 16 (paper §V-A)", Dims)
+	if Dims != 19 {
+		t.Fatalf("Dims = %d, want 19 (paper §V-A's 16 + 3 compaction extensions)", Dims)
 	}
 	for p, d := range All() {
 		if d.Name == "" || d.Min >= d.Max {
@@ -127,6 +127,13 @@ func TestDefaultConfigMatchesEngineDefaults(t *testing.T) {
 		got.Parallelism != want.Parallelism || got.CacheRatio != want.CacheRatio ||
 		got.FlushInterval != want.FlushInterval {
 		t.Fatalf("space defaults diverge from engine defaults:\n%+v\n%+v", got, want)
+	}
+	if got.CompactionMergeFanIn != want.CompactionMergeFanIn ||
+		got.CompactionParallelism != want.CompactionParallelism {
+		t.Fatalf("compaction defaults diverge from engine defaults:\n%+v\n%+v", got, want)
+	}
+	if d := got.CompactionTriggerRatio - want.CompactionTriggerRatio; d < -1e-9 || d > 1e-9 {
+		t.Fatalf("compaction trigger ratio default %v, want %v", got.CompactionTriggerRatio, want.CompactionTriggerRatio)
 	}
 }
 

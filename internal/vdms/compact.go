@@ -1,0 +1,274 @@
+package vdms
+
+import (
+	"fmt"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
+)
+
+// The background compactor. Milvus bounds delete-heavy workloads with two
+// compaction flavors — single-segment compaction (drop rows past a
+// tombstone ratio) and merge compaction (coalesce undersized segments) —
+// and this file implements both for live collections:
+//
+//   - a sealed segment whose tombstone ratio reaches
+//     Config.CompactionTriggerRatio is rewritten: live rows are kept, the
+//     index is rebuilt, deleted rows are physically dropped;
+//   - runs of undersized sealed segments (live rows below the seal
+//     threshold) are merged into full ones, up to
+//     Config.CompactionMergeFanIn sources and one seal budget per new
+//     segment;
+//   - tombstones whose rows were dropped are garbage-collected, restoring
+//     the bounded search over-fetch (k + live tombstones).
+//
+// One pass plans deterministically under the lock (sealed segments are
+// kept in seq order), executes its rewrite/merge tasks on a
+// parallel.Parallel pool of Config.CompactionParallelism workers, and
+// commits results in plan order. New segments take fresh seqs assigned at
+// plan time and index-build seeds derived from them, so workers=1 and
+// workers=N produce bit-identical segments and search results. A pass
+// loops until no trigger fires; at most one pass runs at a time.
+
+// compactTask rewrites (one source) or merges (several sources, in seq
+// order) sealed segments into at most one new segment.
+type compactTask struct {
+	sources []*sealedSegment
+}
+
+// compactInput is a task's gathered build input: the sources' live rows in
+// id order, plus the tombstoned ids being physically dropped.
+type compactInput struct {
+	vecs    [][]float32
+	ids     []int64
+	dropped []int64
+}
+
+// planCompactionLocked selects the current pass's tasks. Callers hold
+// c.mu. The plan depends only on the sealed-segment state (seq-ordered)
+// and the tombstone set, so it is deterministic for a given call sequence.
+func (c *Collection) planCompactionLocked() []compactTask {
+	trigger := c.cfg.compactionTriggerRatio()
+	fanIn := c.cfg.compactionMergeFanIn()
+	var tasks []compactTask
+	rewriting := make(map[*sealedSegment]bool)
+	// (a) rewrite tombstone-heavy segments.
+	for _, seg := range c.sealed {
+		if seg.noCompact {
+			continue
+		}
+		if seg.dead > 0 && float64(seg.dead) >= trigger*float64(len(seg.ids)) {
+			tasks = append(tasks, compactTask{sources: []*sealedSegment{seg}})
+			rewriting[seg] = true
+		}
+	}
+	// (b) merge runs of undersized segments (live rows below the seal
+	// threshold) into full ones, up to fanIn sources and one seal budget
+	// per group. Only groups of >= 2 become tasks, so a lone partial tail
+	// is left alone instead of being rewritten for nothing.
+	var group []*sealedSegment
+	groupLive := 0
+	flush := func() {
+		if len(group) >= 2 {
+			tasks = append(tasks, compactTask{sources: group})
+		}
+		group = nil
+		groupLive = 0
+	}
+	for _, seg := range c.sealed {
+		if rewriting[seg] || seg.noCompact {
+			continue
+		}
+		live := len(seg.ids) - seg.dead
+		if live >= c.sealRows {
+			continue
+		}
+		if len(group) == fanIn || groupLive+live > c.sealRows {
+			flush()
+		}
+		group = append(group, seg)
+		groupLive += live
+	}
+	flush()
+	return tasks
+}
+
+// gatherLocked snapshots a task's build input. Callers hold c.mu.
+func (c *Collection) gatherLocked(t compactTask) compactInput {
+	var in compactInput
+	for _, seg := range t.sources {
+		for i, id := range seg.ids {
+			if _, dead := c.tombstones[id]; dead {
+				in.dropped = append(in.dropped, id)
+				continue
+			}
+			in.vecs = append(in.vecs, seg.vecs[i])
+			in.ids = append(in.ids, id)
+		}
+	}
+	// Sources are visited in seq order, which is not id order once
+	// segments have been compacted before; canonicalize.
+	index.SortRowsByID(in.vecs, in.ids)
+	return in
+}
+
+// buildCompacted builds the replacement segment for one task outside the
+// lock. A task whose rows are all dead yields (nil, nil): the sources are
+// simply dropped.
+func buildCompacted(cfg Config, metric linalg.Metric, dim int, in compactInput, seq int64) (*sealedSegment, error) {
+	if len(in.ids) == 0 {
+		return nil, nil
+	}
+	bp := cfg.Build
+	bp.Seed = cfg.Build.Seed + seq*7919
+	bp.Workers = cfg.Parallelism
+	m := metric
+	if m == linalg.Angular {
+		m = linalg.L2 // inputs were normalized on insert
+	}
+	idx, err := index.New(cfg.IndexType, m, dim, bp)
+	if err == nil {
+		err = idx.Build(in.vecs, in.ids)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &sealedSegment{seq: seq, vecs: in.vecs, ids: in.ids, idx: idx}, nil
+}
+
+// maybeCompactLocked starts a background compaction pass when a trigger
+// fires and no pass is already running. Callers hold c.mu.
+func (c *Collection) maybeCompactLocked() {
+	if c.compacting || c.closed {
+		return
+	}
+	if len(c.planCompactionLocked()) == 0 {
+		return
+	}
+	c.compacting = true
+	c.compactDone = make(chan struct{})
+	go c.compactPass()
+}
+
+// compactPass is the compactor goroutine: it loops plan → execute →
+// commit until no trigger fires (or the collection closes), then signals
+// completion. Source segments stay searchable until their replacement is
+// committed, and searches are unaffected throughout — dropped rows were
+// already tombstone-filtered.
+func (c *Collection) compactPass() {
+	for {
+		c.mu.Lock()
+		var plan []compactTask
+		if !c.closed {
+			plan = c.planCompactionLocked()
+		}
+		if len(plan) == 0 {
+			c.compacting = false
+			close(c.compactDone)
+			c.mu.Unlock()
+			return
+		}
+		cfg := c.cfg
+		metric, dim := c.metric, c.dim
+		inputs := make([]compactInput, len(plan))
+		seqs := make([]int64, len(plan))
+		for i, t := range plan {
+			inputs[i] = c.gatherLocked(t)
+			seqs[i] = c.sealSeq
+			c.sealSeq++
+		}
+		c.mu.Unlock()
+
+		segs := make([]*sealedSegment, len(plan))
+		errs := make([]error, len(plan))
+		parallel.Parallel(cfg.compactionParallelism(), len(plan), func(i int) {
+			segs[i], errs[i] = buildCompacted(cfg, metric, dim, inputs[i], seqs[i])
+		})
+
+		c.mu.Lock()
+		for i, t := range plan {
+			if errs[i] != nil {
+				err := errs[i]
+				c.buildErrOnce.Do(func() { c.buildErr = err })
+				// Sources stay in place, still searchable, but are
+				// excluded from future plans: re-planning would select
+				// the same deterministic failure forever and hang
+				// Flush/Close in waitCompactions.
+				for _, seg := range t.sources {
+					seg.noCompact = true
+				}
+				continue
+			}
+			c.removeSealedLocked(t.sources)
+			if ns := segs[i]; ns != nil {
+				// Deletes may have landed on rows gathered as live.
+				for _, id := range ns.ids {
+					if _, dead := c.tombstones[id]; dead {
+						ns.dead++
+					}
+				}
+				c.insertSealedLocked(ns)
+			}
+			// The dropped rows exist nowhere anymore (ids are never
+			// reused): their tombstones are garbage.
+			for _, id := range inputs[i].dropped {
+				delete(c.tombstones, id)
+			}
+			c.compactedSegments += int64(len(t.sources))
+			c.reclaimedRows += int64(len(inputs[i].dropped))
+		}
+		c.compactionPasses++
+		c.mu.Unlock()
+	}
+}
+
+// removeSealedLocked drops the given segments from c.sealed. Callers hold
+// c.mu.
+func (c *Collection) removeSealedLocked(drop []*sealedSegment) {
+	dropping := make(map[*sealedSegment]bool, len(drop))
+	for _, seg := range drop {
+		dropping[seg] = true
+	}
+	keep := c.sealed[:0]
+	for _, seg := range c.sealed {
+		if !dropping[seg] {
+			keep = append(keep, seg)
+		}
+	}
+	for i := len(keep); i < len(c.sealed); i++ {
+		c.sealed[i] = nil
+	}
+	c.sealed = keep
+}
+
+// Compact synchronously runs compaction to quiescence: it triggers a pass
+// if any segment warrants one and blocks until the compactor goes idle.
+// It returns the first background error, if any. Searches remain served
+// throughout.
+func (c *Collection) Compact() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("vdms: collection closed")
+	}
+	c.maybeCompactLocked()
+	c.mu.Unlock()
+	c.waitCompactions()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.buildErr
+}
+
+// waitCompactions blocks until no compaction pass is running. It tolerates
+// passes started while it waits (each pass closes its own done channel).
+func (c *Collection) waitCompactions() {
+	c.mu.Lock()
+	for c.compacting {
+		done := c.compactDone
+		c.mu.Unlock()
+		<-done
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}

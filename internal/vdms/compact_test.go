@@ -1,0 +1,346 @@
+package vdms
+
+import (
+	"testing"
+	"time"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+)
+
+// churnCollection builds a collection with 4 sealed segments of 250 rows
+// and then deletes every other id, returning the collection, the inserted
+// vectors, and the ids.
+func churnCollection(t *testing.T, cfg Config) (*Collection, [][]float32, []int64) {
+	t.Helper()
+	coll, err := NewCollection(cfg, linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coll.Close() })
+	vecs := randVecs(1000, 8, 42)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var dead []int64
+	for i := 0; i < len(ids); i += 2 {
+		dead = append(dead, ids[i])
+	}
+	if n, err := coll.Delete(dead); err != nil || n != len(dead) {
+		t.Fatalf("Delete = %d, %v; want %d", n, err, len(dead))
+	}
+	// Quiesce any compaction the deletes triggered.
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return coll, vecs, ids
+}
+
+// searchWork measures the distance-computation work of one query.
+func searchWork(t *testing.T, coll *Collection, q []float32, k int) int64 {
+	t.Helper()
+	var st index.Stats
+	if _, err := coll.Search(q, k, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.DistComps + st.CodeComps
+}
+
+func TestCompactionReclaimsChurn(t *testing.T) {
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randVecs(1000, 8, 42)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fullStats := coll.Stats()
+	fullWork := searchWork(t, coll, vecs[1], 10)
+
+	// Mass delete: every other id. The deletes trigger background
+	// compaction; Flush quiesces it.
+	var dead []int64
+	for i := 0; i < len(ids); i += 2 {
+		dead = append(dead, ids[i])
+	}
+	if n, err := coll.Delete(dead); err != nil || n != len(dead) {
+		t.Fatalf("Delete = %d, %v; want %d", n, err, len(dead))
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := coll.Stats()
+	// All tombstones must be garbage-collected: the over-fetch margin
+	// (k + Tombstones) no longer scales with the all-time delete count.
+	if st.Tombstones != 0 {
+		t.Fatalf("tombstones = %d after compaction, want 0 (all GC'd)", st.Tombstones)
+	}
+	if st.Rows != 500 {
+		t.Fatalf("live rows = %d, want 500", st.Rows)
+	}
+	if st.ReclaimedRows != 500 {
+		t.Fatalf("reclaimed rows = %d, want 500", st.ReclaimedRows)
+	}
+	if st.CompactionPasses == 0 || st.CompactedSegments == 0 {
+		t.Fatalf("compaction counters empty: %+v", st)
+	}
+	// The footprint must shrink below the pre-delete (== uncompacted,
+	// since tombstones free nothing) level.
+	if st.MemoryBytes >= fullStats.MemoryBytes {
+		t.Fatalf("memory not reclaimed: %d >= pre-delete %d", st.MemoryBytes, fullStats.MemoryBytes)
+	}
+	// Per-search scanned work must shrink with the corpus, not grow with
+	// the delete history.
+	if afterWork := searchWork(t, coll, vecs[1], 10); afterWork >= fullWork {
+		t.Fatalf("search work after compaction %d >= pre-delete %d", afterWork, fullWork)
+	}
+
+	// Results stay correct: live vectors findable, deleted ids absent.
+	for _, probe := range []int{1, 501, 999} {
+		res, err := coll.Search(vecs[probe], 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("probe %d returned %d results, want 5", probe, len(res))
+		}
+		if res[0].ID != ids[probe] {
+			t.Fatalf("probe %d: self-search top hit %+v, want id %d", probe, res[0], ids[probe])
+		}
+		for _, r := range res {
+			if r.ID%2 == 0 {
+				t.Fatalf("deleted id %d returned after compaction", r.ID)
+			}
+		}
+	}
+
+	// Compact on a quiesced collection is a cheap no-op.
+	if err := coll.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s := coll.Stats(); s.Sealed != st.Sealed || s.Rows != 500 {
+		t.Fatalf("idempotent Compact changed state: %+v -> %+v", st, s)
+	}
+}
+
+func TestCompactionDeterministicAcrossWorkers(t *testing.T) {
+	// workers=1 and workers=N must produce bit-identical sealed segments
+	// and search results.
+	mk := func(parallelism, compactWorkers int) *Collection {
+		cfg := liveConfig()
+		cfg.Parallelism = parallelism
+		cfg.CompactionParallelism = compactWorkers
+		coll, _, _ := churnCollection(t, cfg)
+		if err := coll.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		return coll
+	}
+	a := mk(1, 1)
+	b := mk(8, 8)
+
+	a.mu.RLock()
+	bSegs := b.sealed
+	aSegs := a.sealed
+	a.mu.RUnlock()
+	if len(aSegs) != len(bSegs) {
+		t.Fatalf("segment layouts differ: %d vs %d", len(aSegs), len(bSegs))
+	}
+	for i := range aSegs {
+		if len(aSegs[i].ids) != len(bSegs[i].ids) {
+			t.Fatalf("segment %d sizes differ: %d vs %d", i, len(aSegs[i].ids), len(bSegs[i].ids))
+		}
+		for j := range aSegs[i].ids {
+			if aSegs[i].ids[j] != bSegs[i].ids[j] {
+				t.Fatalf("segment %d id %d differs: %d vs %d", i, j, aSegs[i].ids[j], bSegs[i].ids[j])
+			}
+		}
+		if aSegs[i].idx.MemoryBytes() != bSegs[i].idx.MemoryBytes() {
+			t.Fatalf("segment %d index sizes differ", i)
+		}
+	}
+
+	queries := randVecs(20, 8, 77)
+	var stA, stB index.Stats
+	resA, err := a.SearchBatch(queries, 7, &stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := b.SearchBatch(queries, 7, &stB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA != stB {
+		t.Fatalf("search work differs: %+v vs %+v", stA, stB)
+	}
+	for qi := range resA {
+		if len(resA[qi]) != len(resB[qi]) {
+			t.Fatalf("query %d result lengths differ", qi)
+		}
+		for j := range resA[qi] {
+			if resA[qi][j] != resB[qi][j] {
+				t.Fatalf("query %d result %d differs: %+v vs %+v", qi, j, resA[qi][j], resB[qi][j])
+			}
+		}
+	}
+}
+
+func TestCompactionMergesUndersizedSegments(t *testing.T) {
+	// sealRows = 512*0.25*400/512 = 100; three 30-row flushes create three
+	// undersized sealed segments that the compactor must merge into one.
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	var all [][]float32
+	var ids []int64
+	for round := 0; round < 3; round++ {
+		vecs := randVecs(30, 8, int64(round))
+		got, err := coll.Insert(vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, vecs...)
+		ids = append(ids, got...)
+		if err := coll.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coll.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := coll.Stats()
+	if st.Sealed != 1 {
+		t.Fatalf("merge left %d sealed segments, want 1 (%+v)", st.Sealed, st)
+	}
+	if st.Rows != 90 || st.GrowingRows != 0 {
+		t.Fatalf("rows after merge: %+v", st)
+	}
+	if st.CompactedSegments < 2 {
+		t.Fatalf("merge consumed %d segments, want >= 2", st.CompactedSegments)
+	}
+	for probe := 0; probe < len(all); probe += 13 {
+		res, err := coll.Search(all[probe], 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != ids[probe] {
+			t.Fatalf("probe %d lost after merge: %+v, want id %d", probe, res, ids[probe])
+		}
+	}
+}
+
+func TestDeleteReclaimedIDsStayDeleted(t *testing.T) {
+	// Deleting a growing row physically removes it and GCs its tombstone
+	// at once; a re-delete of the same id must still count 0.
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	ids, err := coll.Insert(randVecs(30, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := coll.Delete(ids[:10]); n != 10 {
+		t.Fatalf("Delete = %d, want 10", n)
+	}
+	if d := coll.Deleted(); d != 0 {
+		t.Fatalf("growing deletes left %d tombstones, want 0 (physically removed)", d)
+	}
+	if n, _ := coll.Delete(ids[:10]); n != 0 {
+		t.Fatalf("re-delete of reclaimed growing ids counted %d, want 0", n)
+	}
+	if st := coll.Stats(); st.Rows != 20 || st.GrowingRows != 20 {
+		t.Fatalf("stats after growing delete: %+v", st)
+	}
+
+	// Same invariant through the sealed + compacted path.
+	sealed, _, sids := churnCollection(t, liveConfig())
+	if d := sealed.Deleted(); d != 0 {
+		t.Fatalf("tombstones = %d after compaction, want 0", d)
+	}
+	var again []int64
+	for i := 0; i < len(sids); i += 2 {
+		again = append(again, sids[i])
+	}
+	if n, _ := sealed.Delete(again); n != 0 {
+		t.Fatalf("re-delete of compacted-away ids counted %d, want 0", n)
+	}
+	if st := sealed.Stats(); st.Rows != 500 {
+		t.Fatalf("re-delete changed live rows: %+v", st)
+	}
+}
+
+func TestSearchDimMismatch(t *testing.T) {
+	// Regression: Search used to panic (index out of range inside the
+	// distance kernel) on a wrong-dimension query; it must return the same
+	// validation error SearchBatch does.
+	coll, err := NewCollection(liveConfig(), linalg.L2, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	if _, err := coll.Insert(randVecs(300, 8, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float32{nil, {1, 2}, make([]float32, 9)} {
+		if _, err := coll.Search(q, 3, nil); err == nil {
+			t.Fatalf("Search accepted dim-%d query on dim-8 collection", len(q))
+		}
+	}
+	// Valid queries still work.
+	if _, err := coll.Search(make([]float32, 8), 3, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseWaitsForInFlightBuilds(t *testing.T) {
+	// Regression for the Close race: an Insert landing between Close's
+	// build-wait and its closed=true used to spawn a background build that
+	// Close never waited for. Close now sets closed first, so after it
+	// returns no build can be in flight and the segment layout is frozen.
+	for iter := 0; iter < 8; iter++ {
+		coll, err := NewCollection(liveConfig(), linalg.L2, 8, 100) // sealRows = 48
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func(seed int64) {
+			defer close(done)
+			for i := 0; ; i++ {
+				if _, err := coll.Insert(randVecs(48, 8, seed+int64(i))); err != nil {
+					return // collection closed
+				}
+			}
+		}(int64(1000 * iter))
+		time.Sleep(time.Millisecond)
+		if err := coll.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		st := coll.Stats()
+		if st.Sealing != 0 {
+			t.Fatalf("Close returned with %d builds still in flight", st.Sealing)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if st2 := coll.Stats(); st2.Sealed != st.Sealed || st2.Sealing != 0 {
+			t.Fatalf("segment layout changed after Close: %+v -> %+v", st, st2)
+		}
+	}
+}

@@ -3,10 +3,12 @@
 // segment lifecycle, per-segment ANN indexes, a bounded-consistency window,
 // intra-query parallelism, and memory accounting.
 //
-// The engine exposes exactly the 16-dimensional configuration surface of
-// the paper (index type + 8 index parameters + 7 system parameters) and
-// reports deterministic simulated performance derived from the real work
-// its index structures perform; see DESIGN.md "Substitutions".
+// The engine exposes the 16-dimensional configuration surface of the
+// paper (index type + 8 index parameters + 7 system parameters), extended
+// with three compaction parameters (trigger ratio, merge fan-in,
+// compactor parallelism), and reports deterministic simulated performance
+// derived from the real work its index structures perform; see DESIGN.md
+// "Substitutions".
 package vdms
 
 import (
@@ -55,6 +57,22 @@ type Config struct {
 	// build load.
 	FlushInterval float64
 
+	// CompactionTriggerRatio is the tombstone ratio (deleted rows /
+	// total rows) at which the compactor rewrites a sealed segment,
+	// physically dropping deleted rows and rebuilding its index, range
+	// [0.05, 0.95]. Zero means the default (0.2). Lower values reclaim
+	// memory eagerly at the cost of more rebuild work.
+	CompactionTriggerRatio float64
+	// CompactionMergeFanIn is the maximum number of undersized sealed
+	// segments merged into one during a compaction pass, range [2, 16].
+	// Zero means the default (4).
+	CompactionMergeFanIn int
+	// CompactionParallelism is the compactor worker-pool size: how many
+	// rewrite/merge tasks of one pass run concurrently, range [1, 16].
+	// Zero means the default (2). Like every engine pool it is
+	// deterministic: any value produces bit-identical segments.
+	CompactionParallelism int
+
 	// Concurrency is the number of in-flight search requests during
 	// replay (the paper uses 10). Zero means 10. It is a workload
 	// property, not a tuned parameter.
@@ -73,7 +91,12 @@ func DefaultConfig() Config {
 		Parallelism:    4,
 		CacheRatio:     0.3,
 		FlushInterval:  10,
-		Concurrency:    10,
+
+		CompactionTriggerRatio: 0.2,
+		CompactionMergeFanIn:   4,
+		CompactionParallelism:  2,
+
+		Concurrency: 10,
 	}
 }
 
@@ -103,6 +126,17 @@ func (c *Config) Validate() error {
 	if c.FlushInterval < 1 || c.FlushInterval > 120 {
 		return fmt.Errorf("vdms: flushInterval %v outside [1, 120]", c.FlushInterval)
 	}
+	// Compaction knobs accept zero ("use default") for compatibility with
+	// configurations recorded before the compactor existed.
+	if c.CompactionTriggerRatio != 0 && (c.CompactionTriggerRatio < 0.05 || c.CompactionTriggerRatio > 0.95) {
+		return fmt.Errorf("vdms: compaction_triggerRatio %v outside [0.05, 0.95]", c.CompactionTriggerRatio)
+	}
+	if c.CompactionMergeFanIn != 0 && (c.CompactionMergeFanIn < 2 || c.CompactionMergeFanIn > 16) {
+		return fmt.Errorf("vdms: compaction_mergeFanIn %v outside [2, 16]", c.CompactionMergeFanIn)
+	}
+	if c.CompactionParallelism != 0 && (c.CompactionParallelism < 1 || c.CompactionParallelism > 16) {
+		return fmt.Errorf("vdms: compaction_parallelism %v outside [1, 16]", c.CompactionParallelism)
+	}
 	return nil
 }
 
@@ -111,4 +145,25 @@ func (c *Config) concurrency() int {
 		return 10
 	}
 	return c.Concurrency
+}
+
+func (c *Config) compactionTriggerRatio() float64 {
+	if c.CompactionTriggerRatio == 0 {
+		return 0.2
+	}
+	return c.CompactionTriggerRatio
+}
+
+func (c *Config) compactionMergeFanIn() int {
+	if c.CompactionMergeFanIn == 0 {
+		return 4
+	}
+	return c.CompactionMergeFanIn
+}
+
+func (c *Config) compactionParallelism() int {
+	if c.CompactionParallelism == 0 {
+		return 2
+	}
+	return c.CompactionParallelism
 }

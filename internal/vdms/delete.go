@@ -8,12 +8,15 @@ import (
 
 // Deletion support for live collections. Milvus implements deletes as
 // tombstones filtered at query time until compaction; this file does the
-// same: deleted ids are recorded in a set, filtered out of every search,
-// and physically removed from growing data immediately (sealed segments
-// are immutable, so their tombstones persist until a rebuild).
+// same: deleted ids in sealed/sealing data are recorded in a set and
+// filtered out of every search until the compactor (compact.go) rewrites
+// their segments, while deletes of growing rows are applied physically at
+// once and never tombstoned. The tombstone set therefore stays bounded by
+// the dead rows actually awaiting compaction.
 
-// Delete marks ids as deleted. Unknown ids are ignored (idempotent, as in
-// Milvus). It returns the number of ids newly tombstoned.
+// Delete marks ids as deleted. Unknown or already-deleted ids are ignored
+// (idempotent, as in Milvus). It returns the number of ids newly deleted,
+// and may trigger a background compaction pass.
 func (c *Collection) Delete(ids []int64) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -24,6 +27,10 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 		c.tombstones = make(map[int64]struct{})
 	}
 	added := 0
+	pruneGrowing := false
+	// Growing ids can be unsorted (failed-build requeues), so membership
+	// uses a set built at most once per call rather than a scan per id.
+	var growing map[int64]struct{}
 	for _, id := range ids {
 		if id < 0 || id >= c.nextID {
 			continue
@@ -31,16 +38,38 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 		if _, dup := c.tombstones[id]; dup {
 			continue
 		}
+		seg, present := c.locateLocked(id)
+		if !present {
+			if growing == nil {
+				growing = make(map[int64]struct{}, len(c.growingIDs))
+				for _, gid := range c.growingIDs {
+					growing[gid] = struct{}{}
+				}
+			}
+			if _, ok := growing[id]; !ok {
+				// Never existed under this id, or already deleted and
+				// physically reclaimed.
+				continue
+			}
+			// A growing row: pruned below.
+			pruneGrowing = true
+		}
 		c.tombstones[id] = struct{}{}
 		added++
+		c.rows--
+		if seg != nil {
+			seg.dead++
+		}
 	}
 	// Compact the growing tail in place: growing data is mutable, so
-	// tombstoned rows can be dropped immediately.
-	if added > 0 && len(c.growingVecs) > 0 {
+	// tombstoned rows are dropped immediately — and since they then exist
+	// nowhere, their tombstones are garbage-collected on the spot.
+	if pruneGrowing && len(c.growingVecs) > 0 {
 		keepV := c.growingVecs[:0]
 		keepI := c.growingIDs[:0]
 		for i, id := range c.growingIDs {
 			if _, dead := c.tombstones[id]; dead {
+				delete(c.tombstones, id)
 				continue
 			}
 			keepV = append(keepV, c.growingVecs[i])
@@ -49,10 +78,15 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 		c.growingVecs = keepV
 		c.growingIDs = keepI
 	}
+	if added > 0 {
+		c.maybeCompactLocked()
+	}
 	return added, nil
 }
 
-// Deleted reports the current tombstone count.
+// Deleted reports the live tombstone count: deleted ids still physically
+// present in sealed/sealing data and awaiting compaction. It is the
+// search over-fetch margin, not the all-time delete count.
 func (c *Collection) Deleted() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -12,7 +12,9 @@ import (
 // Instance is an opened collection: the dataset partitioned into sealed
 // (indexed) segments plus a growing tail that is brute-force searched, as
 // in Milvus. Instances are immutable after Open and safe for concurrent
-// Search calls.
+// Search calls. They model a delete-free snapshot: churn (deletes,
+// tombstone GC, segment compaction) is the live Collection's domain — see
+// live.go and compact.go.
 type Instance struct {
 	cfg Config
 	ds  *workload.Dataset

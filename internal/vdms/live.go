@@ -2,6 +2,7 @@ package vdms
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"vdtuner/internal/index"
@@ -14,6 +15,9 @@ import (
 // the configured proportion of the segment budget; sealed segments get
 // their index built by a background worker while remaining brute-force
 // searchable, exactly like Milvus' growing/sealed/indexed lifecycle.
+// Delete-heavy workloads are kept bounded by a background compactor that
+// rewrites tombstone-heavy segments and merges undersized ones; see
+// compact.go.
 //
 // Collection complements Open/Evaluate (the static, simulated-clock path
 // used by the tuner): it is the substrate for wall-clock measurements and
@@ -28,19 +32,36 @@ type Collection struct {
 
 	mu     sync.RWMutex
 	nextID int64
-	rows   int64
+	// rows counts live (inserted and not deleted) rows.
+	rows int64
 	// growing is the current unsealed segment.
 	growingVecs [][]float32
 	growingIDs  []int64
 	// sealing holds segments whose index build is in flight; they are
 	// scanned exactly until the build lands.
 	sealing []*sealingSegment
-	sealed  []index.Index
+	// sealed holds indexed segments, kept sorted by seq so iteration
+	// order (and therefore planning and merging) is deterministic no
+	// matter when each background build happened to land.
+	sealed  []*sealedSegment
 	sealSeq int64
-	// tombstones holds deleted ids, filtered from every search (see
-	// delete.go).
+	// tombstones holds deleted ids that are still physically present in
+	// sealed or sealing data; they are filtered from every search (see
+	// delete.go) and garbage-collected when compaction drops the rows.
+	// Deleted growing rows are removed physically at once and never
+	// linger here, so len(tombstones) — the search over-fetch margin —
+	// is bounded by the dead rows awaiting compaction, not by the
+	// all-time delete count.
 	tombstones map[int64]struct{}
 	closed     bool
+
+	// Compactor state; see compact.go. compacting guards the single
+	// in-flight pass, compactDone is closed when it finishes.
+	compacting        bool
+	compactDone       chan struct{}
+	compactionPasses  int64
+	compactedSegments int64
+	reclaimedRows     int64
 
 	builds sync.WaitGroup
 	// buildErr records the first background build failure.
@@ -51,6 +72,23 @@ type Collection struct {
 type sealingSegment struct {
 	vecs [][]float32
 	ids  []int64
+}
+
+// sealedSegment is one indexed segment. The raw rows are retained next to
+// the built index (the analogue of Milvus keeping segment binlogs): they
+// are what compaction rewrites. ids are ascending.
+type sealedSegment struct {
+	seq  int64
+	vecs [][]float32
+	ids  []int64
+	idx  index.Index
+	// dead counts this segment's rows that are tombstoned.
+	dead int
+	// noCompact excludes a segment whose compaction rebuild failed from
+	// further planning, so a deterministic build error cannot spin the
+	// compactor forever; the segment stays searchable and its tombstones
+	// keep filtering.
+	noCompact bool
 }
 
 // NewCollection creates an empty live collection. expectedRows scales the
@@ -107,6 +145,10 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 // sealLocked moves the growing segment into the sealing state and starts
 // its background index build. Callers hold c.mu.
 func (c *Collection) sealLocked() {
+	// Canonical row order: growing rows are normally already ascending by
+	// id, but rows requeued by a failed build may not be; sorting here
+	// keeps the sealed-segment invariant (ids ascending) unconditionally.
+	index.SortRowsByID(c.growingVecs, c.growingIDs)
 	seg := &sealingSegment{vecs: c.growingVecs, ids: c.growingIDs}
 	c.growingVecs = nil
 	c.growingIDs = nil
@@ -140,17 +182,73 @@ func (c *Collection) sealLocked() {
 		if err != nil {
 			c.buildErrOnce.Do(func() { c.buildErr = err })
 			// Keep the data searchable: put the rows back into growing.
-			c.growingVecs = append(c.growingVecs, seg.vecs...)
-			c.growingIDs = append(c.growingIDs, seg.ids...)
+			// Rows tombstoned while the build was in flight are dropped
+			// here (growing data is mutable), and their tombstones are
+			// no longer needed.
+			for i, id := range seg.ids {
+				if _, dead := c.tombstones[id]; dead {
+					delete(c.tombstones, id)
+					continue
+				}
+				c.growingVecs = append(c.growingVecs, seg.vecs[i])
+				c.growingIDs = append(c.growingIDs, id)
+			}
 			return
 		}
-		c.sealed = append(c.sealed, idx)
+		ss := &sealedSegment{seq: seq, vecs: seg.vecs, ids: seg.ids, idx: idx}
+		// Deletes may have landed while the build was in flight.
+		for _, id := range ss.ids {
+			if _, dead := c.tombstones[id]; dead {
+				ss.dead++
+			}
+		}
+		c.insertSealedLocked(ss)
+		c.maybeCompactLocked()
 	}()
 }
 
+// insertSealedLocked places seg into c.sealed keeping seq order.
+func (c *Collection) insertSealedLocked(seg *sealedSegment) {
+	i := sort.Search(len(c.sealed), func(j int) bool { return c.sealed[j].seq > seg.seq })
+	c.sealed = append(c.sealed, nil)
+	copy(c.sealed[i+1:], c.sealed[i:])
+	c.sealed[i] = seg
+}
+
+// containsSorted reports whether the ascending id slice contains id.
+func containsSorted(ids []int64, id int64) bool {
+	n := len(ids)
+	if n == 0 || id < ids[0] || id > ids[n-1] {
+		return false
+	}
+	i := sort.Search(n, func(j int) bool { return ids[j] >= id })
+	return i < n && ids[i] == id
+}
+
+// locateLocked reports where id currently lives among the immutable
+// segment states: the sealed segment containing it (nil when it is in a
+// sealing segment) and whether it was found at all. Sealed and sealing
+// segments keep their ids ascending (sealLocked sorts), so each probe is
+// a binary search. Growing data is NOT consulted — its ids can be
+// unsorted after a failed-build requeue; callers that need growing
+// membership build a set (see Delete). Callers hold c.mu.
+func (c *Collection) locateLocked(id int64) (*sealedSegment, bool) {
+	for _, seg := range c.sealed {
+		if containsSorted(seg.ids, id) {
+			return seg, true
+		}
+	}
+	for _, seg := range c.sealing {
+		if containsSorted(seg.ids, id) {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
 // Flush seals the current growing segment (even if partial) and blocks
-// until every pending index build completes. It returns the first build
-// error, if any.
+// until every pending index build and compaction pass completes. It
+// returns the first background error, if any.
 func (c *Collection) Flush() error {
 	c.mu.Lock()
 	if len(c.growingVecs) > 0 {
@@ -158,6 +256,7 @@ func (c *Collection) Flush() error {
 	}
 	c.mu.Unlock()
 	c.builds.Wait()
+	c.waitCompactions()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.buildErr
@@ -169,6 +268,9 @@ func (c *Collection) Flush() error {
 func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
+	}
+	if len(q) != c.dim {
+		return nil, fmt.Errorf("vdms: query has dim %d, want %d", len(q), c.dim)
 	}
 	qq := q
 	m := c.metric
@@ -191,11 +293,13 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 // read lock may call it concurrently — that is how SearchBatch fans out.
 func (c *Collection) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
 	// Over-fetch to survive tombstone filtering: deleted ids may occupy
-	// top slots inside immutable sealed segments.
+	// top slots inside immutable sealed segments. The margin is the live
+	// tombstone count — dead rows still physically present and awaiting
+	// compaction — not the all-time delete count.
 	fetch := k + len(c.tombstones)
 	lists := make([][]linalg.Neighbor, 0, len(c.sealed)+len(c.sealing)+1)
-	for _, idx := range c.sealed {
-		lists = append(lists, idx.Search(qq, fetch, c.cfg.Search, st))
+	for _, seg := range c.sealed {
+		lists = append(lists, seg.idx.Search(qq, fetch, c.cfg.Search, st))
 	}
 	for _, seg := range c.sealing {
 		lists = append(lists, index.ScanSubset(m, qq, seg.vecs, seg.ids, fetch, st))
@@ -259,11 +363,22 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 
 // CollectionStats is a point-in-time snapshot of a live collection.
 type CollectionStats struct {
+	// Rows is the live row count (inserted minus deleted).
 	Rows        int64
 	Sealed      int
 	Sealing     int
 	GrowingRows int
 	MemoryBytes int64
+	// Tombstones is the number of deleted ids still physically present
+	// in sealed/sealing data — the search over-fetch margin. Compaction
+	// drives it back toward zero.
+	Tombstones int
+	// CompactionPasses counts completed compactor passes;
+	// CompactedSegments the source segments rewritten or merged away;
+	// ReclaimedRows the deleted rows physically dropped.
+	CompactionPasses  int64
+	CompactedSegments int64
+	ReclaimedRows     int64
 }
 
 // Stats reports the collection's current segment layout and footprint.
@@ -271,14 +386,22 @@ func (c *Collection) Stats() CollectionStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	s := CollectionStats{
-		Rows:        c.rows,
-		Sealed:      len(c.sealed),
-		Sealing:     len(c.sealing),
-		GrowingRows: len(c.growingVecs),
+		Rows:              c.rows,
+		Sealed:            len(c.sealed),
+		Sealing:           len(c.sealing),
+		GrowingRows:       len(c.growingVecs),
+		Tombstones:        len(c.tombstones),
+		CompactionPasses:  c.compactionPasses,
+		CompactedSegments: c.compactedSegments,
+		ReclaimedRows:     c.reclaimedRows,
 	}
 	bytesPerRow := int64(c.dim) * 4
-	for _, idx := range c.sealed {
-		s.MemoryBytes += idx.MemoryBytes()
+	for _, seg := range c.sealed {
+		// The retained raw rows (the binlog analogue compaction
+		// rewrites) share their backing arrays with the index for the
+		// vector-storing index types (FLAT, IVF_FLAT, HNSW), so only
+		// the index footprint is counted — as before the compactor.
+		s.MemoryBytes += seg.idx.MemoryBytes()
 	}
 	for _, seg := range c.sealing {
 		s.MemoryBytes += int64(len(seg.vecs)) * bytesPerRow
@@ -287,11 +410,17 @@ func (c *Collection) Stats() CollectionStats {
 	return s
 }
 
-// Close waits for pending builds and marks the collection unusable.
+// Close marks the collection unusable, then waits for pending builds and
+// compactions. The closed flag is set under the lock *before* waiting so
+// that no Insert racing with Close can seal a segment whose background
+// build Close would miss.
 func (c *Collection) Close() error {
-	c.builds.Wait()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	c.mu.Unlock()
+	c.builds.Wait()
+	c.waitCompactions()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.buildErr
 }
