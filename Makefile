@@ -1,10 +1,12 @@
 # Developer / CI entry points. `make ci` is the gate: vet, the full test
-# suite under the race detector, and a single pass over every benchmark so
-# the macro experiments at least compile and run.
+# suite under the race detector, a single pass over every benchmark so the
+# macro experiments at least compile and run, the alloc-gate tests in
+# strict mode (so the zero-allocation query-path guarantee cannot be
+# silently skipped), and a bench-json smoke pass.
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-churn ci
+.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate ci
 
 all: build
 
@@ -33,4 +35,32 @@ bench:
 bench-churn:
 	$(GO) test -bench=SearchAfterDeletes -benchtime=1x .
 
-ci: vet race bench
+# The query-path benchmark trajectory: the root churn + SearchBatch
+# worker-scaling benchmarks and the per-index single-query benchmarks,
+# with allocation stats, written to BENCH_query.json. The file is
+# committed so future performance PRs diff against a baseline; only
+# regenerate it deliberately, on the baseline machine.
+BENCH_JSON_OUT ?= BENCH_query.json
+
+bench-json:
+	@set -e; tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
+	if ! $(GO) test -run '^$$' -bench 'SearchAfterDeletes|SearchBatchWorkers' -benchmem -benchtime=1x . > "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT) < "$$tmp"; \
+	echo "wrote $(BENCH_JSON_OUT)"
+
+# The ci smoke pass: same pipeline, but written to a throwaway path so a
+# routine `make ci` cannot overwrite the committed baseline.
+bench-json-smoke:
+	@$(MAKE) --no-print-directory bench-json BENCH_JSON_OUT="$$(mktemp -u)"
+
+# The allocation regression fence, run without -race and in strict mode:
+# a skipped or missing gate fails the build instead of passing silently.
+alloc-gate:
+	@$(GO) test -list 'TestAllocGate' ./internal/index | grep -q TestAllocGateSearch \
+		|| { echo "alloc-gate tests missing from ./internal/index"; exit 1; }
+	ALLOC_GATE_STRICT=1 $(GO) test -run 'TestAllocGate' -count=1 ./internal/index
+
+ci: vet race bench alloc-gate bench-json-smoke

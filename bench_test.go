@@ -19,6 +19,7 @@ func benchOpts(seed int64) bench.Options {
 }
 
 func BenchmarkFigure1Heatmap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure1(io.Discard, benchOpts(1)); err != nil {
 			b.Fatal(err)
@@ -27,6 +28,7 @@ func BenchmarkFigure1Heatmap(b *testing.B) {
 }
 
 func BenchmarkFigure2IndexVsSystem(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure2(io.Discard, benchOpts(2)); err != nil {
 			b.Fatal(err)
@@ -35,6 +37,7 @@ func BenchmarkFigure2IndexVsSystem(b *testing.B) {
 }
 
 func BenchmarkFigure3IndexProfiles(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := bench.Figure3(io.Discard, benchOpts(3)); err != nil {
 			b.Fatal(err)
@@ -43,6 +46,7 @@ func BenchmarkFigure3IndexProfiles(b *testing.B) {
 }
 
 func BenchmarkTable4Improvement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table4(io.Discard, benchOpts(4)); err != nil {
 			b.Fatal(err)
@@ -51,6 +55,7 @@ func BenchmarkTable4Improvement(b *testing.B) {
 }
 
 func BenchmarkFigure6TuningEfficiency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure6(io.Discard, benchOpts(5)); err != nil {
 			b.Fatal(err)
@@ -59,6 +64,7 @@ func BenchmarkFigure6TuningEfficiency(b *testing.B) {
 }
 
 func BenchmarkFigure7Curves(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure7(io.Discard, benchOpts(6)); err != nil {
 			b.Fatal(err)
@@ -67,6 +73,7 @@ func BenchmarkFigure7Curves(b *testing.B) {
 }
 
 func BenchmarkFigure8Ablation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure8(io.Discard, benchOpts(7)); err != nil {
 			b.Fatal(err)
@@ -75,6 +82,7 @@ func BenchmarkFigure8Ablation(b *testing.B) {
 }
 
 func BenchmarkFigure9ScoreWeights(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure9(io.Discard, benchOpts(8)); err != nil {
 			b.Fatal(err)
@@ -83,6 +91,7 @@ func BenchmarkFigure9ScoreWeights(b *testing.B) {
 }
 
 func BenchmarkFigure10Sampling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure10(io.Discard, benchOpts(9)); err != nil {
 			b.Fatal(err)
@@ -91,6 +100,7 @@ func BenchmarkFigure10Sampling(b *testing.B) {
 }
 
 func BenchmarkTable5BestConfigs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table5(io.Discard, benchOpts(10)); err != nil {
 			b.Fatal(err)
@@ -99,6 +109,7 @@ func BenchmarkTable5BestConfigs(b *testing.B) {
 }
 
 func BenchmarkFigure11Convergence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure11(io.Discard, benchOpts(11)); err != nil {
 			b.Fatal(err)
@@ -107,6 +118,7 @@ func BenchmarkFigure11Convergence(b *testing.B) {
 }
 
 func BenchmarkFigure12Preference(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure12(io.Discard, benchOpts(12)); err != nil {
 			b.Fatal(err)
@@ -115,6 +127,7 @@ func BenchmarkFigure12Preference(b *testing.B) {
 }
 
 func BenchmarkFigure13CostAware(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Figure13(io.Discard, benchOpts(13)); err != nil {
 			b.Fatal(err)
@@ -123,6 +136,7 @@ func BenchmarkFigure13CostAware(b *testing.B) {
 }
 
 func BenchmarkTable6Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table6(io.Discard, benchOpts(14)); err != nil {
 			b.Fatal(err)
@@ -131,6 +145,7 @@ func BenchmarkTable6Overhead(b *testing.B) {
 }
 
 func BenchmarkScalabilityLargeDataset(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Scalability(io.Discard, benchOpts(15)); err != nil {
 			b.Fatal(err)
@@ -139,6 +154,7 @@ func BenchmarkScalabilityLargeDataset(b *testing.B) {
 }
 
 func BenchmarkHolisticVsIndividual(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.HolisticVsIndividual(io.Discard, benchOpts(16)); err != nil {
 			b.Fatal(err)
@@ -147,6 +163,7 @@ func BenchmarkHolisticVsIndividual(b *testing.B) {
 }
 
 func BenchmarkDesignAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.DesignAblations(io.Discard, benchOpts(17)); err != nil {
 			b.Fatal(err)
@@ -159,6 +176,7 @@ func BenchmarkDesignAblations(b *testing.B) {
 // post-churn search path. It fails if compaction does not shrink the
 // per-query scanned work below the pre-delete level.
 func BenchmarkSearchAfterDeletes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Churn(io.Discard, benchOpts(18))
 		if err != nil {

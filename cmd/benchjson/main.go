@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin, possibly concatenated from several test binary runs) into a
+// stable JSON document for benchmark-trajectory tracking. The Makefile's
+// bench-json target pipes the root query-path benchmarks through it into
+// BENCH_query.json, which is committed so future performance PRs have a
+// baseline to diff against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Entry is one benchmark measurement line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Note       string  `json:"note"`
+	GoOS       string  `json:"goos,omitempty"`
+	GoArch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Note: "query-path benchmark trajectory; regenerate with `make bench-json`"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	meta := regexp.MustCompile(`^(goos|goarch|cpu): (.+)$`)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := meta.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				doc.GoOS = m[2]
+			case "goarch":
+				doc.GoArch = m[2]
+			case "cpu":
+				doc.CPU = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		e.Procs, _ = strconv.Atoi(m[2])
+		e.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		e.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		e.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -230,6 +230,7 @@ func TestHyperparameterSelectionPrefersGoodFit(t *testing.T) {
 }
 
 func BenchmarkFit100x16(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	x := make([][]float64, 100)
 	y := make([]float64, 100)
@@ -249,6 +250,7 @@ func BenchmarkFit100x16(b *testing.B) {
 }
 
 func BenchmarkPredict(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	x := make([][]float64, 150)
 	y := make([]float64, 150)

@@ -1,0 +1,147 @@
+package index
+
+import (
+	"os"
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+// The alloc gates: steady-state Search on the quantized and graph indexes
+// must perform zero heap allocations per query beyond the caller-visible
+// result slice, and SearchBatch only the documented batch-level constant.
+// These tests are the regression fence for the pooled-scratch query path;
+// `make ci` runs them in strict mode (ALLOC_GATE_STRICT=1), where the
+// under-race skip becomes a failure so the gate cannot silently vanish
+// from the pipeline.
+
+// allocGateSkip skips under -race (instrumentation allocates) unless
+// strict mode demands the gate actually ran.
+func allocGateSkip(t *testing.T) {
+	t.Helper()
+	if !raceEnabled {
+		return
+	}
+	if os.Getenv("ALLOC_GATE_STRICT") != "" {
+		t.Fatal("alloc-gate tests cannot run under -race, but ALLOC_GATE_STRICT is set; run them without -race")
+	}
+	t.Skip("alloc accounting is skewed by -race instrumentation")
+}
+
+// allocCases are the index types the issue gates. FLAT and SCANN ride
+// along: they share the same scratch machinery.
+var allocCases = []struct {
+	name string
+	typ  Type
+	bp   BuildParams
+	sp   SearchParams
+}{
+	{"HNSW", HNSW, BuildParams{HNSWM: 12, EfConstruction: 80, Seed: 31}, SearchParams{Ef: 48}},
+	{"IVF_FLAT", IVFFlat, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8}},
+	{"IVF_PQ", IVFPQ, BuildParams{NList: 16, M: 8, NBits: 6, Seed: 31}, SearchParams{NProbe: 8}},
+	{"IVF_SQ8", IVFSQ8, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8}},
+	{"FLAT", Flat, BuildParams{}, SearchParams{}},
+	{"SCANN", SCANN, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8, ReorderK: 30}},
+}
+
+// TestAllocGateSearch asserts the per-query allocation budget of Search:
+// exactly the one caller-visible result slice, nothing else.
+func TestAllocGateSearch(t *testing.T) {
+	allocGateSkip(t)
+	vecs, ids, queries, _ := testData(t, 1500, 16, 32, 10, 33)
+	store := linalg.MatrixFromRows(vecs)
+	for _, tc := range allocCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := New(tc.typ, linalg.L2, 32, tc.bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Build(store, ids); err != nil {
+				t.Fatal(err)
+			}
+			// One run sweeps the whole query set, so the implicit warm-up
+			// run reaches every buffer's high-water mark before counting.
+			perRun := testing.AllocsPerRun(20, func() {
+				for _, q := range queries {
+					idx.Search(q, 10, tc.sp, nil)
+				}
+			})
+			perQuery := perRun / float64(len(queries))
+			// Budget: the returned neighbor slice and its heap header —
+			// at most one allocation per query.
+			if perQuery > 1 {
+				t.Fatalf("%s Search allocates %.2f objects/query, want <= 1 (the result slice)", tc.name, perQuery)
+			}
+		})
+	}
+}
+
+// TestAllocGateSearchBatch asserts the batch path's budget: per-query
+// result slices plus a small documented batch-level constant (result
+// matrix, per-query stats slots, per-worker scratch checkout).
+func TestAllocGateSearchBatch(t *testing.T) {
+	allocGateSkip(t)
+	vecs, ids, queries, _ := testData(t, 1500, 16, 32, 10, 34)
+	store := linalg.MatrixFromRows(vecs)
+	for _, tc := range allocCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := New(tc.typ, linalg.L2, 32, tc.bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Build(store, ids); err != nil {
+				t.Fatal(err)
+			}
+			sp := tc.sp
+			sp.Workers = 1 // deterministic worker count for the budget
+			perRun := testing.AllocsPerRun(20, func() {
+				idx.SearchBatch(queries, 10, sp, nil)
+			})
+			// Budget: one result slice per query + 4 batch-level
+			// allocations (out, per-query stats, scratch table, heap
+			// growth slack).
+			budget := float64(len(queries) + 4)
+			if perRun > budget {
+				t.Fatalf("%s SearchBatch allocates %.1f objects/batch, want <= %.0f", tc.name, perRun, budget)
+			}
+		})
+	}
+}
+
+// TestScratchReuseIsDeterministic asserts that scratch pooling cannot leak
+// state between queries: repeated Searches of the same query return
+// bit-identical results, interleaved with other queries that dirty the
+// pooled buffers.
+func TestScratchReuseIsDeterministic(t *testing.T) {
+	vecs, ids, queries, _ := testData(t, 1200, 12, 32, 10, 35)
+	store := linalg.MatrixFromRows(vecs)
+	for _, tc := range allocCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := New(tc.typ, linalg.L2, 32, tc.bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Build(store, ids); err != nil {
+				t.Fatal(err)
+			}
+			var first [][]linalg.Neighbor
+			for _, q := range queries {
+				first = append(first, idx.Search(q, 10, tc.sp, nil))
+			}
+			for round := 0; round < 3; round++ {
+				for qi, q := range queries {
+					got := idx.Search(q, 10, tc.sp, nil)
+					if len(got) != len(first[qi]) {
+						t.Fatalf("round %d query %d: %d results, first run had %d", round, qi, len(got), len(first[qi]))
+					}
+					for i := range got {
+						if got[i] != first[qi][i] {
+							t.Fatalf("round %d query %d result %d: %+v != first run %+v",
+								round, qi, i, got[i], first[qi][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -26,8 +26,8 @@ func newAutoIndex(m linalg.Metric, dim int, p BuildParams) (*autoIndex, error) {
 
 func (a *autoIndex) Type() Type { return AutoIndex }
 
-func (a *autoIndex) Build(vecs [][]float32, ids []int64) error {
-	return a.inner.Build(vecs, ids)
+func (a *autoIndex) Build(store *linalg.Matrix, ids []int64) error {
+	return a.inner.Build(store, ids)
 }
 
 func (a *autoIndex) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Neighbor {
@@ -43,3 +43,6 @@ func (a *autoIndex) SearchBatch(queries [][]float32, k int, p SearchParams, st *
 func (a *autoIndex) MemoryBytes() int64 { return a.inner.MemoryBytes() }
 
 func (a *autoIndex) BuildStats() Stats { return a.inner.BuildStats() }
+
+// StoreAdopted delegates: whatever the inner index did with the arena.
+func (a *autoIndex) StoreAdopted() bool { return a.inner.StoreAdopted() }

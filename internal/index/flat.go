@@ -8,13 +8,15 @@ import (
 
 // flat is the exhaustive index: it scans every stored vector per query.
 // It is exact (recall 1.0 by construction) and the slowest option on large
-// segments, matching Milvus' FLAT.
+// segments, matching Milvus' FLAT. The scan streams the arena with the
+// blocked kernels, one cache-friendly pass.
 type flat struct {
-	metric linalg.Metric
-	dim    int
-	vecs   [][]float32
-	ids    []int64
-	built  bool
+	metric  linalg.Metric
+	dim     int
+	store   *linalg.Matrix
+	ids     []int64
+	built   bool
+	scratch scratchPool
 }
 
 func newFlat(m linalg.Metric, dim int) *flat {
@@ -23,34 +25,44 @@ func newFlat(m linalg.Metric, dim int) *flat {
 
 func (f *flat) Type() Type { return Flat }
 
-func (f *flat) Build(vecs [][]float32, ids []int64) error {
+func (f *flat) pool() *scratchPool { return &f.scratch }
+
+func (f *flat) Build(store *linalg.Matrix, ids []int64) error {
 	if f.built {
 		return fmt.Errorf("flat: Build called twice")
 	}
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("flat: %d vectors but %d ids", len(vecs), len(ids))
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("flat: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	for i, v := range vecs {
-		if len(v) != f.dim {
-			return fmt.Errorf("flat: vector %d has dim %d, want %d", i, len(v), f.dim)
-		}
+	if store.Dim() != f.dim {
+		return fmt.Errorf("flat: store has dim %d, want %d", store.Dim(), f.dim)
 	}
-	f.vecs = vecs
+	if !store.Packed() {
+		return fmt.Errorf("flat: store must be packed (stride == dim)")
+	}
+	f.store = store
 	f.ids = ids
 	f.built = true
 	return nil
 }
 
-func (f *flat) Search(q []float32, k int, _ SearchParams, st *Stats) []linalg.Neighbor {
-	if len(f.vecs) == 0 || k < 1 {
+func (f *flat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	return searchPooled(f, q, k, p, st)
+}
+
+func (f *flat) searchWith(q []float32, k int, _ SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+	if f.store == nil || f.store.Rows() == 0 || k < 1 {
 		return nil
 	}
-	top := linalg.NewTopK(k)
-	for i, v := range f.vecs {
-		top.Push(f.ids[i], linalg.Distance(f.metric, q, v))
+	n := f.store.Rows()
+	s.dists = f32Buf(s.dists, n)
+	linalg.DistanceBlock(f.metric, q, f.store.Data(), s.dists)
+	top := s.top.Reset(k)
+	for i, d := range s.dists {
+		top.Push(f.ids[i], d)
 	}
-	accumulate(st, Stats{DistComps: int64(len(f.vecs))})
-	return top.Results()
+	accumulate(st, Stats{DistComps: int64(n)})
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (f *flat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -58,21 +70,38 @@ func (f *flat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats
 }
 
 func (f *flat) MemoryBytes() int64 {
-	return int64(len(f.vecs)) * int64(f.dim) * float32Bytes
+	if f.store == nil {
+		return 0
+	}
+	return f.store.Bytes()
 }
 
 func (f *flat) BuildStats() Stats { return Stats{} }
 
-// ScanSubset searches an explicit subset of vectors exhaustively. The
-// engine uses it for growing (unsealed) segment tails.
-func ScanSubset(m linalg.Metric, q []float32, vecs [][]float32, ids []int64, k int, st *Stats) []linalg.Neighbor {
-	if len(vecs) == 0 || k < 1 {
+// StoreAdopted: flat retains the caller's arena as its only storage.
+func (f *flat) StoreAdopted() bool { return true }
+
+// scanPool serves ScanStore: the subset scans of growing/sealing segments
+// share one package-level scratch pool.
+var scanPool scratchPool
+
+// ScanStore searches an explicit arena of vectors exhaustively; the store
+// must be packed (stride == dim). The engine uses it for growing
+// (unsealed) segment tails.
+func ScanStore(m linalg.Metric, q []float32, store *linalg.Matrix, ids []int64, k int, st *Stats) []linalg.Neighbor {
+	if store == nil || store.Rows() == 0 || k < 1 {
 		return nil
 	}
-	top := linalg.NewTopK(k)
-	for i, v := range vecs {
-		top.Push(ids[i], linalg.Distance(m, q, v))
+	s := scanPool.get()
+	n := store.Rows()
+	s.dists = f32Buf(s.dists, n)
+	linalg.DistanceBlock(m, q, store.Data(), s.dists)
+	top := s.top.Reset(k)
+	for i, d := range s.dists {
+		top.Push(ids[i], d)
 	}
-	accumulate(st, Stats{DistComps: int64(len(vecs))})
-	return top.Results()
+	accumulate(st, Stats{DistComps: int64(n)})
+	out := top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	scanPool.put(s)
+	return out
 }

@@ -15,6 +15,11 @@ import (
 // degree) and efConstruction (build beam width). Search parameter: ef
 // (query beam width, clamped up to k).
 //
+// Vectors live in a flat arena (linalg.Matrix); the beam search tracks
+// visited nodes in an epoch-stamped array and draws its frontier and
+// result heaps from a reusable scratch, so a steady-state query performs
+// no heap allocations beyond the returned neighbor slice.
+//
 // Build is parallel but deterministic. Nodes are inserted in waves whose
 // sizes depend only on the corpus size: every node in a wave plans its
 // neighbor lists concurrently against the frozen pre-wave graph (a pure
@@ -31,7 +36,7 @@ type hnsw struct {
 	seed    int64
 	workers int
 
-	vecs     [][]float32
+	store    *linalg.Matrix
 	ids      []int64
 	links    [][][]int32 // links[node][layer] -> neighbor nodes
 	levels   []int
@@ -41,6 +46,7 @@ type hnsw struct {
 	work     Stats
 
 	levelMult float64
+	scratch   scratchPool
 }
 
 // hnswWaveCap bounds how many nodes plan concurrently per wave. It is a
@@ -73,43 +79,56 @@ func newHNSW(metric linalg.Metric, dim int, p BuildParams) (*hnsw, error) {
 
 func (h *hnsw) Type() Type { return HNSW }
 
+func (h *hnsw) pool() *scratchPool { return &h.scratch }
+
 // dist evaluates one distance and charges it to st.
 func (h *hnsw) dist(st *Stats, a, b []float32) float32 {
 	st.DistComps++
 	return linalg.Distance(h.metric, a, b)
 }
 
-func (h *hnsw) Build(vecs [][]float32, ids []int64) error {
+// row is the arena accessor for node vectors.
+func (h *hnsw) row(i int32) []float32 { return h.store.Row(int(i)) }
+
+func (h *hnsw) Build(store *linalg.Matrix, ids []int64) error {
 	if h.built {
 		return fmt.Errorf("hnsw: Build called twice")
 	}
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("hnsw: %d vectors but %d ids", len(vecs), len(ids))
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("hnsw: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	for i, v := range vecs {
-		if len(v) != h.dim {
-			return fmt.Errorf("hnsw: vector %d has dim %d, want %d", i, len(v), h.dim)
-		}
+	if store.Dim() != h.dim {
+		return fmt.Errorf("hnsw: store has dim %d, want %d", store.Dim(), h.dim)
 	}
-	h.vecs = vecs
+	if !store.Packed() {
+		return fmt.Errorf("hnsw: store must be packed (stride == dim)")
+	}
+	n := store.Rows()
+	h.store = store
 	h.ids = ids
-	h.links = make([][][]int32, len(vecs))
-	h.levels = make([]int, len(vecs))
+	h.links = make([][][]int32, n)
+	h.levels = make([]int, n)
 	// Draw every level up front, in node order, so the rng consumption is
 	// independent of the wave/parallel structure.
 	rng := rand.New(rand.NewSource(h.seed))
-	for i := range vecs {
+	for i := range h.levels {
 		h.levels[i] = h.randomLevel(rng)
 	}
 
-	if len(vecs) > 0 {
+	if n > 0 {
 		h.links[0] = make([][]int32, h.levels[0]+1)
 		h.entry = 0
 		h.maxLevel = h.levels[0]
 	}
 	workers := parallel.Workers(h.workers)
 	plans := make([]hnswPlan, hnswWaveCap)
-	for lo := 1; lo < len(vecs); {
+	// One search scratch per worker, not per plan slot: the scratch's
+	// visited array is O(n), so scaling it by the worker count (instead
+	// of the 64-slot wave cap) keeps transient build memory bounded by
+	// the actual parallelism. Scratch state never influences results, so
+	// this does not affect the deterministic wave schedule.
+	scratches := make([]searchScratch, parallel.WorkerCount(workers, hnswWaveCap))
+	for lo := 1; lo < n; {
 		// Wave size grows with the inserted prefix (so early nodes still
 		// see a dense graph) up to the fixed cap; it never depends on the
 		// worker count.
@@ -117,13 +136,13 @@ func (h *hnsw) Build(vecs [][]float32, ids []int64) error {
 		if wave > hnswWaveCap {
 			wave = hnswWaveCap
 		}
-		if lo+wave > len(vecs) {
-			wave = len(vecs) - lo
+		if lo+wave > n {
+			wave = n - lo
 		}
 		// Plan phase: pure reads of the pre-wave graph, one goroutine per
-		// node, private Stats.
-		parallel.Parallel(workers, wave, func(w int) {
-			h.plan(lo+w, &plans[w])
+		// node, private Stats per plan slot and one scratch per worker.
+		parallel.WorkerParallel(workers, wave, func(worker, w int) {
+			h.plan(lo+w, &plans[w], &scratches[worker])
 		})
 		// Apply phase: sequential, in node order.
 		for w := 0; w < wave; w++ {
@@ -147,16 +166,20 @@ func (h *hnsw) randomLevel(rng *rand.Rand) int {
 
 // hnswPlan is one node's planned insertion: the neighbor list per layer it
 // will adopt, computed against the frozen pre-wave graph, plus the distance
-// accounting of the planning search.
+// accounting of the planning search and an entry-point buffer reused
+// across waves.
 type hnswPlan struct {
 	layers [][]int32
 	work   Stats
+	eps    []int32
 }
 
-// plan computes node's neighbor lists against the current (frozen) graph.
-// It performs no writes to the graph and charges all distance work to the
-// plan's private Stats, so plans for a whole wave may run concurrently.
-func (h *hnsw) plan(node int, pl *hnswPlan) {
+// plan computes node's neighbor lists against the current (frozen) graph,
+// drawing transient search state from scratch (owned by the calling worker
+// for the whole wave). It performs no writes to the graph and charges all
+// distance work to the plan's private Stats, so plans for a whole wave may
+// run concurrently.
+func (h *hnsw) plan(node int, pl *hnswPlan, scratch *searchScratch) {
 	pl.work = Stats{}
 	level := h.levels[node]
 	top := level
@@ -167,16 +190,21 @@ func (h *hnsw) plan(node int, pl *hnswPlan) {
 	for l := 0; l <= top; l++ {
 		pl.layers = append(pl.layers, nil)
 	}
-	q := h.vecs[node]
+	q := h.row(int32(node))
 	ep := h.entry
 	for l := h.maxLevel; l > level; l-- {
 		ep = h.greedyClosest(q, ep, l, &pl.work)
 	}
-	eps := []int32{int32(ep)}
+	pl.eps = append(pl.eps[:0], int32(ep))
 	for l := top; l >= 0; l-- {
-		cands := h.searchLayer(q, eps, h.efCons, l, &pl.work)
-		pl.layers[l] = h.selectNeighbors(q, cands, h.m, &pl.work)
-		eps = cands
+		cands := h.searchLayer(q, pl.eps, h.efCons, l, &pl.work, scratch)
+		// The beam's nodes, in ascending-distance order, seed both the
+		// neighbor selection and the next layer's entry points.
+		pl.eps = pl.eps[:0]
+		for _, c := range cands {
+			pl.eps = append(pl.eps, int32(c.ID))
+		}
+		pl.layers[l] = h.selectNeighbors(q, pl.eps, h.m, &pl.work)
 	}
 }
 
@@ -213,11 +241,11 @@ func (h *hnsw) apply(node int, pl *hnswPlan) {
 // local minimum, charging distance work to st.
 func (h *hnsw) greedyClosest(q []float32, ep, l int, st *Stats) int {
 	cur := ep
-	curD := h.dist(st, q, h.vecs[cur])
+	curD := h.dist(st, q, h.row(int32(cur)))
 	for {
 		improved := false
 		for _, nb := range h.links[cur][l] {
-			if d := h.dist(st, q, h.vecs[nb]); d < curD {
+			if d := h.dist(st, q, h.row(nb)); d < curD {
 				cur, curD = int(nb), d
 				improved = true
 			}
@@ -229,56 +257,70 @@ func (h *hnsw) greedyClosest(q []float32, ep, l int, st *Stats) int {
 }
 
 // searchLayer is the beam search of the HNSW paper (Algorithm 2). It
-// returns up to ef candidate nodes sorted by ascending distance, charging
-// every distance evaluation to st. It only reads the graph, so concurrent
-// calls are safe while no writer runs.
-func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats) []int32 {
-	visited := map[int32]bool{}
-	type cand struct {
-		node int32
-		d    float32
-	}
-	var frontier []cand // min-ordered by scan (kept sorted)
-	results := linalg.NewTopK(ef)
+// returns up to ef candidates as (node, dist) pairs sorted by ascending
+// distance, charging every distance evaluation to st. The returned slice
+// is owned by s and valid until s's next searchLayer. It only reads the
+// graph, so concurrent calls with distinct scratches are safe while no
+// writer runs.
+func (h *hnsw) searchLayer(q []float32, eps []int32, ef, l int, st *Stats, s *searchScratch) []linalg.Neighbor {
+	stamp := s.beginVisit(h.store.Rows())
+	frontier := s.frontier[:0]
+	results := s.stage1.Reset(ef)
 	for _, ep := range eps {
-		if visited[ep] {
+		if s.visited[ep] == stamp {
 			continue
 		}
-		visited[ep] = true
-		d := h.dist(st, q, h.vecs[ep])
-		frontier = append(frontier, cand{ep, d})
+		s.visited[ep] = stamp
+		d := h.dist(st, q, h.row(ep))
+		frontier = append(frontier, hnswCand{ep, d})
 		results.Push(int64(ep), d)
 	}
-	sort.Slice(frontier, func(i, j int) bool { return frontier[i].d < frontier[j].d })
-	for len(frontier) > 0 {
-		c := frontier[0]
-		frontier = frontier[1:]
+	// Entry points arrive in ascending-distance order (a previous beam's
+	// sorted output, or a single node), so this insertion sort is a
+	// near-no-op guard; it is stable, preserving the order of equal
+	// distances.
+	for i := 1; i < len(frontier); i++ {
+		for j := i; j > 0 && frontier[j].d < frontier[j-1].d; j-- {
+			frontier[j], frontier[j-1] = frontier[j-1], frontier[j]
+		}
+	}
+	// head is the frontier's pop cursor: frontier[head:] is the live
+	// min-ordered queue, kept sorted by binary-search inserts.
+	head := 0
+	for head < len(frontier) {
+		c := frontier[head]
+		head++
 		if results.Full() && c.d > results.Worst() {
 			break
 		}
 		for _, nb := range h.links[c.node][l] {
-			if visited[nb] {
+			if s.visited[nb] == stamp {
 				continue
 			}
-			visited[nb] = true
-			d := h.dist(st, q, h.vecs[nb])
+			s.visited[nb] = stamp
+			d := h.dist(st, q, h.row(nb))
 			if !results.Full() || d < results.Worst() {
 				results.Push(int64(nb), d)
-				// Insert keeping the frontier sorted (small beams, the
-				// linear insert is cheaper than heap churn).
-				pos := sort.Search(len(frontier), func(i int) bool { return frontier[i].d >= d })
-				frontier = append(frontier, cand{})
-				copy(frontier[pos+1:], frontier[pos:])
-				frontier[pos] = cand{nb, d}
+				// Insert keeping frontier[head:] sorted (small beams,
+				// the linear shift is cheaper than heap churn).
+				lo, hi := head, len(frontier)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if frontier[mid].d < d {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				frontier = append(frontier, hnswCand{})
+				copy(frontier[lo+1:], frontier[lo:])
+				frontier[lo] = hnswCand{nb, d}
 			}
 		}
 	}
-	res := results.Results()
-	out := make([]int32, len(res))
-	for i, r := range res {
-		out[i] = int32(r.ID)
-	}
-	return out
+	s.frontier = frontier
+	s.beamOut = results.AppendResults(s.beamOut[:0])
+	return s.beamOut
 }
 
 // selectNeighbors keeps up to m diverse candidates using the HNSW
@@ -299,10 +341,10 @@ func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int, st *Stats) []i
 		if len(out) >= m {
 			break
 		}
-		dq := h.dist(st, q, h.vecs[c])
+		dq := h.dist(st, q, h.row(c))
 		keep := true
 		for _, s := range out {
-			if h.dist(st, h.vecs[c], h.vecs[s]) < dq {
+			if h.dist(st, h.row(c), h.row(s)) < dq {
 				keep = false
 				break
 			}
@@ -326,9 +368,9 @@ func (h *hnsw) selectNeighbors(q []float32, cands []int32, m int, st *Stats) []i
 // same Algorithm 4 heuristic applied with the node itself as the query).
 // It runs only in the sequential apply/repair phases and charges h.work.
 func (h *hnsw) pruneNeighbors(node int, nbs []int32, maxM int) []int32 {
-	v := h.vecs[node]
+	v := h.row(int32(node))
 	sort.Slice(nbs, func(i, j int) bool {
-		return h.dist(&h.work, v, h.vecs[nbs[i]]) < h.dist(&h.work, v, h.vecs[nbs[j]])
+		return h.dist(&h.work, v, h.row(nbs[i])) < h.dist(&h.work, v, h.row(nbs[j]))
 	})
 	return h.selectNeighbors(v, nbs, maxM, &h.work)
 }
@@ -339,7 +381,7 @@ func (h *hnsw) pruneNeighbors(node int, nbs []int32, maxM int) []int32 {
 // permanently unfindable, so the build pays a small extra cost to
 // reconnect them. The work is charged to build stats.
 func (h *hnsw) repairConnectivity() {
-	n := len(h.vecs)
+	n := h.store.Rows()
 	if n == 0 || h.entry < 0 {
 		return
 	}
@@ -366,9 +408,9 @@ func (h *hnsw) repairConnectivity() {
 		// Link u to its nearest already-reachable node, bidirectionally,
 		// then absorb u's component.
 		best := reachable[0]
-		bestD := h.dist(&h.work, h.vecs[u], h.vecs[best])
+		bestD := h.dist(&h.work, h.row(int32(u)), h.row(best))
 		for _, r := range reachable[1:] {
-			if d := h.dist(&h.work, h.vecs[u], h.vecs[r]); d < bestD {
+			if d := h.dist(&h.work, h.row(int32(u)), h.row(r)); d < bestD {
 				best, bestD = r, d
 			}
 		}
@@ -391,7 +433,11 @@ func (h *hnsw) repairConnectivity() {
 }
 
 func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
-	if len(h.vecs) == 0 || k < 1 || h.entry < 0 {
+	return searchPooled(h, q, k, p, st)
+}
+
+func (h *hnsw) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+	if h.store == nil || h.store.Rows() == 0 || k < 1 || h.entry < 0 {
 		return nil
 	}
 	ef := p.Ef
@@ -399,14 +445,13 @@ func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 		ef = k
 	}
 	var work Stats
-	ep := h.entry
-	cur := ep
-	curD := h.dist(&work, q, h.vecs[cur])
+	cur := h.entry
+	curD := h.dist(&work, q, h.row(int32(cur)))
 	for l := h.maxLevel; l > 0; l-- {
 		for {
 			improved := false
 			for _, nb := range h.links[cur][l] {
-				if d := h.dist(&work, q, h.vecs[nb]); d < curD {
+				if d := h.dist(&work, q, h.row(nb)); d < curD {
 					cur, curD = int(nb), d
 					improved = true
 				}
@@ -416,14 +461,17 @@ func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 			}
 		}
 	}
-	cands := h.searchLayer(q, []int32{int32(cur)}, ef, 0, &work)
-	top := linalg.NewTopK(k)
+	s.eps = append(s.eps[:0], int32(cur))
+	// The layer-0 beam already carries every candidate's exact distance,
+	// so the top-k is filled straight from it — no re-computation (and no
+	// second DistComps charge) for the returned candidates.
+	cands := h.searchLayer(q, s.eps, ef, 0, &work, s)
+	top := s.top.Reset(k)
 	for _, c := range cands {
-		top.Push(h.ids[c], linalg.Distance(h.metric, q, h.vecs[c]))
+		top.Push(h.ids[c.ID], c.Dist)
 	}
-	work.DistComps += int64(len(cands))
 	accumulate(st, work)
-	return top.Results()
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (h *hnsw) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -437,7 +485,14 @@ func (h *hnsw) MemoryBytes() int64 {
 			linkCount += int64(len(l))
 		}
 	}
-	return int64(len(h.vecs))*int64(h.dim)*float32Bytes + linkCount*4
+	var vecBytes int64
+	if h.store != nil {
+		vecBytes = h.store.Bytes()
+	}
+	return vecBytes + linkCount*4
 }
 
 func (h *hnsw) BuildStats() Stats { return h.work }
+
+// StoreAdopted: hnsw retains the caller's arena as its vector storage.
+func (h *hnsw) StoreAdopted() bool { return true }

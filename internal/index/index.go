@@ -30,6 +30,17 @@
 // accounting — see the parallel package. A built index is immutable;
 // Search and SearchBatch are safe for arbitrary concurrent use. Build
 // itself is not reentrant (it may be called once, by one goroutine).
+//
+// # Memory layout and the query path
+//
+// Vectors live in flat arenas (linalg.Matrix): one []float32 with
+// stride=dim, scanned by the blocked kernels in linalg. The IVF family
+// additionally groups rows cell-major, so each posting list is one
+// contiguous row range. All transient query state (visited sets, beams,
+// top-k heaps, ADC tables, probe orders) comes from a pooled searchScratch
+// (see scratch.go): steady-state Search performs zero heap allocations
+// beyond the caller-visible result slice, which the alloc-gate tests in
+// alloc_test.go enforce.
 package index
 
 import (
@@ -154,9 +165,18 @@ func (s *Stats) Add(o Stats) {
 type Index interface {
 	// Type identifies the index algorithm.
 	Type() Type
-	// Build trains and populates the index. ids[i] labels vecs[i]; the
-	// slices must have equal length. Build may be called once.
-	Build(vecs [][]float32, ids []int64) error
+	// Build trains and populates the index from a flat vector arena.
+	// ids[i] labels store.Row(i); the lengths must match and the store
+	// must be packed (stride == dim; Slice views qualify, SubspaceView
+	// views do not). The index adopts (and may retain) the store, which
+	// must not be mutated afterwards. Build may be called once.
+	Build(store *linalg.Matrix, ids []int64) error
+	// StoreAdopted reports whether Build retained the caller's arena as
+	// its own vector storage (graph/flat indexes) rather than copying
+	// what it needs (the IVF family re-groups payloads cell-major into
+	// private storage). The engine uses it to account retained segment
+	// binlogs exactly once.
+	StoreAdopted() bool
 	// Search returns up to k nearest neighbors of q, accumulating the
 	// work performed into st (which may be nil).
 	Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor

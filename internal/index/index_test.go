@@ -73,7 +73,7 @@ func buildAndMeasure(t *testing.T, typ Type, bp BuildParams, sp SearchParams) (r
 	if err != nil {
 		t.Fatalf("New(%v): %v", typ, err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatalf("Build(%v): %v", typ, err)
 	}
 	var sum float64
@@ -125,7 +125,7 @@ func TestIVFSQ8Tradeoff(t *testing.T) {
 	}
 	flatIdx, _ := New(Flat, linalg.L2, 32, BuildParams{})
 	vecs, ids, _, _ := testData(t, 2000, 1, 32, 1, 42)
-	if err := flatIdx.Build(vecs, ids); err != nil {
+	if err := flatIdx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	if idx.MemoryBytes() >= flatIdx.MemoryBytes() {
@@ -221,7 +221,7 @@ func TestAllTypesReturnSortedResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New(%v): %v", typ, err)
 		}
-		if err := idx.Build(vecs, ids); err != nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 			t.Fatalf("Build(%v): %v", typ, err)
 		}
 		for _, q := range queries {
@@ -249,10 +249,10 @@ func TestAllTypesBuildTwiceFails(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := idx.Build(vecs, ids); err != nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 			t.Fatalf("first Build(%v): %v", typ, err)
 		}
-		if err := idx.Build(vecs, ids); err == nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err == nil {
 			t.Fatalf("second Build(%v) did not fail", typ)
 		}
 	}
@@ -265,7 +265,7 @@ func TestAllTypesMismatchedIDs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := idx.Build(vecs, []int64{1, 2}); err == nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), []int64{1, 2}); err == nil {
 			t.Fatalf("Build(%v) accepted mismatched ids", typ)
 		}
 	}
@@ -278,7 +278,7 @@ func TestAllTypesMemoryPositive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := idx.Build(vecs, ids); err != nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 			t.Fatal(err)
 		}
 		if idx.MemoryBytes() <= 0 {
@@ -317,17 +317,17 @@ func TestStatsAdd(t *testing.T) {
 	}
 }
 
-func TestScanSubset(t *testing.T) {
+func TestScanStore(t *testing.T) {
 	vecs, ids, queries, truth := testData(t, 200, 5, 8, 5, 15)
 	var st Stats
 	for qi, q := range queries {
-		res := ScanSubset(linalg.L2, q, vecs, ids, 5, &st)
+		res := ScanStore(linalg.L2, q, linalg.MatrixFromRows(vecs), ids, 5, &st)
 		if r := recallOf(res, truth[qi]); r != 1.0 {
-			t.Fatalf("ScanSubset recall = %v, want 1.0", r)
+			t.Fatalf("ScanStore recall = %v, want 1.0", r)
 		}
 	}
 	if st.DistComps != 200*5 {
-		t.Fatalf("ScanSubset work = %d, want %d", st.DistComps, 200*5)
+		t.Fatalf("ScanStore work = %d, want %d", st.DistComps, 200*5)
 	}
 }
 
@@ -339,7 +339,7 @@ func TestInnerProductMetric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := idx.Build(vecs, ids); err != nil {
+		if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 			t.Fatal(err)
 		}
 		res := idx.Search(q, 3, SearchParams{NProbe: 8, Ef: 64, ReorderK: 10}, nil)
@@ -359,12 +359,13 @@ func TestInnerProductMetric(t *testing.T) {
 }
 
 func BenchmarkHNSWSearch(b *testing.B) {
+	b.ReportAllocs()
 	vecs, ids, queries, _ := testData(b, 5000, 10, 64, 10, 17)
 	idx, err := New(HNSW, linalg.L2, 64, BuildParams{HNSWM: 16, EfConstruction: 128, Seed: 17})
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -374,12 +375,13 @@ func BenchmarkHNSWSearch(b *testing.B) {
 }
 
 func BenchmarkIVFFlatSearch(b *testing.B) {
+	b.ReportAllocs()
 	vecs, ids, queries, _ := testData(b, 5000, 10, 64, 10, 18)
 	idx, err := New(IVFFlat, linalg.L2, 64, BuildParams{NList: 64, Seed: 18})
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

@@ -2,22 +2,27 @@ package index
 
 import (
 	"fmt"
-	"sort"
 
 	"vdtuner/internal/kmeans"
 	"vdtuner/internal/linalg"
 )
 
 // ivfCoarse is the shared coarse quantizer of the IVF family: a k-means
-// partition of the data into nlist cells plus the per-cell posting lists.
+// partition of the data into nlist cells. Owners store their payloads
+// (vectors, codes, ids) grouped cell-major — cell c's rows occupy the
+// contiguous grouped range [cellStart[c], cellStart[c+1]) — so a probe
+// scans one contiguous block per cell instead of chasing a posting list of
+// scattered offsets.
 type ivfCoarse struct {
-	metric    linalg.Metric
-	dim       int
-	nlist     int
-	seed      int64
-	workers   int
-	centroids [][]float32
-	lists     [][]int32 // local offsets into the owning index's storage
+	metric  linalg.Metric
+	dim     int
+	nlist   int
+	seed    int64
+	workers int
+	// cents is the nlist x dim centroid arena.
+	cents *linalg.Matrix
+	// cellStart[c] is the first grouped row of cell c; len is ncells+1.
+	cellStart []int32
 	built     bool
 	buildWork Stats
 }
@@ -29,87 +34,186 @@ func newIVFCoarse(m linalg.Metric, dim, nlist int, seed int64, workers int) (*iv
 	return &ivfCoarse{metric: m, dim: dim, nlist: nlist, seed: seed, workers: workers}, nil
 }
 
-// train clusters the vectors and fills the posting lists.
-func (c *ivfCoarse) train(vecs [][]float32) error {
+// train clusters the vectors and returns the grouping permutation: grouped
+// row g holds original row order[g], cells in index order, within-cell rows
+// in original row order (the posting-list order of the previous layout, so
+// scan and therefore result order is unchanged).
+func (c *ivfCoarse) train(store *linalg.Matrix) ([]int32, error) {
 	if c.built {
-		return fmt.Errorf("ivf: Build called twice")
+		return nil, fmt.Errorf("ivf: Build called twice")
 	}
-	if len(vecs) == 0 {
-		return fmt.Errorf("ivf: no vectors")
+	if store == nil || store.Rows() == 0 {
+		return nil, fmt.Errorf("ivf: no vectors")
 	}
-	for i, v := range vecs {
-		if len(v) != c.dim {
-			return fmt.Errorf("ivf: vector %d has dim %d, want %d", i, len(v), c.dim)
-		}
+	if store.Dim() != c.dim {
+		return nil, fmt.Errorf("ivf: store has dim %d, want %d", store.Dim(), c.dim)
 	}
+	if !store.Packed() {
+		return nil, fmt.Errorf("ivf: store must be packed (stride == dim)")
+	}
+	n := store.Rows()
 	sample := 20 * c.nlist
 	if sample < 2000 {
 		sample = 2000
 	}
-	res, err := kmeans.Run(vecs, kmeans.Config{
+	res, err := kmeans.Run(store, kmeans.Config{
 		K: c.nlist, Seed: c.seed, MaxIters: 12, SampleLimit: sample,
 		Workers: c.workers,
 	})
 	if err != nil {
-		return fmt.Errorf("ivf: training: %w", err)
+		return nil, fmt.Errorf("ivf: training: %w", err)
 	}
-	c.centroids = res.Centroids
-	c.lists = make([][]int32, len(c.centroids))
+	c.cents = linalg.MatrixFromRows(res.Centroids)
+	ncells := len(res.Centroids)
+	counts := make([]int32, ncells)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	c.cellStart = make([]int32, ncells+1)
+	for i := 0; i < ncells; i++ {
+		c.cellStart[i+1] = c.cellStart[i] + counts[i]
+	}
+	order := make([]int32, n)
+	fill := make([]int32, ncells)
+	copy(fill, c.cellStart[:ncells])
 	for i, a := range res.Assign {
-		c.lists[a] = append(c.lists[a], int32(i))
+		order[fill[a]] = int32(i)
+		fill[a]++
 	}
 	// Approximate training cost: iters * points * centroids comparisons
 	// on the (possibly sampled) training set plus the final full assign.
-	trainN := len(vecs)
+	trainN := n
 	if trainN > sample {
 		trainN = sample
 	}
-	c.buildWork = Stats{DistComps: int64(res.Iters)*int64(trainN)*int64(len(c.centroids)) +
-		int64(len(vecs))*int64(len(c.centroids))}
+	c.buildWork = Stats{DistComps: int64(res.Iters)*int64(trainN)*int64(ncells) +
+		int64(n)*int64(ncells)}
 	c.built = true
-	return nil
+	return order, nil
 }
 
-// probeOrder returns cell indices sorted by centroid distance to q and
-// charges the coarse comparison work to st.
-func (c *ivfCoarse) probeOrder(q []float32, st *Stats) []int {
-	type cd struct {
-		cell int
-		d    float32
+// cellRange returns the grouped row range of cell c.
+func (c *ivfCoarse) cellRange(cell int32) (lo, hi int32) {
+	return c.cellStart[cell], c.cellStart[cell+1]
+}
+
+// probe returns the nprobe cells nearest to q in ascending centroid
+// distance (ties broken by cell id, keeping the order deterministic) and
+// charges the coarse comparison work to st. The returned slice is owned by
+// s and valid until its next probe. The selection is partial: a bounded
+// max-heap over the centroid distances, O(nlist log nprobe), instead of a
+// full sort — the common nprobe ≪ nlist case skips almost all of the sort
+// work.
+func (c *ivfCoarse) probe(q []float32, nprobe int, st *Stats, s *searchScratch) []int32 {
+	ncells := c.cents.Rows()
+	s.dists = f32Buf(s.dists, ncells)
+	linalg.DistanceBlock(c.metric, q, c.cents.Data(), s.dists)
+	accumulate(st, Stats{DistComps: int64(ncells)})
+
+	// Bounded max-heap of the best nprobe (distance, cell) pairs, worst
+	// at the root; ties order by larger cell id = worse, so the retained
+	// set and the final order are id-deterministic.
+	heap := i32Buf(s.probe, nprobe)[:0]
+	heapD := f32Buf(s.probeD, nprobe)[:0]
+	worse := func(i, j int) bool {
+		return heapD[i] > heapD[j] || (heapD[i] == heapD[j] && heap[i] > heap[j])
 	}
-	ds := make([]cd, len(c.centroids))
-	for i, ct := range c.centroids {
-		ds[i] = cd{i, linalg.Distance(c.metric, q, ct)}
+	swap := func(i, j int) {
+		heap[i], heap[j] = heap[j], heap[i]
+		heapD[i], heapD[j] = heapD[j], heapD[i]
 	}
-	accumulate(st, Stats{DistComps: int64(len(c.centroids))})
-	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
-	order := make([]int, len(ds))
-	for i, x := range ds {
-		order[i] = x.cell
+	siftDown := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < n && worse(l, w) {
+				w = l
+			}
+			if r < n && worse(r, w) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			swap(i, w)
+			i = w
+		}
 	}
-	return order
+	for cell := 0; cell < ncells; cell++ {
+		d := s.dists[cell]
+		if len(heap) < nprobe {
+			heap = append(heap, int32(cell))
+			heapD = append(heapD, d)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(i, parent) {
+					break
+				}
+				swap(i, parent)
+				i = parent
+			}
+			continue
+		}
+		// Replace the root when strictly better: smaller distance, or
+		// equal distance and smaller id.
+		if d > heapD[0] || (d == heapD[0] && int32(cell) > heap[0]) {
+			continue
+		}
+		heap[0], heapD[0] = int32(cell), d
+		siftDown(0, nprobe)
+	}
+	// Heap-sort ascending: pop the worst to the shrinking tail.
+	for n := len(heap) - 1; n > 0; n-- {
+		swap(0, n)
+		siftDown(0, n)
+	}
+	s.probe, s.probeD = heap[:cap(heap)], heapD[:cap(heapD)]
+	return heap
 }
 
 func (c *ivfCoarse) clampProbe(nprobe int) int {
 	if nprobe < 1 {
 		nprobe = 1
 	}
-	if nprobe > len(c.centroids) {
-		nprobe = len(c.centroids)
+	if n := c.cents.Rows(); nprobe > n {
+		nprobe = n
 	}
 	return nprobe
 }
 
 func (c *ivfCoarse) centroidBytes() int64 {
-	return int64(len(c.centroids)) * int64(c.dim) * float32Bytes
+	if c.cents == nil {
+		return 0
+	}
+	return c.cents.Bytes()
 }
 
-// ivfFlat stores raw vectors in IVF posting lists and scans the probed
-// cells exactly, matching Milvus' IVF_FLAT.
+// gatherRows copies store's rows into a fresh arena in grouped order.
+func gatherRows(store *linalg.Matrix, order []int32) *linalg.Matrix {
+	out := linalg.NewMatrix(store.Dim(), len(order))
+	for _, o := range order {
+		out.AppendRow(store.Row(int(o)))
+	}
+	return out
+}
+
+// gatherIDs copies ids into grouped order.
+func gatherIDs(ids []int64, order []int32) []int64 {
+	out := make([]int64, len(order))
+	for g, o := range order {
+		out[g] = ids[o]
+	}
+	return out
+}
+
+// ivfFlat stores raw vectors grouped cell-major and scans the probed
+// cells exactly with the blocked kernels, matching Milvus' IVF_FLAT.
 type ivfFlat struct {
-	coarse *ivfCoarse
-	vecs   [][]float32
-	ids    []int64
+	coarse  *ivfCoarse
+	store   *linalg.Matrix // grouped cell-major
+	ids     []int64        // grouped
+	scratch scratchPool
 }
 
 func newIVFFlat(m linalg.Metric, dim int, p BuildParams) (*ivfFlat, error) {
@@ -126,34 +230,48 @@ func newIVFFlat(m linalg.Metric, dim int, p BuildParams) (*ivfFlat, error) {
 
 func (x *ivfFlat) Type() Type { return IVFFlat }
 
-func (x *ivfFlat) Build(vecs [][]float32, ids []int64) error {
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("ivf_flat: %d vectors but %d ids", len(vecs), len(ids))
+func (x *ivfFlat) pool() *scratchPool { return &x.scratch }
+
+func (x *ivfFlat) Build(store *linalg.Matrix, ids []int64) error {
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("ivf_flat: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	if err := x.coarse.train(vecs); err != nil {
+	order, err := x.coarse.train(store)
+	if err != nil {
 		return err
 	}
-	x.vecs = vecs
-	x.ids = ids
+	x.store = gatherRows(store, order)
+	x.ids = gatherIDs(ids, order)
 	return nil
 }
 
 func (x *ivfFlat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
-	if len(x.vecs) == 0 || k < 1 {
+	return searchPooled(x, q, k, p, st)
+}
+
+func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+	if x.store == nil || x.store.Rows() == 0 || k < 1 {
 		return nil
 	}
-	order := x.coarse.probeOrder(q, st)
-	nprobe := x.coarse.clampProbe(p.NProbe)
-	top := linalg.NewTopK(k)
+	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	data := x.store.Data()
+	dim := x.store.Dim()
+	top := s.top.Reset(k)
 	var scanned int64
-	for _, cell := range order[:nprobe] {
-		for _, off := range x.coarse.lists[cell] {
-			top.Push(x.ids[off], linalg.Distance(x.coarse.metric, q, x.vecs[off]))
+	for _, cell := range cells {
+		lo, hi := x.coarse.cellRange(cell)
+		if lo == hi {
+			continue
 		}
-		scanned += int64(len(x.coarse.lists[cell]))
+		s.dists = f32Buf(s.dists, int(hi-lo))
+		linalg.DistanceBlock(x.coarse.metric, q, data[int(lo)*dim:int(hi)*dim], s.dists)
+		for i, d := range s.dists {
+			top.Push(x.ids[int(lo)+i], d)
+		}
+		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{DistComps: scanned})
-	return top.Results()
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (x *ivfFlat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -161,8 +279,15 @@ func (x *ivfFlat) SearchBatch(queries [][]float32, k int, p SearchParams, st *St
 }
 
 func (x *ivfFlat) MemoryBytes() int64 {
-	return int64(len(x.vecs))*int64(x.coarse.dim)*float32Bytes +
-		x.coarse.centroidBytes() + int64(len(x.vecs))*4 // posting offsets
+	if x.store == nil {
+		return 0
+	}
+	return x.store.Bytes() +
+		x.coarse.centroidBytes() + int64(x.store.Rows())*4 // grouped row ids
 }
 
 func (x *ivfFlat) BuildStats() Stats { return x.coarse.buildWork }
+
+// StoreAdopted: the IVF family copies its payloads into cell-major
+// storage; the caller's arena is not retained.
+func (x *ivfFlat) StoreAdopted() bool { return false }

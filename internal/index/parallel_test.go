@@ -31,7 +31,7 @@ func buildWithWorkers(t *testing.T, typ Type, bp BuildParams, workers int, vecs 
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	return idx
@@ -120,6 +120,66 @@ func TestSearchBatchMatchesSequentialSearch(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestArenaLayoutInvariant is the bit-identity contract of the flat-arena
+// refactor: building from a standalone packed arena and from an offset
+// row-range view of a larger arena (how the engine hands segments to
+// Build) must produce identical search results and Stats for every index
+// type, at workers=1 and workers=N. The vectors are what matter, never
+// their placement.
+func TestArenaLayoutInvariant(t *testing.T) {
+	vecs, ids, queries, _ := testData(t, 1400, 15, 32, 10, 82)
+	// An arena with a foreign prefix and suffix; the corpus is the
+	// interior view.
+	padded := make([][]float32, 0, len(vecs)+2)
+	pad := make([]float32, 32)
+	for i := range pad {
+		pad[i] = 123.5
+	}
+	padded = append(padded, pad)
+	padded = append(padded, vecs...)
+	padded = append(padded, pad)
+	arena := linalg.MatrixFromRows(padded)
+	view := arena.Slice(1, 1+len(vecs))
+
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			standalone := buildWithWorkers(t, tc.typ, tc.bp, 1, vecs, ids)
+			viewBuilt, err := New(tc.typ, linalg.L2, 32, withSeed(tc.bp, 99, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := viewBuilt.Build(view, ids); err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				var sA, sB Stats
+				rA := standalone.Search(q, 10, tc.sp, &sA)
+				rB := viewBuilt.Search(q, 10, tc.sp, &sB)
+				if !reflect.DeepEqual(rA, rB) {
+					t.Fatalf("query %d: arena-view build differs from standalone build\nstandalone: %v\nview:       %v", qi, rA, rB)
+				}
+				if sA != sB {
+					t.Fatalf("query %d: stats differ: %+v vs %+v", qi, sA, sB)
+				}
+			}
+			spN := tc.sp
+			spN.Workers = 8
+			batch := viewBuilt.SearchBatch(queries, 10, spN, nil)
+			for qi, q := range queries {
+				if !reflect.DeepEqual(batch[qi], standalone.Search(q, 10, tc.sp, nil)) {
+					t.Fatalf("query %d: workers=8 batch over the view differs from workers=1 standalone", qi)
+				}
+			}
+		})
+	}
+}
+
+func withSeed(bp BuildParams, seed int64, workers int) BuildParams {
+	bp.Seed = seed
+	bp.Workers = workers
+	return bp
 }
 
 func TestSearchBatchEmptyAndNilStats(t *testing.T) {

@@ -13,15 +13,26 @@ import (
 // matching Milvus' IVF_PQ. Distances are approximate; recall degrades as m
 // shrinks or nbits shrinks, which is exactly the trade-off the tuner must
 // learn.
+//
+// Layout: codes are one flat []uint16 arena grouped cell-major (m entries
+// per row); codebooks are one (m*ksub) x subDim arena whose subspace-s
+// codeword c is row s*ksub+c, so the per-query ADC table build is m blocked
+// kernel calls over contiguous codeword ranges; the table itself is one
+// flat m*ksub []float32 drawn from the query scratch.
 type ivfPQ struct {
 	coarse *ivfCoarse
 	m      int // subquantizers; divides dim
 	nbits  int // code width; codebook size is 1<<nbits
 	subDim int
-	// codebooks[s] is a (1<<nbits) x subDim matrix for subspace s.
-	codebooks [][][]float32
-	codes     [][]uint16 // one code per subspace per vector
-	ids       []int64
+	// books holds the m*ksubN codewords; row s*ksubN+c is codeword c of
+	// subspace s.
+	books *linalg.Matrix
+	// ksubN is the actual per-subspace codebook size: 1<<nbits, clamped
+	// down by the trainer when the corpus is smaller.
+	ksubN   int
+	codes   []uint16 // grouped, m per row
+	ids     []int64  // grouped
+	scratch scratchPool
 }
 
 func newIVFPQ(metric linalg.Metric, dim int, p BuildParams) (*ivfPQ, error) {
@@ -59,89 +70,102 @@ func newIVFPQ(metric linalg.Metric, dim int, p BuildParams) (*ivfPQ, error) {
 
 func (x *ivfPQ) Type() Type { return IVFPQ }
 
-func (x *ivfPQ) Build(vecs [][]float32, ids []int64) error {
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("ivf_pq: %d vectors but %d ids", len(vecs), len(ids))
+func (x *ivfPQ) pool() *scratchPool { return &x.scratch }
+
+func (x *ivfPQ) Build(store *linalg.Matrix, ids []int64) error {
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("ivf_pq: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	if err := x.coarse.train(vecs); err != nil {
+	order, err := x.coarse.train(store)
+	if err != nil {
 		return err
 	}
+	n := store.Rows()
 	ksub := 1 << x.nbits
-	x.codebooks = make([][][]float32, x.m)
-	x.codes = make([][]uint16, len(vecs))
-	codeBuf := make([]uint16, len(vecs)*x.m)
-	for i := range vecs {
-		x.codes[i], codeBuf = codeBuf[:x.m], codeBuf[x.m:]
-	}
-	sub := make([][]float32, len(vecs))
+	x.books = linalg.NewMatrix(x.subDim, x.m*ksub)
+	x.codes = make([]uint16, n*x.m)
 	for s := 0; s < x.m; s++ {
 		lo, hi := s*x.subDim, (s+1)*x.subDim
-		for i, v := range vecs {
-			sub[i] = v[lo:hi]
-		}
-		res, err := kmeans.Run(sub, kmeans.Config{
+		// The subspace view is strided (stride = dim), clustered without
+		// copying the corpus.
+		res, err := kmeans.Run(store.SubspaceView(lo, hi), kmeans.Config{
 			K: ksub, Seed: x.coarse.seed + int64(s) + 1, MaxIters: 10,
 			SampleLimit: 8 * ksub, Workers: x.coarse.workers,
 		})
 		if err != nil {
 			return fmt.Errorf("ivf_pq: codebook %d: %w", s, err)
 		}
-		x.codebooks[s] = res.Centroids
-		for i, a := range res.Assign {
-			x.codes[i][s] = uint16(a)
+		// The trainer clamps K down on small corpora; every subspace
+		// clusters the same row count, so the clamp is uniform.
+		x.ksubN = len(res.Centroids)
+		for _, cw := range res.Centroids {
+			x.books.AppendRow(cw)
+		}
+		for g, o := range order {
+			x.codes[g*x.m+s] = uint16(res.Assign[o])
 		}
 	}
-	x.ids = ids
+	x.ids = gatherIDs(ids, order)
 	// Codebook training cost, scaled to full-dimension units: each
 	// subspace comparison touches subDim of dim dimensions.
 	x.coarse.buildWork.Add(Stats{
-		DistComps: int64(len(vecs)) * int64(ksub) / int64(maxInt(1, x.m)) * int64(x.m) / int64(maxInt(1, x.m)),
-		CodeComps: int64(len(vecs)),
+		DistComps: int64(n) * int64(ksub) / int64(maxInt(1, x.m)) * int64(x.m) / int64(maxInt(1, x.m)),
+		CodeComps: int64(n),
 	})
 	return nil
 }
 
 func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	return searchPooled(x, q, k, p, st)
+}
+
+func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
 		return nil
 	}
-	order := x.coarse.probeOrder(q, st)
-	nprobe := x.coarse.clampProbe(p.NProbe)
+	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
 
-	// Build the ADC lookup tables: table[s][c] is the distance between the
-	// query's subvector s and codeword c. Total work is m * ksub subspace
-	// distances = ksub full-dimension equivalents.
-	ksub := len(x.codebooks[0])
-	tables := make([][]float32, x.m)
-	for s := 0; s < x.m; s++ {
-		lo, hi := s*x.subDim, (s+1)*x.subDim
-		qs := q[lo:hi]
-		tables[s] = make([]float32, ksub)
-		for c, cw := range x.codebooks[s] {
-			if x.coarse.metric == linalg.InnerProduct {
-				tables[s][c] = -linalg.Dot(qs, cw)
-			} else {
-				tables[s][c] = linalg.SquaredL2(qs, cw)
+	// Build the flat ADC lookup table: adc[s*ksub+c] is the distance
+	// between the query's subvector s and codeword c, computed with one
+	// blocked kernel call per subspace over the contiguous codeword
+	// arena. Total work is m * ksub subspace distances = ksub
+	// full-dimension equivalents.
+	ksub := x.ksubN
+	m := x.m
+	adc := f32Buf(s.adc, m*ksub)
+	books := x.books.Data()
+	rowLen := ksub * x.subDim
+	for sub := 0; sub < m; sub++ {
+		qs := q[sub*x.subDim : (sub+1)*x.subDim]
+		out := adc[sub*ksub : (sub+1)*ksub]
+		if x.coarse.metric == linalg.InnerProduct {
+			linalg.DotBlock(qs, books[sub*rowLen:(sub+1)*rowLen], out)
+			for i := range out {
+				out[i] = -out[i]
 			}
+		} else {
+			linalg.SquaredL2Block(qs, books[sub*rowLen:(sub+1)*rowLen], out)
 		}
 	}
+	s.adc = adc
 	accumulate(st, Stats{DistComps: int64(ksub)})
 
-	top := linalg.NewTopK(k)
+	top := s.top.Reset(k)
 	var candidates int64
-	for _, cell := range order[:nprobe] {
-		for _, off := range x.coarse.lists[cell] {
-			code := x.codes[off]
+	for _, cell := range cells {
+		lo, hi := x.coarse.cellRange(cell)
+		for g := int(lo); g < int(hi); g++ {
+			code := x.codes[g*m : (g+1)*m]
 			var d float32
-			for s := 0; s < x.m; s++ {
-				d += tables[s][code[s]]
+			for sub := 0; sub < m; sub++ {
+				d += adc[sub*ksub+int(code[sub])]
 			}
-			top.Push(x.ids[off], d)
+			top.Push(x.ids[g], d)
 		}
-		candidates += int64(len(x.coarse.lists[cell]))
+		candidates += int64(hi - lo)
 	}
-	accumulate(st, Stats{Lookups: candidates * int64(x.m)})
-	return top.Results()
+	accumulate(st, Stats{Lookups: candidates * int64(m)})
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -149,18 +173,23 @@ func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stat
 }
 
 func (x *ivfPQ) MemoryBytes() int64 {
-	ksub := int64(1) << x.nbits
 	codeBytes := int64(1)
 	if x.nbits > 8 {
 		codeBytes = 2
 	}
-	return int64(len(x.codes))*int64(x.m)*codeBytes +
-		int64(x.m)*ksub*int64(x.subDim)*float32Bytes + // codebooks
+	var bookBytes int64
+	if x.books != nil {
+		bookBytes = x.books.Bytes() // exact: m*ksubN rows (ksub may be clamped)
+	}
+	return int64(len(x.ids))*int64(x.m)*codeBytes +
+		bookBytes +
 		x.coarse.centroidBytes() +
-		int64(len(x.codes))*4 // posting offsets
+		int64(len(x.ids))*4 // grouped row ids
 }
 
 func (x *ivfPQ) BuildStats() Stats { return x.coarse.buildWork }
+
+func (x *ivfPQ) StoreAdopted() bool { return false }
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -24,7 +24,7 @@ func TestSQ8CodecRoundTripError(t *testing.T) {
 				vecs[i][j] = float32(rng.NormFloat64() * 10)
 			}
 		}
-		codec := trainSQ8(vecs, dim, 1)
+		codec := trainSQ8(linalg.MatrixFromRows(vecs), dim, 1)
 		code := make([]byte, dim)
 		for _, v := range vecs {
 			codec.encode(v, code)
@@ -57,7 +57,7 @@ func TestSQ8DistancePreservesRanking(t *testing.T) {
 			vecs[i][j] = float32(rng.NormFloat64())
 		}
 	}
-	codec := trainSQ8(vecs, dim, 1)
+	codec := trainSQ8(linalg.MatrixFromRows(vecs), dim, 1)
 	codes := make([][]byte, n)
 	for i, v := range vecs {
 		codes[i] = make([]byte, dim)
@@ -95,7 +95,7 @@ func TestSQ8DistancePreservesRanking(t *testing.T) {
 
 func TestSQ8ConstantDimension(t *testing.T) {
 	vecs := [][]float32{{1, 5}, {2, 5}, {3, 5}}
-	codec := trainSQ8(vecs, 2, 1)
+	codec := trainSQ8(linalg.MatrixFromRows(vecs), 2, 1)
 	code := make([]byte, 2)
 	codec.encode(vecs[0], code)
 	if code[1] != 0 {
@@ -115,7 +115,7 @@ func TestHNSWLayer0Connectivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	h := idx.(*hnsw)
@@ -146,7 +146,7 @@ func TestHNSWLevelDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	h := idx.(*hnsw)
@@ -172,7 +172,7 @@ func TestHNSWDegreeBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	h := idx.(*hnsw)
@@ -198,13 +198,13 @@ func TestPQCodeWidth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.Build(vecs, ids); err != nil {
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
 		t.Fatal(err)
 	}
 	pq := idx.(*ivfPQ)
 	limit := uint16(1) << pq.nbits
-	for i, code := range pq.codes {
-		for s, c := range code {
+	for i := range pq.ids {
+		for s, c := range pq.codes[i*pq.m : (i+1)*pq.m] {
 			if c >= limit {
 				t.Fatalf("vector %d subspace %d code %d >= %d", i, s, c, limit)
 			}

@@ -1,25 +1,29 @@
 package index
 
-import "sort"
+import (
+	"sort"
 
-// SortRowsByID sorts the parallel (vecs, ids) row slices in place by
-// ascending id. The engine keeps every sealed segment's rows in id order:
-// that makes per-segment id membership a binary search (delete routing,
-// tombstone GC) and gives compaction a canonical row order, so merged or
-// rewritten segments are bit-identical regardless of which worker built
-// them. Ids are unique, so the order is total and the sort deterministic.
-func SortRowsByID(vecs [][]float32, ids []int64) {
-	sort.Sort(rowsByID{vecs: vecs, ids: ids})
+	"vdtuner/internal/linalg"
+)
+
+// SortRowsByID sorts the parallel (store, ids) rows in place by ascending
+// id. The engine keeps every sealed segment's rows in id order: that makes
+// per-segment id membership a binary search (delete routing, tombstone GC)
+// and gives compaction a canonical row order, so merged or rewritten
+// segments are bit-identical regardless of which worker built them. Ids
+// are unique, so the order is total and the sort deterministic.
+func SortRowsByID(store *linalg.Matrix, ids []int64) {
+	sort.Sort(rowsByID{store: store, ids: ids})
 }
 
 type rowsByID struct {
-	vecs [][]float32
-	ids  []int64
+	store *linalg.Matrix
+	ids   []int64
 }
 
 func (r rowsByID) Len() int           { return len(r.ids) }
 func (r rowsByID) Less(i, j int) bool { return r.ids[i] < r.ids[j] }
 func (r rowsByID) Swap(i, j int) {
 	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
-	r.vecs[i], r.vecs[j] = r.vecs[j], r.vecs[i]
+	r.store.SwapRows(i, j)
 }

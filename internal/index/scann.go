@@ -10,13 +10,16 @@ import (
 // lists are scored in a quantized domain (SQ8 codes standing in for SCANN's
 // anisotropic quantization), followed by exact re-ranking of the best
 // reorder_k candidates against the retained raw vectors. Parameters:
-// nlist (build); nprobe and reorder_k (search).
+// nlist (build); nprobe and reorder_k (search). Codes and raw vectors are
+// both grouped cell-major, so stage 1 streams contiguous byte ranges and
+// stage 2 re-ranks by grouped row.
 type scann struct {
-	coarse *ivfCoarse
-	codec  *sq8Codec
-	codes  [][]byte
-	vecs   [][]float32 // raw vectors kept for re-ranking
-	ids    []int64
+	coarse  *ivfCoarse
+	codec   *sq8Codec
+	codes   []byte         // grouped
+	store   *linalg.Matrix // grouped raw vectors kept for re-ranking
+	ids     []int64        // grouped
+	scratch scratchPool
 }
 
 func newSCANN(m linalg.Metric, dim int, p BuildParams) (*scann, error) {
@@ -33,58 +36,61 @@ func newSCANN(m linalg.Metric, dim int, p BuildParams) (*scann, error) {
 
 func (x *scann) Type() Type { return SCANN }
 
-func (x *scann) Build(vecs [][]float32, ids []int64) error {
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("scann: %d vectors but %d ids", len(vecs), len(ids))
+func (x *scann) pool() *scratchPool { return &x.scratch }
+
+func (x *scann) Build(store *linalg.Matrix, ids []int64) error {
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("scann: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	if err := x.coarse.train(vecs); err != nil {
+	order, err := x.coarse.train(store)
+	if err != nil {
 		return err
 	}
-	x.codec = trainSQ8(vecs, x.coarse.dim, x.coarse.workers)
-	x.codes = make([][]byte, len(vecs))
-	buf := make([]byte, len(vecs)*x.coarse.dim)
-	for i := range vecs {
-		x.codes[i], buf = buf[:x.coarse.dim], buf[x.coarse.dim:]
-	}
-	x.codec.encodeAll(vecs, x.codes, x.coarse.workers)
-	x.vecs = vecs
-	x.ids = ids
-	x.coarse.buildWork.Add(Stats{CodeComps: int64(len(vecs))})
+	x.codec = trainSQ8(store, x.coarse.dim, x.coarse.workers)
+	x.codes = x.codec.encodeGrouped(store, order, x.coarse.workers)
+	x.store = gatherRows(store, order)
+	x.ids = gatherIDs(ids, order)
+	x.coarse.buildWork.Add(Stats{CodeComps: int64(store.Rows())})
 	return nil
 }
 
 func (x *scann) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	return searchPooled(x, q, k, p, st)
+}
+
+func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
 		return nil
 	}
-	order := x.coarse.probeOrder(q, st)
-	nprobe := x.coarse.clampProbe(p.NProbe)
 	reorder := p.ReorderK
 	if reorder < k {
 		reorder = k
 	}
+	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	dim := x.coarse.dim
 
 	// Stage 1: quantized scoring of the probed cells, keeping the best
-	// reorder_k candidates by local offset.
-	stage1 := linalg.NewTopK(reorder)
+	// reorder_k candidates by grouped row.
+	stage1 := s.stage1.Reset(reorder)
 	var scanned int64
-	for _, cell := range order[:nprobe] {
-		for _, off := range x.coarse.lists[cell] {
-			stage1.Push(int64(off), x.codec.dist(x.coarse.metric, q, x.codes[off]))
+	for _, cell := range cells {
+		lo, hi := x.coarse.cellRange(cell)
+		for g := int(lo); g < int(hi); g++ {
+			stage1.Push(int64(g), x.codec.dist(x.coarse.metric, q, x.codes[g*dim:(g+1)*dim]))
 		}
-		scanned += int64(len(x.coarse.lists[cell]))
+		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{CodeComps: scanned})
 
 	// Stage 2: exact re-ranking of the survivors.
-	cands := stage1.Results()
-	top := linalg.NewTopK(k)
-	for _, c := range cands {
-		off := int(c.ID)
-		top.Push(x.ids[off], linalg.Distance(x.coarse.metric, q, x.vecs[off]))
+	s.neighbors = stage1.AppendResults(s.neighbors[:0])
+	top := s.top.Reset(k)
+	for _, c := range s.neighbors {
+		g := int(c.ID)
+		top.Push(x.ids[g], linalg.Distance(x.coarse.metric, q, x.store.Row(g)))
 	}
-	accumulate(st, Stats{DistComps: int64(len(cands))})
-	return top.Results()
+	accumulate(st, Stats{DistComps: int64(len(s.neighbors))})
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (x *scann) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -92,11 +98,16 @@ func (x *scann) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stat
 }
 
 func (x *scann) MemoryBytes() int64 {
-	return int64(len(x.vecs))*int64(x.coarse.dim)*float32Bytes + // raw
-		int64(len(x.codes))*int64(x.coarse.dim) + // codes
+	if x.store == nil {
+		return 0
+	}
+	return x.store.Bytes() + // raw
+		int64(len(x.codes)) + // codes
 		x.coarse.centroidBytes() +
-		2*int64(x.coarse.dim)*float32Bytes +
-		int64(len(x.codes))*4
+		x.codec.bytes() +
+		int64(len(x.ids))*4
 }
 
 func (x *scann) BuildStats() Stats { return x.coarse.buildWork }
+
+func (x *scann) StoreAdopted() bool { return false }

@@ -20,7 +20,7 @@ type sq8Codec struct {
 	scale []float32 // (max-min)/255 per dim; 0 for constant dims
 }
 
-func trainSQ8(vecs [][]float32, dim, workers int) *sq8Codec {
+func trainSQ8(store *linalg.Matrix, dim, workers int) *sq8Codec {
 	c := &sq8Codec{
 		dim:   dim,
 		min:   make([]float32, dim),
@@ -28,16 +28,17 @@ func trainSQ8(vecs [][]float32, dim, workers int) *sq8Codec {
 	}
 	// Per-chunk min/max, merged in chunk order (min/max are exact, so the
 	// merge order only matters for determinism of NaN handling).
-	nChunks := parallel.NumChunks(len(vecs), sq8Chunk)
+	n := store.Rows()
+	nChunks := parallel.NumChunks(n, sq8Chunk)
 	mins := make([][]float32, nChunks)
 	maxs := make([][]float32, nChunks)
-	parallel.ForRanges(workers, len(vecs), sq8Chunk, func(ch, lo, hi int) {
+	parallel.ForRanges(workers, n, sq8Chunk, func(ch, lo, hi int) {
 		mn := make([]float32, dim)
 		mx := make([]float32, dim)
-		copy(mn, vecs[lo])
-		copy(mx, vecs[lo])
-		for _, v := range vecs[lo+1 : hi] {
-			for j, x := range v {
+		copy(mn, store.Row(lo))
+		copy(mx, store.Row(lo))
+		for i := lo + 1; i < hi; i++ {
+			for j, x := range store.Row(i) {
 				if x < mn[j] {
 					mn[j] = x
 				}
@@ -67,15 +68,18 @@ func trainSQ8(vecs [][]float32, dim, workers int) *sq8Codec {
 	return c
 }
 
-// encodeAll encodes every vector into codes (rows pre-sliced by the
-// caller), fanning rows across the worker pool. Each row writes only its
-// own slot, so the pass is trivially race-free and deterministic.
-func (c *sq8Codec) encodeAll(vecs [][]float32, codes [][]byte, workers int) {
-	parallel.ForRanges(workers, len(vecs), sq8Chunk, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c.encode(vecs[i], codes[i])
+// encodeGrouped encodes every row of store into one flat code arena in
+// grouped order: codes[g*dim:(g+1)*dim] encodes store.Row(order[g]). Rows
+// fan across the worker pool; each grouped slot is written by exactly one
+// chunk, so the pass is race-free and deterministic.
+func (c *sq8Codec) encodeGrouped(store *linalg.Matrix, order []int32, workers int) []byte {
+	codes := make([]byte, len(order)*c.dim)
+	parallel.ForRanges(workers, len(order), sq8Chunk, func(_, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			c.encode(store.Row(int(order[g])), codes[g*c.dim:(g+1)*c.dim])
 		}
 	})
+	return codes
 }
 
 func (c *sq8Codec) encode(v []float32, dst []byte) {
@@ -115,14 +119,21 @@ func (c *sq8Codec) dist(m linalg.Metric, q []float32, code []byte) float32 {
 	}
 }
 
+func (c *sq8Codec) bytes() int64 {
+	return 2 * int64(c.dim) * float32Bytes // min/scale
+}
+
 // ivfSQ8 is IVF with SQ8-compressed posting lists: the probed cells are
 // scanned in the quantized domain (cheaper per candidate, small recall
 // loss), and raw vectors are not retained, matching Milvus' IVF_SQ8.
+// Codes live in one flat arena grouped cell-major, so each probe streams
+// a contiguous byte range.
 type ivfSQ8 struct {
-	coarse *ivfCoarse
-	codec  *sq8Codec
-	codes  [][]byte
-	ids    []int64
+	coarse  *ivfCoarse
+	codec   *sq8Codec
+	codes   []byte // grouped, store.Rows()*dim bytes
+	ids     []int64
+	scratch scratchPool
 }
 
 func newIVFSQ8(m linalg.Metric, dim int, p BuildParams) (*ivfSQ8, error) {
@@ -139,42 +150,45 @@ func newIVFSQ8(m linalg.Metric, dim int, p BuildParams) (*ivfSQ8, error) {
 
 func (x *ivfSQ8) Type() Type { return IVFSQ8 }
 
-func (x *ivfSQ8) Build(vecs [][]float32, ids []int64) error {
-	if len(vecs) != len(ids) {
-		return fmt.Errorf("ivf_sq8: %d vectors but %d ids", len(vecs), len(ids))
+func (x *ivfSQ8) pool() *scratchPool { return &x.scratch }
+
+func (x *ivfSQ8) Build(store *linalg.Matrix, ids []int64) error {
+	if store.Rows() != len(ids) {
+		return fmt.Errorf("ivf_sq8: %d vectors but %d ids", store.Rows(), len(ids))
 	}
-	if err := x.coarse.train(vecs); err != nil {
+	order, err := x.coarse.train(store)
+	if err != nil {
 		return err
 	}
-	x.codec = trainSQ8(vecs, x.coarse.dim, x.coarse.workers)
-	x.codes = make([][]byte, len(vecs))
-	buf := make([]byte, len(vecs)*x.coarse.dim)
-	for i := range vecs {
-		x.codes[i], buf = buf[:x.coarse.dim], buf[x.coarse.dim:]
-	}
-	x.codec.encodeAll(vecs, x.codes, x.coarse.workers)
-	x.ids = ids
+	x.codec = trainSQ8(store, x.coarse.dim, x.coarse.workers)
+	x.codes = x.codec.encodeGrouped(store, order, x.coarse.workers)
+	x.ids = gatherIDs(ids, order)
 	// Encoding charges one code-domain pass over the data.
-	x.coarse.buildWork.Add(Stats{CodeComps: int64(len(vecs))})
+	x.coarse.buildWork.Add(Stats{CodeComps: int64(store.Rows())})
 	return nil
 }
 
 func (x *ivfSQ8) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
+	return searchPooled(x, q, k, p, st)
+}
+
+func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
 		return nil
 	}
-	order := x.coarse.probeOrder(q, st)
-	nprobe := x.coarse.clampProbe(p.NProbe)
-	top := linalg.NewTopK(k)
+	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	dim := x.coarse.dim
+	top := s.top.Reset(k)
 	var scanned int64
-	for _, cell := range order[:nprobe] {
-		for _, off := range x.coarse.lists[cell] {
-			top.Push(x.ids[off], x.codec.dist(x.coarse.metric, q, x.codes[off]))
+	for _, cell := range cells {
+		lo, hi := x.coarse.cellRange(cell)
+		for g := int(lo); g < int(hi); g++ {
+			top.Push(x.ids[g], x.codec.dist(x.coarse.metric, q, x.codes[g*dim:(g+1)*dim]))
 		}
-		scanned += int64(len(x.coarse.lists[cell]))
+		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{CodeComps: scanned})
-	return top.Results()
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 }
 
 func (x *ivfSQ8) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -182,10 +196,16 @@ func (x *ivfSQ8) SearchBatch(queries [][]float32, k int, p SearchParams, st *Sta
 }
 
 func (x *ivfSQ8) MemoryBytes() int64 {
-	return int64(len(x.codes))*int64(x.coarse.dim) + // 1 byte/dim codes
+	var codecBytes int64
+	if x.codec != nil {
+		codecBytes = x.codec.bytes()
+	}
+	return int64(len(x.codes)) + // 1 byte/dim codes
 		x.coarse.centroidBytes() +
-		2*int64(x.coarse.dim)*float32Bytes + // codec min/scale
-		int64(len(x.codes))*4 // posting offsets
+		codecBytes +
+		int64(len(x.ids))*4 // grouped row ids
 }
 
 func (x *ivfSQ8) BuildStats() Stats { return x.coarse.buildWork }
+
+func (x *ivfSQ8) StoreAdopted() bool { return false }

@@ -2,11 +2,13 @@
 // It is the clustering substrate for the IVF-family indexes (IVF_FLAT,
 // IVF_SQ8, IVF_PQ, SCANN) and for product-quantization codebook training.
 //
-// Clustering is parallelized over fixed-size point chunks (see the parallel
-// package): assignment, centroid recomputation, and the k-means++ D^2
-// updates all reduce per-chunk partials in chunk order, so results are
-// bit-identical for any Workers value. Run(cfg.Workers=1) is the reference
-// sequential path.
+// Points are supplied as a linalg.Matrix — one flat arena, which may be a
+// strided subspace view (how PQ clusters each subspace without copying the
+// corpus). Clustering is parallelized over fixed-size point chunks (see
+// the parallel package): assignment, centroid recomputation, and the
+// k-means++ D^2 updates all reduce per-chunk partials in chunk order, so
+// results are bit-identical for any Workers value. Run(cfg.Workers=1) is
+// the reference sequential path.
 package kmeans
 
 import (
@@ -54,19 +56,41 @@ type Result struct {
 	Iters int
 }
 
+// pointSet is the trainer's view of its input: the full matrix, or a
+// sampled subset of its rows (sel maps set position to matrix row).
+type pointSet struct {
+	m   *linalg.Matrix
+	sel []int
+}
+
+func (p pointSet) n() int {
+	if p.sel != nil {
+		return len(p.sel)
+	}
+	return p.m.Rows()
+}
+
+func (p pointSet) row(i int) []float32 {
+	if p.sel != nil {
+		i = p.sel[i]
+	}
+	return p.m.Row(i)
+}
+
 // Run clusters the points under squared-L2 distance. It returns an error
 // when the configuration is invalid or the input is empty. When K exceeds
-// the number of points, K is clamped down to len(points).
-func Run(points [][]float32, cfg Config) (*Result, error) {
+// the number of points, K is clamped down to the point count.
+func Run(points *linalg.Matrix, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("kmeans: K must be >= 1, got %d", cfg.K)
 	}
-	if len(points) == 0 {
+	if points == nil || points.Rows() == 0 {
 		return nil, fmt.Errorf("kmeans: no points")
 	}
+	n := points.Rows()
 	k := cfg.K
-	if k > len(points) {
-		k = len(points)
+	if k > n {
+		k = n
 	}
 	maxIters := cfg.MaxIters
 	if maxIters <= 0 {
@@ -79,17 +103,14 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 	workers := parallel.Workers(cfg.Workers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	train := points
-	if cfg.SampleLimit > 0 && len(points) > cfg.SampleLimit {
-		train = make([][]float32, cfg.SampleLimit)
-		perm := rng.Perm(len(points))
-		for i := 0; i < cfg.SampleLimit; i++ {
-			train[i] = points[perm[i]]
-		}
+	train := pointSet{m: points}
+	if cfg.SampleLimit > 0 && n > cfg.SampleLimit {
+		perm := rng.Perm(n)
+		train.sel = perm[:cfg.SampleLimit]
 	}
 
 	centroids := seedPlusPlus(train, k, rng, workers)
-	assignTrain := make([]int, len(train))
+	assignTrain := make([]int, train.n())
 	prev := math.Inf(1)
 	iters := 0
 	for iters = 1; iters <= maxIters; iters++ {
@@ -102,8 +123,8 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 		prev = distortion
 	}
 
-	assign := make([]int, len(points))
-	distortion := assignAll(points, centroids, assign, workers)
+	assign := make([]int, n)
+	distortion := assignAll(pointSet{m: points}, centroids, assign, workers)
 	return &Result{
 		Centroids:  centroids,
 		Assign:     assign,
@@ -115,28 +136,29 @@ func Run(points [][]float32, cfg Config) (*Result, error) {
 // seedPlusPlus picks k initial centroids with the k-means++ D^2 weighting.
 // The per-point distance updates run in parallel; the weighted draw itself
 // stays sequential so the rng consumption order is fixed.
-func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]float32 {
+func seedPlusPlus(points pointSet, k int, rng *rand.Rand, workers int) [][]float32 {
 	centroids := make([][]float32, 0, k)
-	first := points[rng.Intn(len(points))]
+	n := points.n()
+	first := points.row(rng.Intn(n))
 	centroids = append(centroids, linalg.Clone(first))
 
 	// dists[i] is the squared distance from point i to its nearest chosen
 	// centroid, updated incrementally as centroids are added. The running
 	// total is rebuilt from per-chunk partials in chunk order each round,
 	// so it is worker-count-invariant.
-	dists := make([]float64, len(points))
-	nChunks := parallel.NumChunks(len(points), chunkSize)
+	dists := make([]float64, n)
+	nChunks := parallel.NumChunks(n, chunkSize)
 	partial := make([]float64, nChunks)
 	updateFrom := func(c []float32) float64 {
-		parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+		parallel.ForRanges(workers, n, chunkSize, func(ch, lo, hi int) {
 			s := 0.0
 			for i := lo; i < hi; i++ {
 				if c != nil {
-					if d := float64(linalg.SquaredL2(points[i], c)); d < dists[i] {
+					if d := float64(linalg.SquaredL2(points.row(i), c)); d < dists[i] {
 						dists[i] = d
 					}
 				} else {
-					dists[i] = float64(linalg.SquaredL2(points[i], centroids[0]))
+					dists[i] = float64(linalg.SquaredL2(points.row(i), centroids[0]))
 				}
 				s += dists[i]
 			}
@@ -154,11 +176,11 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]fl
 	for len(centroids) < k {
 		var chosen int
 		if total <= 0 {
-			chosen = rng.Intn(len(points))
+			chosen = rng.Intn(n)
 		} else {
 			target := rng.Float64() * total
 			acc := 0.0
-			chosen = len(points) - 1
+			chosen = n - 1
 			for i, d := range dists {
 				acc += d
 				if acc >= target {
@@ -167,7 +189,7 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]fl
 				}
 			}
 		}
-		c := linalg.Clone(points[chosen])
+		c := linalg.Clone(points.row(chosen))
 		centroids = append(centroids, c)
 		total = updateFrom(c)
 	}
@@ -177,12 +199,13 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]fl
 // assignAll assigns every point to its nearest centroid, filling assign,
 // and returns the total distortion. Points are processed in parallel
 // chunks; the distortion reduces per-chunk partial sums in chunk order.
-func assignAll(points [][]float32, centroids [][]float32, assign []int, workers int) float64 {
-	partial := make([]float64, parallel.NumChunks(len(points), chunkSize))
-	parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+func assignAll(points pointSet, centroids [][]float32, assign []int, workers int) float64 {
+	n := points.n()
+	partial := make([]float64, parallel.NumChunks(n, chunkSize))
+	parallel.ForRanges(workers, n, chunkSize, func(ch, lo, hi int) {
 		s := 0.0
 		for i := lo; i < hi; i++ {
-			p := points[i]
+			p := points.row(i)
 			best := 0
 			bestD := linalg.SquaredL2(p, centroids[0])
 			for c := 1; c < len(centroids); c++ {
@@ -207,19 +230,20 @@ func assignAll(points [][]float32, centroids [][]float32, assign []int, workers 
 // Each chunk accumulates private per-centroid sums and counts; the merge
 // walks chunks in order, so the resulting means are worker-count-invariant.
 // Empty clusters are re-seeded from a random point to keep K stable.
-func recompute(points [][]float32, assign []int, centroids [][]float32, rng *rand.Rand, workers int) {
-	dim := len(points[0])
+func recompute(points pointSet, assign []int, centroids [][]float32, rng *rand.Rand, workers int) {
+	n := points.n()
+	dim := points.m.Dim()
 	k := len(centroids)
-	nChunks := parallel.NumChunks(len(points), chunkSize)
+	nChunks := parallel.NumChunks(n, chunkSize)
 	sums := make([][]float32, nChunks)
 	chunkCounts := make([][]int, nChunks)
-	parallel.ForRanges(workers, len(points), chunkSize, func(ch, lo, hi int) {
+	parallel.ForRanges(workers, n, chunkSize, func(ch, lo, hi int) {
 		sum := make([]float32, k*dim)
 		cnt := make([]int, k)
 		for i := lo; i < hi; i++ {
 			c := assign[i]
 			cnt[c]++
-			linalg.AddInto(sum[c*dim:(c+1)*dim], points[i])
+			linalg.AddInto(sum[c*dim:(c+1)*dim], points.row(i))
 		}
 		sums[ch] = sum
 		chunkCounts[ch] = cnt
@@ -238,7 +262,7 @@ func recompute(points [][]float32, assign []int, centroids [][]float32, rng *ran
 	}
 	for c := range centroids {
 		if counts[c] == 0 {
-			copy(centroids[c], points[rng.Intn(len(points))])
+			copy(centroids[c], points.row(rng.Intn(n)))
 			continue
 		}
 		linalg.Scale(centroids[c], 1/float32(counts[c]))

@@ -8,7 +8,7 @@ import (
 )
 
 // blobs generates n points around k well-separated centers.
-func blobs(n, k, dim int, seed int64) ([][]float32, []int) {
+func blobs(n, k, dim int, seed int64) (*linalg.Matrix, []int) {
 	rng := rand.New(rand.NewSource(seed))
 	centers := make([][]float32, k)
 	for c := range centers {
@@ -27,7 +27,7 @@ func blobs(n, k, dim int, seed int64) ([][]float32, []int) {
 			points[i][j] = centers[c][j] + float32(rng.NormFloat64())*0.1
 		}
 	}
-	return points, labels
+	return linalg.MatrixFromRows(points), labels
 }
 
 func TestRunRecoversBlobs(t *testing.T) {
@@ -64,8 +64,8 @@ func TestRunAssignmentOptimality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, p := range points {
-		nearest, _ := NearestCentroid(p, res.Centroids)
+	for i := 0; i < points.Rows(); i++ {
+		nearest, _ := NearestCentroid(points.Row(i), res.Centroids)
 		if res.Assign[i] != nearest {
 			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], nearest)
 		}
@@ -102,7 +102,7 @@ func TestRunErrors(t *testing.T) {
 	if _, err := Run(nil, Config{K: 2}); err == nil {
 		t.Fatal("expected error for empty input")
 	}
-	pts := [][]float32{{1, 2}}
+	pts := linalg.MatrixFromRows([][]float32{{1, 2}})
 	if _, err := Run(pts, Config{K: 0}); err == nil {
 		t.Fatal("expected error for K=0")
 	}
@@ -191,17 +191,17 @@ func TestRunSampleLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Assign) != len(points) {
-		t.Fatalf("assignments cover %d points, want %d", len(res.Assign), len(points))
+	if len(res.Assign) != points.Rows() {
+		t.Fatalf("assignments cover %d points, want %d", len(res.Assign), points.Rows())
 	}
 }
 
 func TestRunIdenticalPoints(t *testing.T) {
-	points := make([][]float32, 20)
-	for i := range points {
-		points[i] = []float32{1, 1, 1}
+	rows := make([][]float32, 20)
+	for i := range rows {
+		rows[i] = []float32{1, 1, 1}
 	}
-	res, err := Run(points, Config{K: 3, Seed: 8})
+	res, err := Run(linalg.MatrixFromRows(rows), Config{K: 3, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,6 +211,7 @@ func TestRunIdenticalPoints(t *testing.T) {
 }
 
 func BenchmarkRun1kx32(b *testing.B) {
+	b.ReportAllocs()
 	points, _ := blobs(1000, 16, 32, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -259,6 +259,7 @@ func TestMergeNeighborsDedup(t *testing.T) {
 }
 
 func BenchmarkDot128(b *testing.B) {
+	b.ReportAllocs()
 	x := make([]float32, 128)
 	y := make([]float32, 128)
 	for i := range x {
@@ -272,6 +273,7 @@ func BenchmarkDot128(b *testing.B) {
 }
 
 func BenchmarkSquaredL2_128(b *testing.B) {
+	b.ReportAllocs()
 	x := make([]float32, 128)
 	y := make([]float32, 128)
 	for i := range x {

@@ -25,6 +25,19 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
 }
 
+// Reset empties the collector and re-targets it to the k nearest, keeping
+// the heap's backing array so a pooled collector performs no steady-state
+// allocations. It returns the receiver for call chaining, and makes the
+// zero TopK usable.
+func (t *TopK) Reset(k int) *TopK {
+	if k < 1 {
+		panic("linalg: TopK requires k >= 1")
+	}
+	t.k = k
+	t.heap = t.heap[:0]
+	return t
+}
+
 // Len reports how many neighbors are currently retained.
 func (t *TopK) Len() int { return len(t.heap) }
 
@@ -53,7 +66,21 @@ func (t *TopK) Push(id int64, dist float32) bool {
 // Results returns the retained neighbors sorted by ascending distance and
 // resets the collector.
 func (t *TopK) Results() []Neighbor {
-	out := make([]Neighbor, len(t.heap))
+	out := make([]Neighbor, 0, len(t.heap))
+	return t.AppendResults(out)
+}
+
+// AppendResults appends the retained neighbors, sorted by ascending
+// distance, to dst and returns the extended slice, emptying the collector.
+// It is the allocation-free variant of Results for callers that own a
+// reusable destination buffer (or have pre-sized the caller-visible result
+// slice).
+func (t *TopK) AppendResults(dst []Neighbor) []Neighbor {
+	base := len(dst)
+	dst = append(dst, t.heap...)
+	out := dst[base:]
+	// Heap-sort out in place: repeatedly move the current worst (root)
+	// to the end of the shrinking prefix.
 	for i := len(t.heap) - 1; i >= 0; i-- {
 		out[i] = t.heap[0]
 		last := len(t.heap) - 1
@@ -63,7 +90,7 @@ func (t *TopK) Results() []Neighbor {
 			t.siftDown(0)
 		}
 	}
-	return out
+	return dst
 }
 
 func (t *TopK) siftUp(i int) {

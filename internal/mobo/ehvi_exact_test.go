@@ -122,6 +122,7 @@ func TestPartialExpectation(t *testing.T) {
 }
 
 func BenchmarkEHVIExact(b *testing.B) {
+	b.ReportAllocs()
 	ref := Point{0, 0}
 	front := []Point{{A: 0.9, B: 0.1}, {A: 0.7, B: 0.4}, {A: 0.4, B: 0.7}, {A: 0.1, B: 0.9}}
 	b.ResetTimer()

@@ -266,6 +266,7 @@ func TestNormalCDFKnownValues(t *testing.T) {
 }
 
 func BenchmarkHypervolume100(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	ps := make([]Point, 100)
 	for i := range ps {
@@ -279,6 +280,7 @@ func BenchmarkHypervolume100(b *testing.B) {
 }
 
 func BenchmarkEHVI(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(9))
 	ref := Point{0, 0}
 	front := []Point{{0.9, 0.3}, {0.6, 0.6}, {0.3, 0.9}}

@@ -63,6 +63,59 @@ func Parallel(n, chunks int, fn func(chunk int)) {
 	wg.Wait()
 }
 
+// WorkerCount reports how many workers WorkerParallel(n, chunks, ...) will
+// actually run: the resolved worker count clamped to the chunk count.
+// Callers size per-worker state (e.g. search scratch) with it.
+func WorkerCount(n, chunks int) int {
+	if chunks <= 0 {
+		return 0
+	}
+	n = Workers(n)
+	if n > chunks {
+		n = chunks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// WorkerParallel is Parallel with worker identity: fn receives the index of
+// the worker goroutine running it, in [0, WorkerCount(n, chunks)). Each
+// worker index is owned by exactly one goroutine for the whole call, so fn
+// may keep per-worker mutable state (scratch buffers) indexed by it with no
+// further synchronization. Chunk claiming is the same dynamic atomic
+// counter as Parallel, so chunk→worker assignment is NOT deterministic —
+// only per-chunk results reduced in chunk order are.
+func WorkerParallel(n, chunks int, fn func(worker, chunk int)) {
+	if chunks <= 0 {
+		return
+	}
+	n = WorkerCount(n, chunks)
+	if n <= 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(worker, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // NumChunks reports how many fixed-size chunks cover total items. The
 // answer depends only on (total, chunkSize), which is what makes chunked
 // reductions worker-count-invariant.

@@ -44,6 +44,50 @@ func TestParallelEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestWorkerParallelCoversChunksWithOwnedWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const chunks = 100
+		var hits [chunks]atomic.Int32
+		w := WorkerCount(workers, chunks)
+		if w < 1 || w > chunks {
+			t.Fatalf("WorkerCount(%d, %d) = %d out of range", workers, chunks, w)
+		}
+		// Per-worker counters written without synchronization: the race
+		// detector verifies each worker index is owned by one goroutine.
+		perWorker := make([]int, w)
+		WorkerParallel(workers, chunks, func(worker, c int) {
+			if worker < 0 || worker >= w {
+				t.Errorf("worker index %d outside [0, %d)", worker, w)
+			}
+			perWorker[worker]++
+			hits[c].Add(1)
+		})
+		for c := range hits {
+			if n := hits[c].Load(); n != 1 {
+				t.Fatalf("workers=%d: chunk %d ran %d times", workers, c, n)
+			}
+		}
+		totalRuns := 0
+		for _, n := range perWorker {
+			totalRuns += n
+		}
+		if totalRuns != chunks {
+			t.Fatalf("workers=%d: per-worker counts sum to %d, want %d", workers, totalRuns, chunks)
+		}
+	}
+}
+
+func TestWorkerParallelEmpty(t *testing.T) {
+	ran := 0
+	WorkerParallel(8, 0, func(int, int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("WorkerParallel with 0 chunks ran %d times", ran)
+	}
+	if got := WorkerCount(8, 0); got != 0 {
+		t.Fatalf("WorkerCount(8, 0) = %d, want 0", got)
+	}
+}
+
 func TestChunkingIsWorkerInvariant(t *testing.T) {
 	// The chunk layout is a pure function of (total, chunkSize).
 	const total, size = 1003, 64

@@ -38,9 +38,10 @@ type compactTask struct {
 }
 
 // compactInput is a task's gathered build input: the sources' live rows in
-// id order, plus the tombstoned ids being physically dropped.
+// id order (one fresh arena), plus the tombstoned ids being physically
+// dropped.
 type compactInput struct {
-	vecs    [][]float32
+	store   *linalg.Matrix
 	ids     []int64
 	dropped []int64
 }
@@ -94,22 +95,27 @@ func (c *Collection) planCompactionLocked() []compactTask {
 	return tasks
 }
 
-// gatherLocked snapshots a task's build input. Callers hold c.mu.
+// gatherLocked snapshots a task's build input, copying the sources' live
+// rows into one fresh arena. Callers hold c.mu.
 func (c *Collection) gatherLocked(t compactTask) compactInput {
-	var in compactInput
+	total := 0
+	for _, seg := range t.sources {
+		total += len(seg.ids) - seg.dead
+	}
+	in := compactInput{store: linalg.NewMatrix(c.dim, total)}
 	for _, seg := range t.sources {
 		for i, id := range seg.ids {
 			if _, dead := c.tombstones[id]; dead {
 				in.dropped = append(in.dropped, id)
 				continue
 			}
-			in.vecs = append(in.vecs, seg.vecs[i])
+			in.store.AppendRow(seg.store.Row(i))
 			in.ids = append(in.ids, id)
 		}
 	}
 	// Sources are visited in seq order, which is not id order once
 	// segments have been compacted before; canonicalize.
-	index.SortRowsByID(in.vecs, in.ids)
+	index.SortRowsByID(in.store, in.ids)
 	return in
 }
 
@@ -129,12 +135,12 @@ func buildCompacted(cfg Config, metric linalg.Metric, dim int, in compactInput, 
 	}
 	idx, err := index.New(cfg.IndexType, m, dim, bp)
 	if err == nil {
-		err = idx.Build(in.vecs, in.ids)
+		err = idx.Build(in.store, in.ids)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &sealedSegment{seq: seq, vecs: in.vecs, ids: in.ids, idx: idx}, nil
+	return &sealedSegment{seq: seq, store: in.store, ids: in.ids, idx: idx}, nil
 }
 
 // maybeCompactLocked starts a background compaction pass when a trigger

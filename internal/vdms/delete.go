@@ -62,21 +62,22 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 		}
 	}
 	// Compact the growing tail in place: growing data is mutable, so
-	// tombstoned rows are dropped immediately — and since they then exist
-	// nowhere, their tombstones are garbage-collected on the spot.
-	if pruneGrowing && len(c.growingVecs) > 0 {
-		keepV := c.growingVecs[:0]
-		keepI := c.growingIDs[:0]
+	// tombstoned rows are dropped immediately (surviving arena rows slide
+	// down) — and since they then exist nowhere, their tombstones are
+	// garbage-collected on the spot.
+	if pruneGrowing && c.growingRowsLocked() > 0 {
+		w := 0
 		for i, id := range c.growingIDs {
 			if _, dead := c.tombstones[id]; dead {
 				delete(c.tombstones, id)
 				continue
 			}
-			keepV = append(keepV, c.growingVecs[i])
-			keepI = append(keepI, id)
+			c.growing.CopyRow(w, i)
+			c.growingIDs[w] = id
+			w++
 		}
-		c.growingVecs = keepV
-		c.growingIDs = keepI
+		c.growing.Truncate(w)
+		c.growingIDs = c.growingIDs[:w]
 	}
 	if added > 0 {
 		c.maybeCompactLocked()

@@ -19,9 +19,9 @@ type Instance struct {
 	cfg Config
 	ds  *workload.Dataset
 
-	sealed      []index.Index
-	growingVecs [][]float32
-	growingIDs  []int64
+	sealed     []index.Index
+	growing    *linalg.Matrix // growing-tail view of the dataset arena
+	growingIDs []int64
 
 	// segments counts sealed segments plus the growing tail (if any).
 	segments int
@@ -87,6 +87,7 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 	}
 
 	ids := ds.IDs()
+	store := ds.Store()
 	var buildWork index.Stats
 	row := 0
 	for s := 0; s < numSealed; s++ {
@@ -104,21 +105,23 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := idx.Build(ds.Vectors[row:end], ids[row:end]); err != nil {
+		// Segments build from contiguous row-range views of the dataset
+		// arena — no per-segment copy of the raw vectors.
+		if err := idx.Build(store.Slice(row, end), ids[row:end]); err != nil {
 			return nil, fmt.Errorf("vdms: building segment %d: %w", s, err)
 		}
 		buildWork.Add(idx.BuildStats())
 		inst.sealed = append(inst.sealed, idx)
 		row = end
 	}
-	inst.growingVecs = ds.Vectors[row:]
+	inst.growing = store.Slice(row, n)
 	inst.growingIDs = ids[row:]
 	inst.segments = numSealed
-	if len(inst.growingVecs) > 0 {
+	if inst.growing.Rows() > 0 {
 		inst.segments++
 	}
 	inst.extraScanRows = int64(bufRows/2 + flushRows)
-	inst.pendingFraction = (float64(len(inst.growingVecs)) + float64(inst.extraScanRows)) / float64(n)
+	inst.pendingFraction = (float64(inst.growing.Rows()) + float64(inst.extraScanRows)) / float64(n)
 	if inst.pendingFraction > 1 {
 		inst.pendingFraction = 1
 	}
@@ -148,7 +151,7 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 	for _, idx := range inst.sealed {
 		mem += idx.MemoryBytes()
 	}
-	mem += int64(len(inst.growingVecs)) * bytesPerRow * 2
+	mem += int64(inst.growing.Rows()) * bytesPerRow * 2
 	mem += int64(bufRows) * bytesPerRow
 	mem += int64(cfg.CacheRatio * float64(ds.RawBytes()))
 	mem += ds.RawBytes() / 8
@@ -176,8 +179,8 @@ func (in *Instance) Search(q []float32, k int, st *index.Stats) []linalg.Neighbo
 	for _, idx := range in.sealed {
 		lists = append(lists, idx.Search(q, k, in.cfg.Search, st))
 	}
-	if len(in.growingVecs) > 0 {
-		lists = append(lists, index.ScanSubset(in.ds.Metric, q, in.growingVecs, in.growingIDs, k, st))
+	if in.growing.Rows() > 0 {
+		lists = append(lists, index.ScanStore(in.ds.Metric, q, in.growing, in.growingIDs, k, st))
 	}
 	if st != nil && in.extraScanRows > 0 {
 		// Insert-buffer scan: duplicates recent rows, so it costs work

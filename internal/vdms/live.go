@@ -34,9 +34,10 @@ type Collection struct {
 	nextID int64
 	// rows counts live (inserted and not deleted) rows.
 	rows int64
-	// growing is the current unsealed segment.
-	growingVecs [][]float32
-	growingIDs  []int64
+	// growing is the current unsealed segment's vector arena (nil until
+	// the first insert after a seal); growingIDs are its row ids.
+	growing    *linalg.Matrix
+	growingIDs []int64
 	// sealing holds segments whose index build is in flight; they are
 	// scanned exactly until the build lands.
 	sealing []*sealingSegment
@@ -70,18 +71,18 @@ type Collection struct {
 }
 
 type sealingSegment struct {
-	vecs [][]float32
-	ids  []int64
+	store *linalg.Matrix
+	ids   []int64
 }
 
-// sealedSegment is one indexed segment. The raw rows are retained next to
-// the built index (the analogue of Milvus keeping segment binlogs): they
-// are what compaction rewrites. ids are ascending.
+// sealedSegment is one indexed segment. The raw row arena is retained next
+// to the built index (the analogue of Milvus keeping segment binlogs): it
+// is what compaction rewrites. ids are ascending.
 type sealedSegment struct {
-	seq  int64
-	vecs [][]float32
-	ids  []int64
-	idx  index.Index
+	seq   int64
+	store *linalg.Matrix
+	ids   []int64
+	idx   index.Index
 	// dead counts this segment's rows that are tombstoned.
 	dead int
 	// noCompact excludes a segment whose compaction rebuild failed from
@@ -126,20 +127,33 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 		if len(v) != c.dim {
 			return nil, fmt.Errorf("vdms: vector %d has dim %d, want %d", i, len(v), c.dim)
 		}
-		cp := linalg.Clone(v)
+		if c.growing == nil {
+			c.growing = linalg.NewMatrix(c.dim, c.sealRows)
+		}
+		// Copy straight into the growing arena; angular inputs are
+		// normalized in place on their arena row (no temporary copy).
+		c.growing.AppendRow(v)
 		if c.metric == linalg.Angular {
-			linalg.Normalize(cp)
+			linalg.Normalize(c.growing.Row(c.growing.Rows() - 1))
 		}
 		ids[i] = c.nextID
 		c.nextID++
 		c.rows++
-		c.growingVecs = append(c.growingVecs, cp)
 		c.growingIDs = append(c.growingIDs, ids[i])
-		if len(c.growingVecs) >= c.sealRows {
+		if c.growing.Rows() >= c.sealRows {
 			c.sealLocked()
 		}
 	}
 	return ids, nil
+}
+
+// growingRowsLocked reports the growing segment's row count. Callers hold
+// c.mu.
+func (c *Collection) growingRowsLocked() int {
+	if c.growing == nil {
+		return 0
+	}
+	return c.growing.Rows()
 }
 
 // sealLocked moves the growing segment into the sealing state and starts
@@ -148,9 +162,9 @@ func (c *Collection) sealLocked() {
 	// Canonical row order: growing rows are normally already ascending by
 	// id, but rows requeued by a failed build may not be; sorting here
 	// keeps the sealed-segment invariant (ids ascending) unconditionally.
-	index.SortRowsByID(c.growingVecs, c.growingIDs)
-	seg := &sealingSegment{vecs: c.growingVecs, ids: c.growingIDs}
-	c.growingVecs = nil
+	index.SortRowsByID(c.growing, c.growingIDs)
+	seg := &sealingSegment{store: c.growing, ids: c.growingIDs}
+	c.growing = nil
 	c.growingIDs = nil
 	c.sealing = append(c.sealing, seg)
 	seq := c.sealSeq
@@ -168,7 +182,7 @@ func (c *Collection) sealLocked() {
 		}
 		idx, err := index.New(c.cfg.IndexType, m, c.dim, bp)
 		if err == nil {
-			err = idx.Build(seg.vecs, seg.ids)
+			err = idx.Build(seg.store, seg.ids)
 		}
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -190,12 +204,15 @@ func (c *Collection) sealLocked() {
 					delete(c.tombstones, id)
 					continue
 				}
-				c.growingVecs = append(c.growingVecs, seg.vecs[i])
+				if c.growing == nil {
+					c.growing = linalg.NewMatrix(c.dim, seg.store.Rows())
+				}
+				c.growing.AppendRow(seg.store.Row(i))
 				c.growingIDs = append(c.growingIDs, id)
 			}
 			return
 		}
-		ss := &sealedSegment{seq: seq, vecs: seg.vecs, ids: seg.ids, idx: idx}
+		ss := &sealedSegment{seq: seq, store: seg.store, ids: seg.ids, idx: idx}
 		// Deletes may have landed while the build was in flight.
 		for _, id := range ss.ids {
 			if _, dead := c.tombstones[id]; dead {
@@ -251,7 +268,7 @@ func (c *Collection) locateLocked(id int64) (*sealedSegment, bool) {
 // returns the first background error, if any.
 func (c *Collection) Flush() error {
 	c.mu.Lock()
-	if len(c.growingVecs) > 0 {
+	if c.growingRowsLocked() > 0 {
 		c.sealLocked()
 	}
 	c.mu.Unlock()
@@ -302,10 +319,10 @@ func (c *Collection) searchLocked(qq []float32, m linalg.Metric, k int, st *inde
 		lists = append(lists, seg.idx.Search(qq, fetch, c.cfg.Search, st))
 	}
 	for _, seg := range c.sealing {
-		lists = append(lists, index.ScanSubset(m, qq, seg.vecs, seg.ids, fetch, st))
+		lists = append(lists, index.ScanStore(m, qq, seg.store, seg.ids, fetch, st))
 	}
-	if len(c.growingVecs) > 0 {
-		lists = append(lists, index.ScanSubset(m, qq, c.growingVecs, c.growingIDs, fetch, st))
+	if c.growingRowsLocked() > 0 {
+		lists = append(lists, index.ScanStore(m, qq, c.growing, c.growingIDs, fetch, st))
 	}
 	merged := c.filterTombstones(linalg.MergeNeighbors(fetch, lists...))
 	if len(merged) > k {
@@ -389,7 +406,7 @@ func (c *Collection) Stats() CollectionStats {
 		Rows:              c.rows,
 		Sealed:            len(c.sealed),
 		Sealing:           len(c.sealing),
-		GrowingRows:       len(c.growingVecs),
+		GrowingRows:       c.growingRowsLocked(),
 		Tombstones:        len(c.tombstones),
 		CompactionPasses:  c.compactionPasses,
 		CompactedSegments: c.compactedSegments,
@@ -397,16 +414,20 @@ func (c *Collection) Stats() CollectionStats {
 	}
 	bytesPerRow := int64(c.dim) * 4
 	for _, seg := range c.sealed {
-		// The retained raw rows (the binlog analogue compaction
-		// rewrites) share their backing arrays with the index for the
-		// vector-storing index types (FLAT, IVF_FLAT, HNSW), so only
-		// the index footprint is counted — as before the compactor.
 		s.MemoryBytes += seg.idx.MemoryBytes()
+		// The retained raw arena (the binlog analogue compaction
+		// rewrites) is already inside MemoryBytes when the index adopted
+		// it as its storage; otherwise (the IVF family re-groups its
+		// payloads cell-major into private storage) the binlog arena is
+		// an additional resident copy, counted separately.
+		if !seg.idx.StoreAdopted() {
+			s.MemoryBytes += seg.store.Bytes()
+		}
 	}
 	for _, seg := range c.sealing {
-		s.MemoryBytes += int64(len(seg.vecs)) * bytesPerRow
+		s.MemoryBytes += seg.store.Bytes()
 	}
-	s.MemoryBytes += int64(len(c.growingVecs)) * bytesPerRow * 2
+	s.MemoryBytes += int64(c.growingRowsLocked()) * bytesPerRow * 2
 	return s
 }
 

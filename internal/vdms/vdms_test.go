@@ -258,6 +258,7 @@ func TestFailureErrorMessage(t *testing.T) {
 }
 
 func BenchmarkEvaluateDefault(b *testing.B) {
+	b.ReportAllocs()
 	ds := testDataset(b)
 	cfg := DefaultConfig()
 	b.ResetTimer()

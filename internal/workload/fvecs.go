@@ -146,6 +146,7 @@ func LoadFile(s FileSpec) (*Dataset, error) {
 		Name: s.Name, Dim: len(base[0]), Metric: metric,
 		Vectors: base, Queries: queries, K: s.K,
 	}
+	d.Store() // seal the arena before the dataset escapes
 	if d.K <= 0 {
 		d.K = 10
 	}

@@ -37,6 +37,28 @@ type Dataset struct {
 	K int
 	// Truth[i] lists the exact K nearest ids of Queries[i].
 	Truth [][]int64
+
+	// store is the flat arena backing Vectors; see Store.
+	store     *linalg.Matrix
+	storeOnce sync.Once
+}
+
+// Store returns the corpus as one flat row-major arena — the
+// cache-contiguous layout every index builds from. The arena is created
+// once (the dataset constructors pre-seal it) and Vectors' rows alias its
+// rows, so both views stay one copy.
+func (d *Dataset) Store() *linalg.Matrix {
+	d.storeOnce.Do(d.sealArena)
+	return d.store
+}
+
+func (d *Dataset) sealArena() {
+	m := linalg.NewMatrix(d.Dim, len(d.Vectors))
+	for i, v := range d.Vectors {
+		m.AppendRow(v)
+		d.Vectors[i] = m.Row(i)
+	}
+	d.store = m
 }
 
 // IDs returns the implicit id of each stored vector (its position).
@@ -193,6 +215,7 @@ func Generate(s Spec) (*Dataset, error) {
 	for i := range d.Queries {
 		d.Queries[i] = gen()
 	}
+	d.Store() // seal the arena before the dataset escapes
 	d.computeTruth()
 	return d, nil
 }

@@ -30,7 +30,7 @@ func figureScaleHNSW(tb testing.TB, workers int) (index.Index, *workload.Dataset
 	if err != nil {
 		tb.Fatal(err)
 	}
-	if err := idx.Build(ds.Vectors, ds.IDs()); err != nil {
+	if err := idx.Build(ds.Store(), ds.IDs()); err != nil {
 		tb.Fatal(err)
 	}
 	return idx, ds
@@ -108,6 +108,7 @@ func TestParallelBuildIdentical(t *testing.T) {
 }
 
 func BenchmarkSearchBatchWorkers1(b *testing.B) {
+	b.ReportAllocs()
 	idx, ds := figureScaleHNSW(b, 0)
 	sp := index.SearchParams{Ef: 96, Workers: 1}
 	b.ResetTimer()
@@ -117,6 +118,7 @@ func BenchmarkSearchBatchWorkers1(b *testing.B) {
 }
 
 func BenchmarkSearchBatchWorkersNumCPU(b *testing.B) {
+	b.ReportAllocs()
 	idx, ds := figureScaleHNSW(b, 0)
 	sp := index.SearchParams{Ef: 96, Workers: runtime.GOMAXPROCS(0)}
 	b.ResetTimer()
@@ -126,12 +128,14 @@ func BenchmarkSearchBatchWorkersNumCPU(b *testing.B) {
 }
 
 func BenchmarkHNSWBuildWorkers1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figureScaleHNSW(b, 1)
 	}
 }
 
 func BenchmarkHNSWBuildWorkersNumCPU(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figureScaleHNSW(b, 0)
 	}
