@@ -1,12 +1,14 @@
 # Developer / CI entry points. `make ci` is the gate: vet, the full test
-# suite under the race detector, a single pass over every benchmark so the
-# macro experiments at least compile and run, the alloc-gate tests in
-# strict mode (so the zero-allocation query-path guarantee cannot be
-# silently skipped), and a bench-json smoke pass.
+# suite under the race detector (crash-matrix recovery tests included), a
+# single pass over every benchmark so the macro experiments at least
+# compile and run, the alloc-gate tests in strict mode (so the
+# zero-allocation query-path guarantee — with persistence enabled —
+# cannot be silently skipped), a 30s-per-target fuzz smoke pass over the
+# snapshot/WAL decoders, and a bench-json smoke pass.
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate ci
+.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate fuzz-smoke ci
 
 all: build
 
@@ -48,6 +50,10 @@ bench-json:
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem -benchtime=2000x ./internal/persist >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -benchtime=3x ./internal/vdms >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT) < "$$tmp"; \
 	echo "wrote $(BENCH_JSON_OUT)"
 
@@ -58,9 +64,21 @@ bench-json-smoke:
 
 # The allocation regression fence, run without -race and in strict mode:
 # a skipped or missing gate fails the build instead of passing silently.
+# Covers the zero-allocation index query path and the persistence gate
+# (durable collections must search with exactly the allocations of
+# memory-only ones).
 alloc-gate:
 	@$(GO) test -list 'TestAllocGate' ./internal/index | grep -q TestAllocGateSearch \
 		|| { echo "alloc-gate tests missing from ./internal/index"; exit 1; }
-	ALLOC_GATE_STRICT=1 $(GO) test -run 'TestAllocGate' -count=1 ./internal/index
+	@$(GO) test -list 'TestAllocGate' ./internal/vdms | grep -q TestAllocGatePersistentSearch \
+		|| { echo "alloc-gate tests missing from ./internal/vdms"; exit 1; }
+	ALLOC_GATE_STRICT=1 $(GO) test -run 'TestAllocGate' -count=1 ./internal/index ./internal/vdms
 
-ci: vet race bench alloc-gate bench-json-smoke
+# Native fuzzing smoke pass over the persistence decoders: 30 seconds per
+# target proving hostile snapshot/WAL bytes never panic or OOM — recovery
+# either succeeds or returns a typed persist.CorruptError.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 30s ./internal/persist
+	$(GO) test -run '^$$' -fuzz 'FuzzSnapshotDecode' -fuzztime 30s ./internal/persist
+
+ci: vet race bench alloc-gate fuzz-smoke bench-json-smoke

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vdtuner/internal/server"
+)
+
+// buildDaemon compiles vdmsd once per test binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vdmsd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building vdmsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running vdmsd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon launches vdmsd on an ephemeral port and waits for its
+// listening line.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "vdmsd listening on ") {
+				rest := strings.TrimPrefix(line, "vdmsd listening on ")
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					addrCh <- rest[:i]
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("vdmsd did not report a listening address")
+		return nil
+	}
+}
+
+func dialDaemon(t *testing.T, addr string) *server.Client {
+	t.Helper()
+	var cl *server.Client
+	var err error
+	for i := 0; i < 100; i++ {
+		cl, err = server.Dial(addr)
+		if err == nil {
+			return cl
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("dialing %s: %v", addr, err)
+	return nil
+}
+
+func waitExit(t *testing.T, d *daemon) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatal("vdmsd did not exit")
+	}
+}
+
+// TestDaemonKillRecovery is the no-acknowledged-insert-lost gate: under
+// -fsync always, inserts acknowledged over the wire must survive a hard
+// SIGKILL (no shutdown handler runs) and be served after a restart from
+// the same data directory.
+func TestDaemonKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-fsync", "always", "-index", "FLAT", "-metric", "l2", "-dim", "4", "-expected-rows", "1000"}
+
+	d := startDaemon(t, bin, args...)
+	cl := dialDaemon(t, d.addr)
+	var vecs [][]float32
+	for i := 0; i < 25; i++ {
+		vecs = append(vecs, []float32{float32(i), float32(i * 2), float32(i * 3), 1})
+	}
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	// Hard crash: SIGKILL, no graceful shutdown path runs.
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, d)
+
+	d2 := startDaemon(t, bin, args...)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM)
+		waitExit(t, d2)
+	}()
+	cl2 := dialDaemon(t, d2.addr)
+	defer cl2.Close()
+	st, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != int64(len(vecs)) {
+		t.Fatalf("after SIGKILL restart: %d rows, want %d acknowledged inserts", st.Rows, len(vecs))
+	}
+	for i, v := range vecs {
+		hits, err := cl2.Search(v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 || hits[0].ID != ids[i] || hits[0].Dist != 0 {
+			t.Fatalf("acknowledged insert %d lost: %+v", ids[i], hits)
+		}
+	}
+}
+
+// TestDaemonGracefulShutdown: under -fsync never nothing is synced per
+// op, but SIGTERM's graceful shutdown (final WAL sync + snapshot) still
+// preserves everything, growing tail included.
+func TestDaemonGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and restarts a real daemon")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-fsync", "never", "-index", "FLAT", "-metric", "l2", "-dim", "4", "-expected-rows", "1000"}
+
+	d := startDaemon(t, bin, args...)
+	cl := dialDaemon(t, d.addr)
+	ids, err := cl.Insert([][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, d)
+	if !d.cmd.ProcessState.Success() {
+		t.Fatalf("graceful shutdown exited with %v", d.cmd.ProcessState)
+	}
+
+	d2 := startDaemon(t, bin, args...)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM)
+		waitExit(t, d2)
+	}()
+	cl2 := dialDaemon(t, d2.addr)
+	defer cl2.Close()
+	hits, err := cl2.Search([]float32{5, 6, 7, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].ID != ids[1] || hits[0].Dist != 0 {
+		t.Fatalf("graceful shutdown lost data: %+v", hits)
+	}
+}

@@ -56,6 +56,10 @@ type kbConfig struct {
 	CompactionTriggerRatio float64 `json:"compaction_triggerRatio,omitempty"`
 	CompactionMergeFanIn   int     `json:"compaction_mergeFanIn,omitempty"`
 	CompactionParallelism  int     `json:"compaction_parallelism,omitempty"`
+	// Durability knobs; likewise omitted (zero, meaning engine default)
+	// in knowledge bases written before persistence existed.
+	WALFsyncPolicy int `json:"wal_fsyncPolicy,omitempty"`
+	WALGroupCommit int `json:"wal_groupCommit,omitempty"`
 
 	Concurrency int `json:"concurrency,omitempty"`
 }
@@ -93,6 +97,9 @@ func toWireConfig(c vdms.Config) kbConfig {
 		CompactionMergeFanIn:   c.CompactionMergeFanIn,
 		CompactionParallelism:  c.CompactionParallelism,
 
+		WALFsyncPolicy: c.WALFsyncPolicy,
+		WALGroupCommit: c.WALGroupCommit,
+
 		Concurrency: c.Concurrency,
 	}
 }
@@ -115,6 +122,9 @@ func fromWireConfig(k kbConfig) (vdms.Config, error) {
 		CompactionTriggerRatio: k.CompactionTriggerRatio,
 		CompactionMergeFanIn:   k.CompactionMergeFanIn,
 		CompactionParallelism:  k.CompactionParallelism,
+
+		WALFsyncPolicy: k.WALFsyncPolicy,
+		WALGroupCommit: k.WALGroupCommit,
 
 		Concurrency: k.Concurrency,
 	}

@@ -1,0 +1,295 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// Record framing shared by WAL and snapshot files:
+//
+//	u32 length | u32 CRC32-C(body) | body
+//	body = u64 LSN | u8 type | payload
+//
+// Snapshot records reuse the LSN slot for record-local metadata (zero).
+
+// RecordType tags one log or snapshot record.
+type RecordType uint8
+
+const (
+	// WAL record types: the durable operation log of a live collection.
+
+	// RecInsert carries a contiguous run of inserted vectors and the id of
+	// the first one (later ids follow sequentially).
+	RecInsert RecordType = 1
+	// RecDelete carries the ids passed to one Delete call, verbatim
+	// (deletes are idempotent, so replay re-applies them as issued).
+	RecDelete RecordType = 2
+	// RecFlush marks the sealing of the growing segment — whether from an
+	// explicit Flush or from reaching the seal threshold — and carries the
+	// sealed segment's sequence number (which derives its index build seed).
+	RecFlush RecordType = 3
+	// RecCompactCommit records one committed compaction task: the source
+	// segment sequence numbers, the replacement segment's sequence number,
+	// the surviving row ids (in id order), and the tombstoned ids whose
+	// rows were physically dropped.
+	RecCompactCommit RecordType = 4
+
+	// Snapshot-only record types; see snapshot.go.
+
+	snapMeta       RecordType = 101
+	snapSegment    RecordType = 102
+	snapGrowing    RecordType = 103
+	snapTombstones RecordType = 104
+	snapFooter     RecordType = 105
+)
+
+const (
+	// frameHeaderLen is the fixed prefix of every record: length + CRC.
+	frameHeaderLen = 8
+	// bodyHeaderLen is the fixed prefix of every body: LSN + type.
+	bodyHeaderLen = 9
+	// maxRecordLen caps a single record body. Any declared length beyond
+	// it is corruption by definition, which bounds what a hostile length
+	// field can make the reader do.
+	maxRecordLen = 1 << 28
+)
+
+// WALOp is one decoded WAL record, handed to the replay callback. Exactly
+// the fields of its Type are meaningful. Slices may alias the replay
+// buffer; callers must not retain them past the callback.
+type WALOp struct {
+	LSN  uint64
+	Type RecordType
+
+	// RecInsert: Count vectors of dimension Dim, row-major in Vectors,
+	// with ids FirstID, FirstID+1, ….
+	FirstID int64
+	Dim     int
+	Count   int
+	Vectors []float32
+
+	// RecDelete: the requested ids.
+	IDs []int64
+
+	// RecFlush and RecCompactCommit: the new segment's sequence number.
+	Seq int64
+
+	// RecCompactCommit only.
+	Sources []int64
+	LiveIDs []int64
+	Dropped []int64
+}
+
+// appendFrame frames body (already holding LSN+type+payload) onto dst.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// beginBody appends the body header (LSN + type) onto dst and returns it.
+func beginBody(dst []byte, lsn uint64, t RecordType) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	return append(dst, byte(t))
+}
+
+func appendInt64s(dst []byte, xs []int64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(xs)))
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+	}
+	return dst
+}
+
+func appendFloat32s(dst []byte, xs []float32) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
+	}
+	return dst
+}
+
+// encodeInsert builds the body of a RecInsert record. Vectors are encoded
+// straight from the caller's slices (the raw, pre-normalization input:
+// replay re-applies the same normalization the live insert path does).
+func encodeInsert(dst []byte, lsn uint64, firstID int64, vecs [][]float32, dim int) []byte {
+	dst = beginBody(dst, lsn, RecInsert)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(firstID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vecs)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	for _, v := range vecs {
+		dst = appendFloat32s(dst, v)
+	}
+	return dst
+}
+
+func encodeDelete(dst []byte, lsn uint64, ids []int64) []byte {
+	dst = beginBody(dst, lsn, RecDelete)
+	return appendInt64s(dst, ids)
+}
+
+func encodeFlush(dst []byte, lsn uint64, seq int64) []byte {
+	dst = beginBody(dst, lsn, RecFlush)
+	return binary.LittleEndian.AppendUint64(dst, uint64(seq))
+}
+
+func encodeCompactCommit(dst []byte, lsn uint64, newSeq int64, sources, liveIDs, dropped []int64) []byte {
+	dst = beginBody(dst, lsn, RecCompactCommit)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(newSeq))
+	dst = appendInt64s(dst, sources)
+	dst = appendInt64s(dst, liveIDs)
+	return appendInt64s(dst, dropped)
+}
+
+// reader walks a byte buffer of framed records, validating each frame.
+type reader struct {
+	path string
+	data []byte
+	off  int
+}
+
+// next returns the body of the next record, or (nil, false, nil) at a
+// clean end of input — including a torn trailing record, which is the
+// normal signature of a crash mid-append. The caller distinguishes "tail
+// torn" from "input exhausted" via r.off. Checksum or length violations
+// within a complete frame are also treated as the end of the valid prefix
+// (nil, false, nil): the first bad record ends the log.
+func (r *reader) next() (body []byte, ok bool) {
+	rest := r.data[r.off:]
+	if len(rest) < frameHeaderLen {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
+	if n < bodyHeaderLen || n > maxRecordLen || n > len(rest)-frameHeaderLen {
+		return nil, false
+	}
+	body = rest[frameHeaderLen : frameHeaderLen+n]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+		return nil, false
+	}
+	r.off += frameHeaderLen + n
+	return body, true
+}
+
+// payloadReader decodes one record body with bounds checking on every
+// read; any shortfall is corruption (the frame CRC already matched, so
+// the writer and reader disagree about the schema — or the bytes are
+// hostile).
+type payloadReader struct {
+	path string
+	base int64 // offset of the body within the file, for error reporting
+	buf  []byte
+	off  int
+	err  error
+}
+
+func (p *payloadReader) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = corruptf(p.path, p.base+int64(p.off), format, args...)
+	}
+}
+
+func (p *payloadReader) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(p.buf)-p.off {
+		p.fail("need %d payload bytes, have %d", n, len(p.buf)-p.off)
+		return nil
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+func (p *payloadReader) u32() uint32 {
+	b := p.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (p *payloadReader) u64() uint64 {
+	b := p.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (p *payloadReader) i64() int64 { return int64(p.u64()) }
+
+// int64s reads a u32-counted run of int64s. The count is validated
+// against the bytes actually present before allocating.
+func (p *payloadReader) int64s() []int64 {
+	n := int(p.u32())
+	b := p.take(n * 8)
+	if b == nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// float32s reads n float32s (count validated by take).
+func (p *payloadReader) float32s(n int) []float32 {
+	b := p.take(n * 4)
+	if b == nil || n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// done reports leftover payload bytes as corruption.
+func (p *payloadReader) done() error {
+	if p.err == nil && p.off != len(p.buf) {
+		p.fail("%d trailing payload bytes", len(p.buf)-p.off)
+	}
+	return p.err
+}
+
+// decodeWALOp decodes one WAL record body into op.
+func decodeWALOp(path string, base int64, body []byte, op *WALOp) error {
+	*op = WALOp{
+		LSN:  binary.LittleEndian.Uint64(body[0:8]),
+		Type: RecordType(body[8]),
+	}
+	p := &payloadReader{path: path, base: base + bodyHeaderLen, buf: body[bodyHeaderLen:]}
+	switch op.Type {
+	case RecInsert:
+		op.FirstID = p.i64()
+		op.Count = int(p.u32())
+		op.Dim = int(p.u32())
+		if p.err == nil && (op.Dim <= 0 || op.Count < 0) {
+			p.fail("insert record with count %d, dim %d", op.Count, op.Dim)
+		}
+		if p.err == nil && op.Count > (len(p.buf)-p.off)/4/op.Dim {
+			p.fail("insert record declares %d×%d floats, payload has %d bytes", op.Count, op.Dim, len(p.buf)-p.off)
+		}
+		if p.err == nil {
+			op.Vectors = p.float32s(op.Count * op.Dim)
+		}
+	case RecDelete:
+		op.IDs = p.int64s()
+	case RecFlush:
+		op.Seq = p.i64()
+	case RecCompactCommit:
+		op.Seq = p.i64()
+		op.Sources = p.int64s()
+		op.LiveIDs = p.int64s()
+		op.Dropped = p.int64s()
+	default:
+		p.fail("unknown WAL record type %d", op.Type)
+	}
+	return p.done()
+}

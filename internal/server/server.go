@@ -5,12 +5,16 @@
 // exercised over a real network path.
 //
 // Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
-// "compact", "stats". The "searchBatch" op answers a whole query batch in
-// one round trip; the server fans it across the collection's configured
-// queryNode parallelism under a single read lock, so the batch observes
-// one consistent snapshot of the segment lifecycle. The "compact" op runs
-// segment compaction to quiescence (deletes trigger it in the background
-// anyway; the explicit op exists for operational control). Connections
+// "compact", "persist", "stats". The "searchBatch" op answers a whole
+// query batch in one round trip; the server fans it across the
+// collection's configured queryNode parallelism under a single read lock,
+// so the batch observes one consistent snapshot of the segment lifecycle.
+// The "compact" op runs segment compaction to quiescence (deletes trigger
+// it in the background anyway; the explicit op exists for operational
+// control). The "persist" op checkpoints a durable collection — snapshot
+// to disk, WAL truncated — and is a no-op on a memory-only one; the
+// "stats" reply reports the durability position (WALBytes,
+// LastCheckpointLSN, WALLastLSN). Connections
 // are handled on one goroutine each, and the underlying collection is
 // safe for concurrent use, so any number of clients may mix reads and
 // writes. A panicking request handler answers that request with an error
@@ -32,7 +36,7 @@ import (
 // Request is one client command.
 type Request struct {
 	// Op is one of "ping", "insert", "search", "searchBatch", "delete",
-	// "flush", "compact", "stats".
+	// "flush", "compact", "persist", "stats".
 	Op string `json:"op"`
 	// Vectors carries the rows for "insert".
 	Vectors [][]float32 `json:"vectors,omitempty"`
@@ -224,6 +228,11 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true}
+	case "persist":
+		if err := s.coll.Checkpoint(); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
 	case "stats":
 		st := s.coll.Stats()
 		return &Response{OK: true, Stats: &st}
@@ -334,6 +343,14 @@ func (c *Client) Flush() error {
 // the configured tombstone-ratio trigger and no merge is possible.
 func (c *Client) Compact() error {
 	_, err := c.call(&Request{Op: "compact"})
+	return err
+}
+
+// Persist checkpoints the server's collection: a full snapshot is written
+// to its data directory and the write-ahead log is truncated to the
+// records beyond it. On a memory-only collection it is a no-op.
+func (c *Client) Persist() error {
+	_, err := c.call(&Request{Op: "persist"})
 	return err
 }
 

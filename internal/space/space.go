@@ -2,7 +2,9 @@
 // 16 dimensions (§V-A — the index type, the eight index parameters of
 // Table I, and the seven recommended system parameters) plus the three
 // compaction parameters of the engine's segment-compaction extension
-// (trigger ratio, merge fan-in, compactor parallelism), 19 dimensions in
+// (trigger ratio, merge fan-in, compactor parallelism) and the two
+// durability parameters of its snapshot+WAL persistence extension (fsync
+// policy, group-commit batch), 21 dimensions in
 // all. It provides the encoding the surrogate model works in
 // ([0,1]^Dims), decoding back to engine configurations, per-index-type
 // parameter ownership, defaults, and random/LHS sampling restricted to an
@@ -45,6 +47,12 @@ const (
 	CompactionTriggerRatio
 	CompactionMergeFanIn
 	CompactionParallelism
+	// Durability parameters (engine extension: snapshot + WAL
+	// persistence; see vdms.Config and package persist). They shape the
+	// write path's acknowledgement latency and crash-loss window, never
+	// search results.
+	WALFsyncPolicy
+	WALGroupCommit
 	numParams
 )
 
@@ -86,6 +94,9 @@ var defs = [NumParams]Def{
 	CompactionTriggerRatio: {CompactionTriggerRatio, "compaction_triggerRatio", 0.05, 0.95, false, 0.2, nil},
 	CompactionMergeFanIn:   {CompactionMergeFanIn, "compaction_mergeFanIn", 2, 16, true, 4, nil},
 	CompactionParallelism:  {CompactionParallelism, "compaction_parallelism", 1, 16, true, 2, nil},
+
+	WALFsyncPolicy: {WALFsyncPolicy, "wal_fsyncPolicy", 1, 3, true, 2, nil},
+	WALGroupCommit: {WALGroupCommit, "wal_groupCommit", 1, 1024, true, 64, nil},
 }
 
 // Lookup returns the definition of p.
@@ -207,6 +218,10 @@ func Encode(cfg vdms.Config) Vector {
 	setOrDefault(CompactionTriggerRatio, cfg.CompactionTriggerRatio)
 	setOrDefault(CompactionMergeFanIn, float64(cfg.CompactionMergeFanIn))
 	setOrDefault(CompactionParallelism, float64(cfg.CompactionParallelism))
+	// WAL knobs likewise treat zero as "engine default" (configurations
+	// recorded before durability existed).
+	setOrDefault(WALFsyncPolicy, float64(cfg.WALFsyncPolicy))
+	setOrDefault(WALGroupCommit, float64(cfg.WALGroupCommit))
 	return x
 }
 
@@ -246,6 +261,9 @@ func Decode(x Vector) vdms.Config {
 		CompactionTriggerRatio: get(CompactionTriggerRatio),
 		CompactionMergeFanIn:   int(get(CompactionMergeFanIn)),
 		CompactionParallelism:  int(get(CompactionParallelism)),
+
+		WALFsyncPolicy: int(get(WALFsyncPolicy)),
+		WALGroupCommit: int(get(WALGroupCommit)),
 	}
 	return cfg
 }

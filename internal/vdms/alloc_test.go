@@ -1,0 +1,72 @@
+package vdms
+
+import (
+	"os"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+)
+
+// The persistence alloc gate: enabling durability must not touch the
+// query path. WAL appends happen on the write path only, so Search on a
+// durable collection must perform exactly the allocations of Search on a
+// memory-only collection holding the same data. `make alloc-gate` runs
+// this in strict mode (ALLOC_GATE_STRICT=1), where a skip is a failure,
+// alongside the zero-allocation index gates in internal/index.
+func TestAllocGatePersistentSearch(t *testing.T) {
+	strict := os.Getenv("ALLOC_GATE_STRICT") != ""
+	if raceEnabled {
+		if strict {
+			t.Fatal("alloc-gate tests cannot run under -race, but ALLOC_GATE_STRICT is set; run them without -race")
+		}
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const dim, n, k = 16, 600, 10
+	cfg := DefaultConfig()
+	cfg.IndexType = index.HNSW
+	cfg.Parallelism = 1
+	cfg.WALFsyncPolicy = 3
+	cfg.SegmentMaxSize = 100
+	cfg.SealProportion = 0.8
+	vecs := randVecs(n, dim, 101)
+	q := randVecs(1, dim, 102)[0]
+
+	mem, err := NewCollection(cfg, linalg.L2, dim, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	dur, err := OpenDurable(t.TempDir(), cfg, linalg.L2, dim, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+	for _, c := range []*Collection{mem, dur} {
+		if _, err := c.Insert(vecs); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	measure := func(c *Collection) float64 {
+		// Warm the scratch pools before counting.
+		for i := 0; i < 10; i++ {
+			if _, err := c.Search(q, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := c.Search(q, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	memAllocs := measure(mem)
+	durAllocs := measure(dur)
+	if durAllocs != memAllocs {
+		t.Fatalf("durable Search allocates %.1f/op, memory-only %.1f/op: persistence leaked into the query path", durAllocs, memAllocs)
+	}
+}

@@ -126,14 +126,11 @@ func buildCompacted(cfg Config, metric linalg.Metric, dim int, in compactInput, 
 	if len(in.ids) == 0 {
 		return nil, nil
 	}
-	bp := cfg.Build
-	bp.Seed = cfg.Build.Seed + seq*7919
-	bp.Workers = cfg.Parallelism
 	m := metric
 	if m == linalg.Angular {
 		m = linalg.L2 // inputs were normalized on insert
 	}
-	idx, err := index.New(cfg.IndexType, m, dim, bp)
+	idx, err := newSegmentIndex(cfg, m, dim, seq)
 	if err == nil {
 		err = idx.Build(in.store, in.ids)
 	}
@@ -193,6 +190,7 @@ func (c *Collection) compactPass() {
 		})
 
 		c.mu.Lock()
+		committed := false
 		for i, t := range plan {
 			if errs[i] != nil {
 				err := errs[i]
@@ -205,6 +203,21 @@ func (c *Collection) compactPass() {
 					seg.noCompact = true
 				}
 				continue
+			}
+			committed = true
+			if c.wal != nil {
+				// Log the commit at its position in the operation order:
+				// sources, the replacement's seq (deriving its build
+				// seed), the surviving ids, and the physically dropped
+				// ones. Replay rebuilds the identical segment from these.
+				srcSeqs := make([]int64, len(t.sources))
+				for j, seg := range t.sources {
+					srcSeqs[j] = seg.seq
+				}
+				if _, err := c.wal.AppendCompactCommit(seqs[i], srcSeqs, inputs[i].ids, inputs[i].dropped); err != nil {
+					err := fmt.Errorf("vdms: logging compaction commit: %w", err)
+					c.buildErrOnce.Do(func() { c.buildErr = err })
+				}
 			}
 			c.removeSealedLocked(t.sources)
 			if ns := segs[i]; ns != nil {
@@ -225,7 +238,41 @@ func (c *Collection) compactPass() {
 			c.reclaimedRows += int64(len(inputs[i].dropped))
 		}
 		c.compactionPasses++
+		autoCkpt := !c.noAutoCkpt
+		var lsn uint64
+		if c.wal != nil {
+			lsn = c.wal.LastLSN()
+		}
 		c.mu.Unlock()
+		if committed && c.wal != nil {
+			// Commit records get exactly the durability the fsync policy
+			// gives client writes. Under SyncAlways that makes them
+			// crash-proof immediately, which is what the bit-identical
+			// recovery guarantee rests on: an unsynced commit lost to a
+			// crash would let recovery re-plan the compaction with fresh
+			// sequence numbers (and so different index build seeds) than
+			// the pre-crash engine used. Under the lazier policies the
+			// records ride the next group-commit or checkpoint, and a
+			// crash may rewind the compaction — consistent with those
+			// policies' weaker contract, where the unsynced tail of
+			// client writes is lost the same way.
+			if err := c.wal.Commit(lsn); err != nil {
+				// Surface the durability failure the way append failures
+				// are: silently dropping it would let a crash rewind the
+				// compaction with no diagnostic.
+				err := fmt.Errorf("vdms: committing compaction log records: %w", err)
+				c.buildErrOnce.Do(func() { c.buildErr = err })
+			}
+			if autoCkpt {
+				// Checkpoint after every committed pass: the snapshot
+				// absorbs the rewritten segments and the WAL truncates to
+				// the churn since. A checkpoint failure costs only log
+				// length — the commit records are in the WAL, and the next
+				// checkpoint (or Close's) retries — so it is deliberately
+				// not fatal here.
+				_ = c.Checkpoint()
+			}
+		}
 	}
 }
 

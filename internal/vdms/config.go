@@ -6,15 +6,17 @@
 // The engine exposes the 16-dimensional configuration surface of the
 // paper (index type + 8 index parameters + 7 system parameters), extended
 // with three compaction parameters (trigger ratio, merge fan-in,
-// compactor parallelism), and reports deterministic simulated performance
-// derived from the real work its index structures perform; see DESIGN.md
-// "Substitutions".
+// compactor parallelism) and two durability parameters (WAL fsync policy,
+// group-commit batch; see package persist), and reports deterministic
+// simulated performance derived from the real work its index structures
+// perform; see DESIGN.md "Substitutions".
 package vdms
 
 import (
 	"fmt"
 
 	"vdtuner/internal/index"
+	"vdtuner/internal/persist"
 )
 
 // Config is one complete VDMS configuration: the selected index type, its
@@ -73,6 +75,19 @@ type Config struct {
 	// deterministic: any value produces bit-identical segments.
 	CompactionParallelism int
 
+	// WALFsyncPolicy selects when write-ahead-log appends of a durable
+	// collection become crash-proof: 1 = never (fsync only at
+	// checkpoints), 2 = batch (fsync every WALGroupCommit records),
+	// 3 = always (group-committed fsync before every acknowledgement).
+	// Zero means the default (2). Memory-only collections ignore it. The
+	// knob trades acknowledgement latency against the crash-loss window;
+	// it never affects search results.
+	WALFsyncPolicy int
+	// WALGroupCommit is the group-commit batch size under the batch
+	// policy: how many buffered records trigger one fsync, range
+	// [1, 1024]. Zero means the default (64).
+	WALGroupCommit int
+
 	// Concurrency is the number of in-flight search requests during
 	// replay (the paper uses 10). Zero means 10. It is a workload
 	// property, not a tuned parameter.
@@ -95,6 +110,9 @@ func DefaultConfig() Config {
 		CompactionTriggerRatio: 0.2,
 		CompactionMergeFanIn:   4,
 		CompactionParallelism:  2,
+
+		WALFsyncPolicy: 2,
+		WALGroupCommit: 64,
 
 		Concurrency: 10,
 	}
@@ -137,6 +155,14 @@ func (c *Config) Validate() error {
 	if c.CompactionParallelism != 0 && (c.CompactionParallelism < 1 || c.CompactionParallelism > 16) {
 		return fmt.Errorf("vdms: compaction_parallelism %v outside [1, 16]", c.CompactionParallelism)
 	}
+	// WAL knobs accept zero ("use default") for compatibility with
+	// configurations recorded before durability existed.
+	if c.WALFsyncPolicy != 0 && (c.WALFsyncPolicy < 1 || c.WALFsyncPolicy > 3) {
+		return fmt.Errorf("vdms: wal_fsyncPolicy %v outside [1, 3]", c.WALFsyncPolicy)
+	}
+	if c.WALGroupCommit != 0 && (c.WALGroupCommit < 1 || c.WALGroupCommit > 1024) {
+		return fmt.Errorf("vdms: wal_groupCommit %v outside [1, 1024]", c.WALGroupCommit)
+	}
 	return nil
 }
 
@@ -166,4 +192,18 @@ func (c *Config) compactionParallelism() int {
 		return 2
 	}
 	return c.CompactionParallelism
+}
+
+func (c *Config) walFsyncPolicy() persist.SyncPolicy {
+	if c.WALFsyncPolicy == 0 {
+		return persist.SyncBatch
+	}
+	return persist.SyncPolicy(c.WALFsyncPolicy)
+}
+
+func (c *Config) walGroupCommit() int {
+	if c.WALGroupCommit == 0 {
+		return 64
+	}
+	return c.WALGroupCommit
 }

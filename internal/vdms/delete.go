@@ -16,13 +16,42 @@ import (
 
 // Delete marks ids as deleted. Unknown or already-deleted ids are ignored
 // (idempotent, as in Milvus). It returns the number of ids newly deleted,
-// and may trigger a background compaction pass.
+// and may trigger a background compaction pass. On a durable collection
+// the requested ids are WAL-logged as issued (idempotence makes replaying
+// them exact) and the acknowledgement honors the fsync policy.
 func (c *Collection) Delete(ids []int64) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return 0, fmt.Errorf("vdms: collection closed")
 	}
+	if c.wal != nil && len(ids) > 0 {
+		if _, err := c.wal.AppendDelete(ids); err != nil {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("vdms: logging delete: %w", err)
+		}
+	}
+	added := c.deleteLocked(ids)
+	if added > 0 {
+		c.maybeCompactLocked()
+	}
+	var lsn uint64
+	if c.wal != nil {
+		lsn = c.wal.LastLSN()
+	}
+	c.mu.Unlock()
+	if c.wal != nil && len(ids) > 0 {
+		if err := c.wal.Commit(lsn); err != nil {
+			return added, fmt.Errorf("vdms: committing delete: %w", err)
+		}
+	}
+	return added, nil
+}
+
+// deleteLocked applies one batch of deletions and returns how many ids
+// were newly deleted. It is the shared core of Delete and of WAL replay:
+// no logging, no compaction trigger. Callers hold c.mu.
+func (c *Collection) deleteLocked(ids []int64) int {
 	if c.tombstones == nil {
 		c.tombstones = make(map[int64]struct{})
 	}
@@ -79,10 +108,7 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 		c.growing.Truncate(w)
 		c.growingIDs = c.growingIDs[:w]
 	}
-	if added > 0 {
-		c.maybeCompactLocked()
-	}
-	return added, nil
+	return added
 }
 
 // Deleted reports the live tombstone count: deleted ids still physically

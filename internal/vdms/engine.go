@@ -50,6 +50,21 @@ type FailureError struct{ Reason string }
 
 func (e *FailureError) Error() string { return "vdms: configuration failed: " + e.Reason }
 
+// newSegmentIndex constructs the (unbuilt) index for the sealed segment
+// with sequence number seq: the build seed is derived deterministically
+// from the configuration seed and the sequence number, and the build
+// worker pool is sized by the queryNode parallelism. Every layer that
+// builds a segment — bulk load (Open), live sealing, compaction, and
+// crash recovery — goes through this one derivation, which is what makes
+// a recovered segment's index bit-identical to the one the pre-crash
+// engine built or would have built.
+func newSegmentIndex(cfg Config, m linalg.Metric, dim int, seq int64) (index.Index, error) {
+	bp := cfg.Build
+	bp.Seed = cfg.Build.Seed + seq*7919
+	bp.Workers = cfg.Parallelism
+	return index.New(cfg.IndexType, m, dim, bp)
+}
+
 // Open partitions the dataset according to cfg, builds the per-segment
 // indexes, and returns a searchable instance.
 func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
@@ -95,13 +110,10 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 		if end > sealedRows {
 			end = sealedRows
 		}
-		bp := cfg.Build
-		bp.Seed = cfg.Build.Seed + int64(s)*7919
 		// queryNode parallelism doubles as the real build worker-pool
 		// size; builds are deterministic for any value (see package
 		// parallel), so the simulated results stay reproducible.
-		bp.Workers = cfg.Parallelism
-		idx, err := index.New(cfg.IndexType, ds.Metric, ds.Dim, bp)
+		idx, err := newSegmentIndex(cfg, ds.Metric, ds.Dim, int64(s))
 		if err != nil {
 			return nil, err
 		}

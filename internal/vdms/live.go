@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
 	"vdtuner/internal/parallel"
+	"vdtuner/internal/persist"
 )
 
 // Collection is the live (streaming) face of the engine: vectors are
@@ -64,6 +66,22 @@ type Collection struct {
 	compactedSegments int64
 	reclaimedRows     int64
 
+	// Durability state; nil/zero for memory-only collections (see
+	// persist.go in this package). Records are appended under mu — the
+	// log order is the engine's serialization order — and committed
+	// (fsynced per policy) outside it.
+	wal     *persist.WAL
+	dataDir string
+	// ckptMu serializes checkpoints (compactor passes, the server's
+	// "persist" op, Close); ckptLSN is the newest durable snapshot's LSN,
+	// mirrored in lastCkpt for lock-free reads by Stats.
+	ckptMu   sync.Mutex
+	ckptLSN  uint64
+	lastCkpt atomic.Uint64
+	// noAutoCkpt suppresses the compactor's checkpoint-after-pass; see
+	// DisableAutoCheckpoint.
+	noAutoCkpt bool
+
 	builds sync.WaitGroup
 	// buildErr records the first background build failure.
 	buildErrOnce sync.Once
@@ -71,6 +89,7 @@ type Collection struct {
 }
 
 type sealingSegment struct {
+	seq   int64
 	store *linalg.Matrix
 	ids   []int64
 }
@@ -115,18 +134,42 @@ func NewCollection(cfg Config, metric linalg.Metric, dim, expectedRows int) (*Co
 // Insert appends vectors and returns their assigned ids. Vectors are
 // copied; the caller may reuse the slices. Growing data is searchable
 // immediately. When the growing segment reaches the seal threshold it is
-// sealed and handed to a background index build.
+// sealed and handed to a background index build. A batch containing a
+// wrong-dimension vector is rejected whole, before any row is applied or
+// logged. On a durable collection the batch is WAL-logged before it is
+// applied and the acknowledgement waits for the configured fsync policy,
+// so a returned id is exactly as crash-proof as that policy promises.
 func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
-	ids := make([]int64, len(vecs))
 	for i, v := range vecs {
 		if len(v) != c.dim {
+			c.mu.Unlock()
 			return nil, fmt.Errorf("vdms: vector %d has dim %d, want %d", i, len(v), c.dim)
 		}
+	}
+	ids := make([]int64, len(vecs))
+	// Insert records are split at seal boundaries: each record covers
+	// exactly the rows that entered the growing segment before the next
+	// RecFlush, so replaying "insert, insert, flush, insert" rebuilds the
+	// same segment membership the live engine produced when a batch
+	// straddled a seal.
+	runStart := 0
+	var logErr error
+	logRun := func(end int) {
+		if c.wal == nil || end <= runStart || logErr != nil {
+			runStart = end
+			return
+		}
+		if _, err := c.wal.AppendInsert(ids[runStart], vecs[runStart:end], c.dim); err != nil {
+			logErr = err
+		}
+		runStart = end
+	}
+	for i, v := range vecs {
 		if c.growing == nil {
 			c.growing = linalg.NewMatrix(c.dim, c.sealRows)
 		}
@@ -141,7 +184,24 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 		c.rows++
 		c.growingIDs = append(c.growingIDs, ids[i])
 		if c.growing.Rows() >= c.sealRows {
+			logRun(i + 1) // the sealing rows must precede the seal record
 			c.sealLocked()
+		}
+	}
+	logRun(len(vecs))
+	var lsn uint64
+	if c.wal != nil {
+		lsn = c.wal.LastLSN() // covers the insert and any seal records
+	}
+	c.mu.Unlock()
+	if logErr != nil {
+		// The rows are applied in memory but the log is broken: surface
+		// the durability failure instead of acknowledging.
+		return nil, fmt.Errorf("vdms: logging insert: %w", logErr)
+	}
+	if c.wal != nil && len(vecs) > 0 {
+		if err := c.wal.Commit(lsn); err != nil {
+			return nil, fmt.Errorf("vdms: committing insert: %w", err)
 		}
 	}
 	return ids, nil
@@ -163,24 +223,30 @@ func (c *Collection) sealLocked() {
 	// id, but rows requeued by a failed build may not be; sorting here
 	// keeps the sealed-segment invariant (ids ascending) unconditionally.
 	index.SortRowsByID(c.growing, c.growingIDs)
-	seg := &sealingSegment{store: c.growing, ids: c.growingIDs}
+	seq := c.sealSeq
+	c.sealSeq++
+	if c.wal != nil {
+		// The seal is logged at its position in the operation order; a
+		// failure cannot abort the seal (callers are mid-insert), so it is
+		// surfaced the way background build failures are.
+		if _, err := c.wal.AppendFlush(seq); err != nil {
+			err := fmt.Errorf("vdms: logging seal: %w", err)
+			c.buildErrOnce.Do(func() { c.buildErr = err })
+		}
+	}
+	seg := &sealingSegment{seq: seq, store: c.growing, ids: c.growingIDs}
 	c.growing = nil
 	c.growingIDs = nil
 	c.sealing = append(c.sealing, seg)
-	seq := c.sealSeq
-	c.sealSeq++
 
 	c.builds.Add(1)
 	go func() {
 		defer c.builds.Done()
-		bp := c.cfg.Build
-		bp.Seed = c.cfg.Build.Seed + seq*7919
-		bp.Workers = c.cfg.Parallelism
 		m := c.metric
 		if m == linalg.Angular {
 			m = linalg.L2 // inputs were normalized on insert
 		}
-		idx, err := index.New(c.cfg.IndexType, m, c.dim, bp)
+		idx, err := newSegmentIndex(c.cfg, m, c.dim, seq)
 		if err == nil {
 			err = idx.Build(seg.store, seg.ids)
 		}
@@ -264,7 +330,9 @@ func (c *Collection) locateLocked(id int64) (*sealedSegment, bool) {
 }
 
 // Flush seals the current growing segment (even if partial) and blocks
-// until every pending index build and compaction pass completes. It
+// until every pending index build and compaction pass completes. On a
+// durable collection it also forces the WAL to disk regardless of fsync
+// policy, so everything inserted before Flush survives a crash. It
 // returns the first background error, if any.
 func (c *Collection) Flush() error {
 	c.mu.Lock()
@@ -272,11 +340,18 @@ func (c *Collection) Flush() error {
 		c.sealLocked()
 	}
 	c.mu.Unlock()
+	var syncErr error
+	if c.wal != nil {
+		syncErr = c.wal.Sync()
+	}
 	c.builds.Wait()
 	c.waitCompactions()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.buildErr
+	if c.buildErr != nil {
+		return c.buildErr
+	}
+	return syncErr
 }
 
 // Search returns the k nearest neighbors of q across every segment state:
@@ -396,6 +471,17 @@ type CollectionStats struct {
 	CompactionPasses  int64
 	CompactedSegments int64
 	ReclaimedRows     int64
+	// WALBytes is the write-ahead log's current byte footprint — what a
+	// recovery would replay on top of the newest snapshot. Checkpoints
+	// drive it back down. Zero on memory-only collections.
+	WALBytes int64
+	// LastCheckpointLSN is the log sequence number the newest durable
+	// snapshot covers; records beyond it live only in the WAL. Zero on
+	// memory-only collections or before the first checkpoint.
+	LastCheckpointLSN uint64
+	// WALLastLSN is the log head: the sequence number of the most
+	// recently appended record. Zero on memory-only collections.
+	WALLastLSN uint64
 }
 
 // Stats reports the collection's current segment layout and footprint.
@@ -411,6 +497,11 @@ func (c *Collection) Stats() CollectionStats {
 		CompactionPasses:  c.compactionPasses,
 		CompactedSegments: c.compactedSegments,
 		ReclaimedRows:     c.reclaimedRows,
+	}
+	if c.wal != nil {
+		s.WALBytes = c.wal.Size()
+		s.LastCheckpointLSN = c.lastCkpt.Load()
+		s.WALLastLSN = c.wal.LastLSN()
 	}
 	bytesPerRow := int64(c.dim) * 4
 	for _, seg := range c.sealed {
@@ -434,14 +525,29 @@ func (c *Collection) Stats() CollectionStats {
 // Close marks the collection unusable, then waits for pending builds and
 // compactions. The closed flag is set under the lock *before* waiting so
 // that no Insert racing with Close can seal a segment whose background
-// build Close would miss.
+// build Close would miss. A durable collection then takes a final
+// checkpoint — WAL sync, full snapshot, log truncation — so a graceful
+// shutdown is lossless under every fsync policy, growing tail included.
+// Close is idempotent: a second Close (or a Close after Crash) skips the
+// checkpoint instead of failing against the already-closed WAL.
 func (c *Collection) Close() error {
 	c.mu.Lock()
+	already := c.closed
 	c.closed = true
 	c.mu.Unlock()
 	c.builds.Wait()
 	c.waitCompactions()
+	var persistErr error
+	if c.wal != nil && !already {
+		persistErr = c.Checkpoint()
+		if err := c.wal.Close(); persistErr == nil {
+			persistErr = err
+		}
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.buildErr
+	if c.buildErr != nil {
+		return c.buildErr
+	}
+	return persistErr
 }

@@ -1,0 +1,404 @@
+package vdms
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/persist"
+)
+
+// Durable collections. A Collection opened through OpenDurable pairs the
+// in-memory engine with the persist subsystem's snapshot + write-ahead-log
+// split, the way the production VDMS backends the paper tunes persist
+// Milvus-style segment storage:
+//
+//   - every mutation (insert, delete, seal, compaction commit) appends a
+//     WAL record under the same lock hold that applies it, so the log
+//     order is exactly the engine's serialization order;
+//   - acknowledgement durability follows Config.WALFsyncPolicy (never /
+//     batch / always, group-committed);
+//   - the compactor checkpoints after every committed pass — snapshot the
+//     full state, rotate the WAL, drop the files the snapshot made
+//     redundant — so the log stays bounded by the churn since the last
+//     pass; Close takes a final checkpoint, making shutdown lossless even
+//     under SyncNever.
+//
+// Recovery (OpenDurable on a non-empty directory) loads the newest valid
+// snapshot, replays the WAL suffix, and truncates a torn tail. It is
+// deterministic: segment indexes are rebuilt from raw rows with the same
+// sequence-derived seeds the pre-crash engine used (see newSegmentIndex),
+// so a recovered collection answers Search and SearchBatch bit-identically
+// to the engine that crashed. One counter is approximate across recovery:
+// CompactionPasses counts pass boundaries, which the WAL does not record
+// (each pass's work is fully covered by its per-task commit records and
+// usually by the snapshot the pass wrote).
+
+// OpenDurable opens (or creates) a durable collection backed by the data
+// directory dir. On a fresh directory it behaves like NewCollection plus
+// logging; on a directory with prior state it recovers: newest valid
+// snapshot, then the WAL suffix, with a torn trailing record truncated.
+// The configuration must agree with the persisted state on dimension,
+// metric, index type, and index build parameters (a silent change would
+// silently change search results); system knobs may differ freely.
+func OpenDurable(dir string, cfg Config, metric linalg.Metric, dim, expectedRows int) (*Collection, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("vdms: OpenDurable requires a data directory")
+	}
+	c, err := NewCollection(cfg, metric, dim, expectedRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	snap, err := persist.LoadNewestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var after uint64
+	if snap != nil {
+		if err := c.restoreSnapshot(snap); err != nil {
+			return nil, err
+		}
+		after = snap.CheckpointLSN
+	}
+	nextLSN, err := persist.ReplayWAL(dir, after, c.applyWALOp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := persist.OpenWAL(persist.Options{
+		Dir:         dir,
+		Policy:      cfg.walFsyncPolicy(),
+		GroupCommit: cfg.walGroupCommit(),
+	}, nextLSN)
+	if err != nil {
+		return nil, err
+	}
+	c.wal = w
+	c.dataDir = dir
+	c.ckptLSN = after
+	c.lastCkpt.Store(after)
+	// A compaction trigger that was pending at the crash is pending again
+	// now; restart it the way the pre-crash engine would have.
+	c.mu.Lock()
+	c.maybeCompactLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// restoreSnapshot installs a decoded snapshot into an empty collection,
+// rebuilding every segment index deterministically from its raw rows.
+func (c *Collection) restoreSnapshot(s *persist.Snapshot) error {
+	if s.Dim != c.dim {
+		return fmt.Errorf("vdms: snapshot dimension %d, collection opened with %d", s.Dim, c.dim)
+	}
+	if s.Metric != c.metric {
+		return fmt.Errorf("vdms: snapshot metric %v, collection opened with %v", s.Metric, c.metric)
+	}
+	if s.IndexType != c.cfg.IndexType {
+		return fmt.Errorf("vdms: snapshot index type %v, configuration says %v", s.IndexType, c.cfg.IndexType)
+	}
+	if a, b := s.Build, c.cfg.Build; a.NList != b.NList || a.M != b.M || a.NBits != b.NBits ||
+		a.HNSWM != b.HNSWM || a.EfConstruction != b.EfConstruction || a.Seed != b.Seed {
+		return fmt.Errorf("vdms: snapshot index build parameters differ from the configuration")
+	}
+	c.nextID = s.NextID
+	c.sealSeq = s.SealSeq
+	c.rows = s.Rows
+	c.compactionPasses = s.CompactionPasses
+	c.compactedSegments = s.CompactedSegments
+	c.reclaimedRows = s.ReclaimedRows
+	if len(s.Tombstones) > 0 {
+		c.tombstones = make(map[int64]struct{}, len(s.Tombstones))
+		for _, id := range s.Tombstones {
+			c.tombstones[id] = struct{}{}
+		}
+	}
+	// Install the growing tail before landing segments: a segment whose
+	// rebuild fails deterministically requeues its rows into growing, and
+	// those must append to the tail, not be overwritten by it.
+	if s.Growing != nil && s.Growing.Rows() > 0 {
+		c.growing = s.Growing
+		c.growingIDs = s.GrowingIDs
+	}
+	for i := range s.Segments {
+		seg := &s.Segments[i]
+		c.landSegment(seg.Store, seg.IDs, seg.Seq)
+		if seg.Seq >= c.sealSeq {
+			c.sealSeq = seg.Seq + 1
+		}
+	}
+	return nil
+}
+
+// applyWALOp replays one WAL record onto the recovering collection. It
+// runs before the collection is shared, so no locking is involved; seals
+// and compaction rebuilds happen synchronously, in log order, which is
+// exactly the serialization order of the pre-crash engine.
+func (c *Collection) applyWALOp(op *persist.WALOp) error {
+	switch op.Type {
+	case persist.RecInsert:
+		if op.FirstID != c.nextID {
+			return fmt.Errorf("vdms: WAL replay: insert record starts at id %d, engine expects %d (snapshot and log disagree)", op.FirstID, c.nextID)
+		}
+		if op.Dim != c.dim {
+			return fmt.Errorf("vdms: WAL replay: insert record dimension %d, collection has %d", op.Dim, c.dim)
+		}
+		for i := 0; i < op.Count; i++ {
+			if c.growing == nil {
+				c.growing = linalg.NewMatrix(c.dim, c.sealRows)
+			}
+			c.growing.AppendRow(op.Vectors[i*op.Dim : (i+1)*op.Dim])
+			if c.metric == linalg.Angular {
+				linalg.Normalize(c.growing.Row(c.growing.Rows() - 1))
+			}
+			c.growingIDs = append(c.growingIDs, c.nextID)
+			c.nextID++
+			c.rows++
+		}
+	case persist.RecDelete:
+		c.deleteLocked(op.IDs)
+	case persist.RecFlush:
+		c.replayFlush(op.Seq)
+	case persist.RecCompactCommit:
+		return c.replayCompactCommit(op)
+	default:
+		return fmt.Errorf("vdms: WAL replay: unexpected record type %d", op.Type)
+	}
+	return nil
+}
+
+// landSegment builds the index for one recovered segment and installs it
+// as sealed. A deterministic build failure mirrors the live engine's
+// failed-seal path: the rows fall back into the growing tail (minus any
+// tombstoned ones, whose tombstones are then garbage) and the error is
+// recorded.
+func (c *Collection) landSegment(store *linalg.Matrix, ids []int64, seq int64) {
+	m := c.metric
+	if m == linalg.Angular {
+		m = linalg.L2 // inputs were normalized on insert
+	}
+	idx, err := newSegmentIndex(c.cfg, m, c.dim, seq)
+	if err == nil {
+		err = idx.Build(store, ids)
+	}
+	if err != nil {
+		c.buildErrOnce.Do(func() { c.buildErr = err })
+		for i, id := range ids {
+			if _, dead := c.tombstones[id]; dead {
+				delete(c.tombstones, id)
+				continue
+			}
+			if c.growing == nil {
+				c.growing = linalg.NewMatrix(c.dim, store.Rows())
+			}
+			c.growing.AppendRow(store.Row(i))
+			c.growingIDs = append(c.growingIDs, id)
+		}
+		return
+	}
+	ss := &sealedSegment{seq: seq, store: store, ids: ids, idx: idx}
+	for _, id := range ss.ids {
+		if _, dead := c.tombstones[id]; dead {
+			ss.dead++
+		}
+	}
+	c.insertSealedLocked(ss)
+}
+
+// replayFlush replays a RecFlush record: seal the growing tail as segment
+// seq and build its index synchronously.
+func (c *Collection) replayFlush(seq int64) {
+	if seq >= c.sealSeq {
+		c.sealSeq = seq + 1
+	}
+	if c.growingRowsLocked() == 0 {
+		return
+	}
+	index.SortRowsByID(c.growing, c.growingIDs)
+	store, ids := c.growing, c.growingIDs
+	c.growing, c.growingIDs = nil, nil
+	c.landSegment(store, ids, seq)
+}
+
+// replayCompactCommit replays one committed compaction task: rebuild the
+// replacement segment from the recorded surviving ids and drop the
+// sources, exactly as the pre-crash commit did.
+func (c *Collection) replayCompactCommit(op *persist.WALOp) error {
+	if op.Seq >= c.sealSeq {
+		c.sealSeq = op.Seq + 1
+	}
+	var sources []*sealedSegment
+	for _, seq := range op.Sources {
+		var found *sealedSegment
+		for _, seg := range c.sealed {
+			if seg.seq == seq {
+				found = seg
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("vdms: WAL replay: compaction commit references unknown segment seq %d", seq)
+		}
+		sources = append(sources, found)
+	}
+	live := make(map[int64]struct{}, len(op.LiveIDs))
+	for _, id := range op.LiveIDs {
+		live[id] = struct{}{}
+	}
+	in := compactInput{store: linalg.NewMatrix(c.dim, len(op.LiveIDs)), dropped: op.Dropped}
+	for _, seg := range sources {
+		for i, id := range seg.ids {
+			if _, ok := live[id]; ok {
+				in.store.AppendRow(seg.store.Row(i))
+				in.ids = append(in.ids, id)
+			}
+		}
+	}
+	if len(in.ids) != len(op.LiveIDs) {
+		return fmt.Errorf("vdms: WAL replay: compaction commit lists %d surviving ids, sources hold %d of them", len(op.LiveIDs), len(in.ids))
+	}
+	index.SortRowsByID(in.store, in.ids)
+	seg, err := buildCompacted(c.cfg, c.metric, c.dim, in, op.Seq)
+	if err != nil {
+		// Mirror the live engine: sources stay, excluded from future plans.
+		c.buildErrOnce.Do(func() { c.buildErr = err })
+		for _, s := range sources {
+			s.noCompact = true
+		}
+		return nil
+	}
+	c.removeSealedLocked(sources)
+	if seg != nil {
+		for _, id := range seg.ids {
+			if _, dead := c.tombstones[id]; dead {
+				seg.dead++
+			}
+		}
+		c.insertSealedLocked(seg)
+	}
+	for _, id := range op.Dropped {
+		delete(c.tombstones, id)
+	}
+	c.compactedSegments += int64(len(sources))
+	c.reclaimedRows += int64(len(op.Dropped))
+	return nil
+}
+
+// snapshotLocked captures the collection's full durable state. Sealed and
+// sealing stores are immutable, so the snapshot references them directly;
+// the growing tail is mutable and gets copied. Callers hold c.mu.
+func (c *Collection) snapshotLocked() *persist.Snapshot {
+	s := &persist.Snapshot{
+		CheckpointLSN:     c.wal.LastLSN(),
+		Dim:               c.dim,
+		Metric:            c.metric,
+		IndexType:         c.cfg.IndexType,
+		Build:             c.cfg.Build,
+		NextID:            c.nextID,
+		SealSeq:           c.sealSeq,
+		Rows:              c.rows,
+		CompactionPasses:  c.compactionPasses,
+		CompactedSegments: c.compactedSegments,
+		ReclaimedRows:     c.reclaimedRows,
+	}
+	for _, seg := range c.sealed {
+		s.Segments = append(s.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
+	}
+	// In-flight builds are not waited for: a sealing segment snapshots as
+	// its rows + seq, and recovery rebuilds the identical index.
+	for _, seg := range c.sealing {
+		s.Segments = append(s.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
+	}
+	sort.Slice(s.Segments, func(i, j int) bool { return s.Segments[i].Seq < s.Segments[j].Seq })
+	if n := c.growingRowsLocked(); n > 0 {
+		g := linalg.NewMatrix(c.dim, n)
+		for i := 0; i < n; i++ {
+			g.AppendRow(c.growing.Row(i))
+		}
+		s.Growing = g
+		s.GrowingIDs = append([]int64(nil), c.growingIDs...)
+	}
+	if len(c.tombstones) > 0 {
+		s.Tombstones = make([]int64, 0, len(c.tombstones))
+		for id := range c.tombstones {
+			s.Tombstones = append(s.Tombstones, id)
+		}
+		sort.Slice(s.Tombstones, func(i, j int) bool { return s.Tombstones[i] < s.Tombstones[j] })
+	}
+	return s
+}
+
+// Checkpoint persists a snapshot of the current state and truncates the
+// WAL to the records beyond it. The previous snapshot generation (and the
+// WAL files it needs) is kept until the next checkpoint, so a damaged
+// newest snapshot still leaves a recoverable directory. On a memory-only
+// collection it is a no-op.
+func (c *Collection) Checkpoint() error {
+	if c.wal == nil {
+		return nil
+	}
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	// Drain the log to disk before taking the engine lock: Rotate below
+	// fsyncs while every Search and Insert is blocked on c.mu, so this
+	// pre-sync (which blocks nobody) leaves it almost nothing to flush —
+	// only the records appended in the gap between here and the lock.
+	if err := c.wal.Sync(); err != nil {
+		return fmt.Errorf("vdms: syncing WAL before checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	snap := c.snapshotLocked()
+	// Rotate inside the same lock hold that captured the state: records
+	// after the snapshot boundary land in the new file, so truncation
+	// can simply drop whole old files.
+	err := c.wal.Rotate()
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("vdms: rotating WAL: %w", err)
+	}
+	if err := persist.WriteSnapshot(c.dataDir, snap); err != nil {
+		// The snapshot failed but the rotated WAL files all survive:
+		// recovery still has the previous snapshot plus a complete log.
+		return fmt.Errorf("vdms: writing snapshot: %w", err)
+	}
+	keep := c.ckptLSN // the generation before this one
+	c.ckptLSN = snap.CheckpointLSN
+	c.lastCkpt.Store(snap.CheckpointLSN)
+	// Retention trimming is best-effort: a failure here costs disk, not
+	// durability, and the next checkpoint retries it.
+	_ = persist.RemoveObsoleteSnapshots(c.dataDir, keep)
+	_ = c.wal.RemoveObsolete(keep)
+	return nil
+}
+
+// DisableAutoCheckpoint stops the compactor from checkpointing after
+// each committed pass: WAL records then accumulate until an explicit
+// Checkpoint or Close. Operators who prefer scheduled checkpoints (or
+// tests that must exercise long log replays, compaction commits
+// included) use this; durability is unaffected — only the recovery
+// replay length grows.
+func (c *Collection) DisableAutoCheckpoint() {
+	c.mu.Lock()
+	c.noAutoCkpt = true
+	c.mu.Unlock()
+}
+
+// Crash abandons the collection the way a process crash would: background
+// work is stopped, but no flush, snapshot, or WAL sync happens, and
+// records still buffered in user space are discarded. What survives on
+// disk is exactly what the fsync policy had made durable. It exists for
+// crash-recovery testing; production shutdown is Close.
+func (c *Collection) Crash() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.builds.Wait()
+	c.waitCompactions()
+	if c.wal != nil {
+		c.wal.Crash()
+	}
+}

@@ -1,0 +1,428 @@
+package vdms
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+)
+
+// durableConfig is a small, fast configuration for durability tests.
+func durableConfig(t index.Type) Config {
+	cfg := DefaultConfig()
+	cfg.IndexType = t
+	cfg.Parallelism = 2
+	cfg.WALFsyncPolicy = 3 // always: every ack is on disk
+	return cfg
+}
+
+// TestDurableRoundTrip inserts, deletes, flushes, crashes, recovers, and
+// checks rows, stats, and exact per-id search hits.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(index.Flat)
+	const dim, n = 8, 300
+	vecs := randVecs(n, dim, 11)
+
+	c, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ids[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Stats()
+	c.Crash()
+
+	r, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	post := r.Stats()
+	if post.Rows != pre.Rows || post.Rows != n-50 {
+		t.Fatalf("recovered Rows = %d, want %d", post.Rows, pre.Rows)
+	}
+	if post.Tombstones != pre.Tombstones {
+		t.Fatalf("recovered Tombstones = %d, want %d", post.Tombstones, pre.Tombstones)
+	}
+	// Every surviving vector is findable at distance zero; every deleted
+	// one is gone.
+	for i, id := range ids {
+		hits, err := r.Search(vecs[i], 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 50 {
+			if len(hits) > 0 && hits[0].ID == id && hits[0].Dist == 0 {
+				t.Fatalf("deleted id %d still findable", id)
+			}
+			continue
+		}
+		if len(hits) == 0 || hits[0].ID != id || hits[0].Dist != 0 {
+			t.Fatalf("id %d not recovered exactly: %+v", id, hits)
+		}
+	}
+}
+
+// TestDurableCheckpointTruncatesWAL verifies Checkpoint bounds the log
+// and that recovery works from snapshot + empty suffix.
+func TestDurableCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(index.Flat)
+	const dim = 4
+	c, err := OpenDurable(dir, cfg, linalg.L2, dim, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(randVecs(200, dim, 5)); err != nil {
+		t.Fatal(err)
+	}
+	grew := c.Stats().WALBytes
+	if grew == 0 {
+		t.Fatal("WALBytes zero after 200 inserts")
+	}
+	// One generation of history is retained as a fallback, so the log
+	// shrinks once the *second* checkpoint makes the first one "previous".
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.LastCheckpointLSN == 0 {
+		t.Fatal("LastCheckpointLSN still zero after Checkpoint")
+	}
+	if st.WALBytes >= grew {
+		t.Fatalf("WALBytes %d not reduced by checkpoints (was %d)", st.WALBytes, grew)
+	}
+	c.Crash()
+
+	r, err := OpenDurable(dir, cfg, linalg.L2, dim, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Stats().Rows; got != 200 {
+		t.Fatalf("recovered Rows = %d, want 200", got)
+	}
+}
+
+// TestDurableGracefulCloseKeepsUnsyncedTail: under SyncNever nothing is
+// fsynced per-op, but Close checkpoints, so a graceful shutdown loses
+// nothing — including unsealed growing rows.
+func TestDurableGracefulCloseKeepsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(index.Flat)
+	cfg.WALFsyncPolicy = 1 // never
+	const dim = 4
+	c, err := OpenDurable(dir, cfg, linalg.L2, dim, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randVecs(37, dim, 6) // far below any seal threshold
+	ids, err := c.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenDurable(dir, cfg, linalg.L2, dim, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st := r.Stats()
+	if st.Rows != 37 || st.GrowingRows != 37 {
+		t.Fatalf("recovered Rows=%d GrowingRows=%d, want 37/37", st.Rows, st.GrowingRows)
+	}
+	hits, err := r.Search(vecs[3], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].ID != ids[3] || hits[0].Dist != 0 {
+		t.Fatalf("growing row not recovered: %+v", hits)
+	}
+}
+
+// TestDurableCloseIdempotent: a second Close (the common defer + explicit
+// pattern) must not fail against the already-closed WAL, and Close after
+// Crash must not attempt a checkpoint.
+func TestDurableCloseIdempotent(t *testing.T) {
+	cfg := durableConfig(index.Flat)
+	c, err := OpenDurable(t.TempDir(), cfg, linalg.L2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(randVecs(5, 4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close failed: %v", err)
+	}
+	crashed, err := OpenDurable(t.TempDir(), cfg, linalg.L2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed.Crash()
+	if err := crashed.Close(); err != nil {
+		t.Fatalf("Close after Crash failed: %v", err)
+	}
+}
+
+// TestDurableConfigMismatchRejected: recovery refuses silently different
+// index configurations.
+func TestDurableConfigMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(index.HNSW)
+	const dim = 4
+	c, err := OpenDurable(dir, cfg, linalg.L2, dim, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(randVecs(10, dim, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenDurable(dir, cfg, linalg.L2, dim+1, 100); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := OpenDurable(dir, cfg, linalg.InnerProduct, dim, 100); err == nil {
+		t.Fatal("metric mismatch accepted")
+	}
+	other := cfg
+	other.IndexType = index.IVFFlat
+	if _, err := OpenDurable(dir, other, linalg.L2, dim, 100); err == nil {
+		t.Fatal("index type mismatch accepted")
+	}
+	seeded := cfg
+	seeded.Build.Seed = 999
+	if _, err := OpenDurable(dir, seeded, linalg.L2, dim, 100); err == nil {
+		t.Fatal("build seed mismatch accepted")
+	}
+	// The matching configuration still opens.
+	r, err := OpenDurable(dir, cfg, linalg.L2, dim, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}
+
+// TestMemoryCollectionUnaffected: a NewCollection collection has no WAL,
+// zero persistence stats, and Checkpoint is a no-op.
+func TestMemoryCollectionUnaffected(t *testing.T) {
+	c, err := NewCollection(durableConfig(index.Flat), linalg.L2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Insert([][]float32{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WALBytes != 0 || st.LastCheckpointLSN != 0 {
+		t.Fatalf("memory collection reports persistence stats: %+v", st)
+	}
+}
+
+// TestRecoveryDeterminism is the recovery-determinism gate: an engine
+// crashed mid-churn and recovered must answer SearchBatch bit-identically
+// to the uninterrupted engine and agree on Rows/Tombstones/Segments — at
+// workers=1 and workers=N, across index types.
+func TestRecoveryDeterminism(t *testing.T) {
+	const dim, n, k, queries = 8, 900, 10, 32
+	for _, typ := range []index.Type{index.Flat, index.HNSW, index.IVFFlat} {
+		for _, workers := range []int{1, 8} {
+			for _, mode := range []string{"ckpt", "log"} {
+				mode := mode
+				t.Run(fmt.Sprintf("%v/workers=%d/%s", typ, workers, mode), func(t *testing.T) {
+					cfg := durableConfig(typ)
+					cfg.Parallelism = workers
+					// Small segments so the workload seals several times and
+					// deletes trigger compaction mid-run.
+					cfg.SegmentMaxSize = 100
+					cfg.SealProportion = 0.8
+
+					vecs := randVecs(n, dim, 31)
+					qs := randVecs(queries, dim, 32)
+
+					dir := t.TempDir()
+					live, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if mode == "log" {
+						// Recovery must then rebuild compacted segments
+						// from WAL commit records instead of snapshots.
+						live.DisableAutoCheckpoint()
+					}
+					var ids []int64
+					for off := 0; off < n; off += 90 {
+						end := off + 90
+						if end > n {
+							end = n
+						}
+						got, err := live.Insert(vecs[off:end])
+						if err != nil {
+							t.Fatal(err)
+						}
+						ids = append(ids, got...)
+						// Churn: delete a slice of the oldest live rows.
+						if off > 0 && off%180 == 0 {
+							if _, err := live.Delete(ids[off-60 : off-20]); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					if err := live.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					preStats := live.Stats()
+					preRes, err := live.SearchBatch(qs, k, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live.Crash()
+
+					rec, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer rec.Close()
+					if err := rec.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					postStats := rec.Stats()
+					if postStats.Rows != preStats.Rows ||
+						postStats.Tombstones != preStats.Tombstones ||
+						postStats.Sealed != preStats.Sealed ||
+						postStats.GrowingRows != preStats.GrowingRows {
+						t.Fatalf("recovered stats %+v, pre-crash %+v", postStats, preStats)
+					}
+					postRes, err := rec.SearchBatch(qs, k, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(preRes, postRes) {
+						for i := range preRes {
+							if !reflect.DeepEqual(preRes[i], postRes[i]) {
+								t.Fatalf("query %d: pre-crash %v, recovered %v", i, preRes[i], postRes[i])
+							}
+						}
+						t.Fatal("SearchBatch results differ after recovery")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRecoveryDeterminismAcrossWorkers: the recovered state is identical
+// whether recovery (and the original run) used 1 worker or N.
+func TestRecoveryDeterminismAcrossWorkers(t *testing.T) {
+	const dim, n, k = 8, 400, 5
+	run := func(workers int) [][]linalg.Neighbor {
+		cfg := durableConfig(index.HNSW)
+		cfg.Parallelism = workers
+		cfg.SegmentMaxSize = 100
+		cfg.SealProportion = 0.8
+		vecs := randVecs(n, dim, 77)
+		qs := randVecs(16, dim, 78)
+		dir := t.TempDir()
+		c, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := c.Insert(vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Delete(ids[100:160]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		c.Crash()
+		r, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		res, err := r.SearchBatch(qs, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("recovered results differ between workers=1 and workers=8")
+	}
+}
+
+// TestWALFilesBounded: checkpoints keep at most two snapshot generations
+// and the WAL files they need.
+func TestWALFilesBounded(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(index.Flat)
+	c, err := OpenDurable(dir, cfg, linalg.L2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Insert(randVecs(20, 4, int64(9+i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, wals := 0, 0
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		switch filepath.Ext(e.Name()) {
+		case ".snap":
+			snaps++
+		case ".wal":
+			wals++
+		}
+	}
+	if snaps > 2 {
+		t.Fatalf("%d snapshots retained, want <= 2", snaps)
+	}
+	if wals > 3 {
+		t.Fatalf("%d WAL files retained, want <= 3", wals)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

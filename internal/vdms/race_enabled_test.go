@@ -1,0 +1,8 @@
+//go:build race
+
+package vdms
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-gate assertions are skipped under -race because instrumentation
+// allocates on paths that are allocation-free in normal builds.
+const raceEnabled = true
