@@ -38,15 +38,16 @@ bench-churn:
 	$(GO) test -bench=SearchAfterDeletes -benchtime=1x .
 
 # The query-path benchmark trajectory: the root churn + SearchBatch
-# worker-scaling benchmarks and the per-index single-query benchmarks,
-# with allocation stats, written to BENCH_query.json. The file is
-# committed so future performance PRs diff against a baseline; only
-# regenerate it deliberately, on the baseline machine.
+# worker-scaling + sharded insert/search benchmarks and the per-index
+# single-query benchmarks, with allocation stats, written to
+# BENCH_query.json. The file is committed so future performance PRs diff
+# against a baseline; only regenerate it deliberately, on the baseline
+# machine.
 BENCH_JSON_OUT ?= BENCH_query.json
 
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
-	if ! $(GO) test -run '^$$' -bench 'SearchAfterDeletes|SearchBatchWorkers' -benchmem -benchtime=1x . > "$$tmp" 2>&1; \
+	if ! $(GO) test -run '^$$' -bench 'SearchAfterDeletes|SearchBatchWorkers|ShardedInsert|ShardedSearchBatch' -benchmem -benchtime=1x . > "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
@@ -72,6 +73,8 @@ alloc-gate:
 		|| { echo "alloc-gate tests missing from ./internal/index"; exit 1; }
 	@$(GO) test -list 'TestAllocGate' ./internal/vdms | grep -q TestAllocGatePersistentSearch \
 		|| { echo "alloc-gate tests missing from ./internal/vdms"; exit 1; }
+	@$(GO) test -list 'TestAllocGate' ./internal/vdms | grep -q TestAllocGateShardedSearch \
+		|| { echo "sharded alloc-gate test missing from ./internal/vdms"; exit 1; }
 	ALLOC_GATE_STRICT=1 $(GO) test -run 'TestAllocGate' -count=1 ./internal/index ./internal/vdms
 
 # Native fuzzing smoke pass over the persistence decoders: 30 seconds per

@@ -2,18 +2,29 @@
 // service (the access layer of the VDMS architecture): a live collection
 // behind the newline-delimited JSON protocol of internal/server.
 //
+// The collection is sharded (-shards): inserts and deletes are routed to
+// independently locked shards by id hash, searches scatter-gather across
+// all of them deterministically, and with -data-dir every shard keeps its
+// own write-ahead log and snapshots under <data-dir>/shard-<i>, described
+// by a versioned manifest. A data directory is bound to the shard count
+// it was created with; reopening it with a different -shards value is
+// refused.
+//
 // With -data-dir the collection is durable: every insert/delete is
-// write-ahead logged under the configured -fsync policy, the compactor
-// checkpoints snapshots, startup recovers the previous state (replaying
-// the WAL and truncating a torn tail), and SIGTERM/SIGINT shut down
-// gracefully — final WAL sync plus a full snapshot — so a clean stop
-// loses nothing under any policy. Without -data-dir the engine is
-// memory-only, as before.
+// write-ahead logged under the configured -fsync policy, the per-shard
+// compactors checkpoint snapshots, startup recovers the previous state
+// (replaying all shard WALs in parallel and truncating torn tails), and
+// SIGTERM/SIGINT shut down gracefully — final WAL sync plus a full
+// snapshot per shard — so a clean stop loses nothing under any policy.
+// Without -data-dir the engine is memory-only, as before.
+//
+// Flags are validated up front: a value outside its documented range is a
+// usage error (exit code 2) before any collection state is created.
 //
 // Usage:
 //
 //	vdmsd [-addr 127.0.0.1:7700] [-dim 128] [-metric angular]
-//	      [-index HNSW] [-expected-rows 100000]
+//	      [-index HNSW] [-expected-rows 100000] [-shards 1]
 //	      [-compact-ratio 0.2] [-compact-fanin 4] [-compact-workers 2]
 //	      [-data-dir /var/lib/vdms] [-fsync always|batch|never]
 //	      [-wal-group 64]
@@ -39,12 +50,21 @@ import (
 	"vdtuner/internal/vdms"
 )
 
+// usageError prints the message and the flag summary, then exits 2 — the
+// conventional "bad invocation" code — before any engine state exists.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vdmsd: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
-	dim := flag.Int("dim", 128, "vector dimensionality")
+	dim := flag.Int("dim", 128, "vector dimensionality (> 0)")
 	metricName := flag.String("metric", "angular", "distance metric: l2, ip, angular")
 	indexName := flag.String("index", "HNSW", "index type for sealed segments")
-	expectedRows := flag.Int("expected-rows", 100000, "expected corpus size (scales segment sizing)")
+	expectedRows := flag.Int("expected-rows", 100000, "expected corpus size (> 0, scales segment sizing)")
+	shards := flag.Int("shards", 1, "live-collection shard count, [1, 16]")
 	compactRatio := flag.Float64("compact-ratio", 0, "sealed-segment tombstone ratio that triggers compaction, [0.05, 0.95] (0 = engine default)")
 	compactFanIn := flag.Int("compact-fanin", 0, "max undersized segments merged per compaction, [2, 16] (0 = engine default)")
 	compactWorkers := flag.Int("compact-workers", 0, "compactor worker-pool size, [1, 16] (0 = engine default)")
@@ -53,6 +73,30 @@ func main() {
 	walGroup := flag.Int("wal-group", 0, "group-commit batch size under the batch policy, [1, 1024] (0 = engine default)")
 	flag.Parse()
 
+	// Validate every flag before building anything: a typo'd knob should
+	// be a crisp usage error, not a half-started collection (or a silently
+	// absurd segment model).
+	if *dim <= 0 {
+		usageError("-dim must be positive, got %d", *dim)
+	}
+	if *expectedRows <= 0 {
+		usageError("-expected-rows must be positive, got %d", *expectedRows)
+	}
+	if *shards < 1 || *shards > 16 {
+		usageError("-shards %d outside [1, 16]", *shards)
+	}
+	if *compactRatio != 0 && (*compactRatio < 0.05 || *compactRatio > 0.95) {
+		usageError("-compact-ratio %v outside [0.05, 0.95]", *compactRatio)
+	}
+	if *compactFanIn != 0 && (*compactFanIn < 2 || *compactFanIn > 16) {
+		usageError("-compact-fanin %d outside [2, 16]", *compactFanIn)
+	}
+	if *compactWorkers != 0 && (*compactWorkers < 1 || *compactWorkers > 16) {
+		usageError("-compact-workers %d outside [1, 16]", *compactWorkers)
+	}
+	if *walGroup != 0 && (*walGroup < 1 || *walGroup > 1024) {
+		usageError("-wal-group %d outside [1, 1024]", *walGroup)
+	}
 	var metric linalg.Metric
 	switch *metricName {
 	case "l2":
@@ -62,17 +106,16 @@ func main() {
 	case "angular":
 		metric = linalg.Angular
 	default:
-		fmt.Fprintf(os.Stderr, "unknown metric %q\n", *metricName)
-		os.Exit(2)
+		usageError("unknown metric %q (want l2, ip, or angular)", *metricName)
 	}
 	typ, err := index.ParseType(*indexName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageError("%v", err)
 	}
 
 	cfg := vdms.DefaultConfig()
 	cfg.IndexType = typ
+	cfg.ShardCount = *shards
 	if *compactRatio != 0 {
 		cfg.CompactionTriggerRatio = *compactRatio
 	}
@@ -85,8 +128,7 @@ func main() {
 	if *fsyncName != "" {
 		policy, err := persist.ParseSyncPolicy(*fsyncName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			usageError("%v", err)
 		}
 		cfg.WALFsyncPolicy = int(policy)
 	}
@@ -117,18 +159,18 @@ func main() {
 	}
 	if *dataDir != "" {
 		st := coll.Stats()
-		fmt.Printf("vdmsd recovered %d rows (%d sealed segments, %d growing) from %s\n",
-			st.Rows, st.Sealed, st.GrowingRows, *dataDir)
+		fmt.Printf("vdmsd recovered %d rows (%d sealed segments, %d growing) across %d shards from %s\n",
+			st.Rows, st.Sealed, st.GrowingRows, len(st.Shards), *dataDir)
 	}
-	fmt.Printf("vdmsd listening on %s (dim=%d, metric=%s, index=%v)\n",
-		srv.Addr(), *dim, metric, typ)
+	fmt.Printf("vdmsd listening on %s (dim=%d, metric=%s, index=%v, shards=%d)\n",
+		srv.Addr(), *dim, metric, typ, *shards)
 
 	// Graceful shutdown on SIGTERM as well as interrupt: stop accepting,
 	// then Close the collection — which waits out builds and compactions
-	// and, when durable, syncs the WAL and writes a final snapshot, so no
-	// acknowledged write (and no unsealed growing row) is lost. A hard
-	// kill instead leaves whatever the fsync policy made durable, which
-	// recovery replays on the next start.
+	// and, when durable, syncs every shard's WAL and writes final
+	// snapshots, so no acknowledged write (and no unsealed growing row)
+	// is lost. A hard kill instead leaves whatever the fsync policy made
+	// durable, which recovery replays on the next start.
 	<-sig
 	fmt.Println("shutting down")
 	code := 0

@@ -93,6 +93,48 @@ func waitExit(t *testing.T, d *daemon) {
 	}
 }
 
+// TestDaemonFlagValidation: out-of-range flags must be usage errors (exit
+// code 2, message on stderr) before any collection state is created — not
+// a half-started daemon or a late engine error.
+func TestDaemonFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real daemon")
+	}
+	bin := buildDaemon(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"dim", []string{"-dim", "0"}},
+		{"negative-dim", []string{"-dim", "-3"}},
+		{"expected-rows", []string{"-expected-rows", "0"}},
+		{"shards-low", []string{"-shards", "0"}},
+		{"shards-high", []string{"-shards", "17"}},
+		{"compact-ratio", []string{"-compact-ratio", "1.5"}},
+		{"compact-fanin", []string{"-compact-fanin", "1"}},
+		{"compact-workers", []string{"-compact-workers", "99"}},
+		{"wal-group", []string{"-wal-group", "4096"}},
+		{"metric", []string{"-metric", "cosineish"}},
+		{"index", []string{"-index", "BTREE"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, tc.args...)...)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("daemon with %v did not exit with an error (output %q)", tc.args, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("daemon with %v exited %d, want usage error 2 (output %q)", tc.args, code, out)
+			}
+			if !strings.Contains(string(out), "vdmsd:") || !strings.Contains(string(out), "Usage") {
+				t.Fatalf("usage error output missing diagnostic or usage text: %q", out)
+			}
+		})
+	}
+}
+
 // TestDaemonKillRecovery is the no-acknowledged-insert-lost gate: under
 // -fsync always, inserts acknowledged over the wire must survive a hard
 // SIGKILL (no shutdown handler runs) and be served after a restart from

@@ -60,6 +60,9 @@ type kbConfig struct {
 	// in knowledge bases written before persistence existed.
 	WALFsyncPolicy int `json:"wal_fsyncPolicy,omitempty"`
 	WALGroupCommit int `json:"wal_groupCommit,omitempty"`
+	// Sharding knob; likewise omitted (zero, meaning engine default of 1)
+	// in knowledge bases written before the live engine was sharded.
+	ShardCount int `json:"shard_count,omitempty"`
 
 	Concurrency int `json:"concurrency,omitempty"`
 }
@@ -100,6 +103,8 @@ func toWireConfig(c vdms.Config) kbConfig {
 		WALFsyncPolicy: c.WALFsyncPolicy,
 		WALGroupCommit: c.WALGroupCommit,
 
+		ShardCount: c.ShardCount,
+
 		Concurrency: c.Concurrency,
 	}
 }
@@ -125,6 +130,8 @@ func fromWireConfig(k kbConfig) (vdms.Config, error) {
 
 		WALFsyncPolicy: k.WALFsyncPolicy,
 		WALGroupCommit: k.WALGroupCommit,
+
+		ShardCount: k.ShardCount,
 
 		Concurrency: k.Concurrency,
 	}

@@ -63,7 +63,7 @@ func TestCrashMatrix(t *testing.T) {
 // without this, the matrix would silently stop exercising commit replay.
 func TestCrashMatrixCoversCompactionCommits(t *testing.T) {
 	w := runWorkload(t, t.TempDir(), 2, 110, false)
-	files, err := persist.WALFileNames(w.dir)
+	files, err := persist.WALFileNames(shard0Dir(w.dir))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,12 @@ type op struct {
 	ids    []int64     // delete targets
 }
 
+// shard0Dir resolves the WAL/snapshot directory of the collection's only
+// shard: since the live engine was sharded, a data directory holds a
+// manifest plus per-shard subdirectories, and a shard_count=1 workload's
+// entire log lives under shard-0.
+func shard0Dir(dir string) string { return persist.ShardDir(dir, 0) }
+
 // workload is a finished seeded run: the op sequence and the crashed data
 // directory it produced. lsnAfter[i] is the WAL head (Stats.WALLastLSN)
 // right after op i was acknowledged: op i is fully durable in any log
@@ -219,7 +225,7 @@ type truncationCase struct {
 // L, plus the payloads of later surviving records.
 func matrixCases(t *testing.T, w *workload) []truncationCase {
 	t.Helper()
-	files, err := persist.WALFileNames(w.dir)
+	files, err := persist.WALFileNames(shard0Dir(w.dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,51 +332,61 @@ func matrixCases(t *testing.T, w *workload) []truncationCase {
 	return cases
 }
 
-// copyDirTruncated clones the crashed data directory into dst with the
-// final WAL file truncated to cut bytes.
-func copyDirTruncated(t *testing.T, src, dst string, cut int64) {
+// copyDirTruncated clones the crashed data directory — manifest and every
+// shard subdirectory — into dst with the final WAL file of truncShard
+// truncated to cut bytes. Other shards (if any) are copied intact: a real
+// torn write damages one log's tail, not several.
+func copyDirTruncated(t *testing.T, src, dst string, truncShard int, cut int64) {
 	t.Helper()
-	files, err := persist.WALFileNames(src)
-	if err != nil {
+	lastWALIn := ""
+	if files, err := persist.WALFileNames(persist.ShardDir(src, truncShard)); err != nil {
 		t.Fatal(err)
+	} else if len(files) > 0 {
+		lastWALIn = files[len(files)-1]
 	}
-	lastWAL := ""
-	if len(files) > 0 {
-		lastWAL = filepath.Base(files[len(files)-1])
-	}
-	ents, err := os.ReadDir(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ents {
-		if e.IsDir() {
-			continue
-		}
-		in, err := os.Open(filepath.Join(src, e.Name()))
+	var walk func(from, to string)
+	walk = func(from, to string) {
+		ents, err := os.ReadDir(from)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := os.Create(filepath.Join(dst, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var cerr error
-		if e.Name() == lastWAL {
-			_, cerr = io.CopyN(out, in, cut)
-			if cerr == io.EOF {
-				cerr = nil
+		for _, e := range ents {
+			if e.IsDir() {
+				sub := filepath.Join(to, e.Name())
+				if err := os.MkdirAll(sub, 0o777); err != nil {
+					t.Fatal(err)
+				}
+				walk(filepath.Join(from, e.Name()), sub)
+				continue
 			}
-		} else {
-			_, cerr = io.Copy(out, in)
-		}
-		in.Close()
-		if err := out.Close(); err != nil {
-			t.Fatal(err)
-		}
-		if cerr != nil {
-			t.Fatal(cerr)
+			inPath := filepath.Join(from, e.Name())
+			in, err := os.Open(inPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := os.Create(filepath.Join(to, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cerr error
+			if inPath == lastWALIn {
+				_, cerr = io.CopyN(out, in, cut)
+				if cerr == io.EOF {
+					cerr = nil
+				}
+			} else {
+				_, cerr = io.Copy(out, in)
+			}
+			in.Close()
+			if err := out.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if cerr != nil {
+				t.Fatal(cerr)
+			}
 		}
 	}
+	walk(src, dst)
 }
 
 // verifyCase recovers from one truncation and checks the recovered engine
@@ -382,7 +398,7 @@ func verifyCase(t *testing.T, w *workload, tc truncationCase, scratch string) {
 		t.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	copyDirTruncated(t, w.dir, dir, tc.cut)
+	copyDirTruncated(t, w.dir, dir, 0, tc.cut)
 
 	rec, err := vdms.OpenDurable(dir, w.cfg, linalg.L2, w.dim, 256)
 	if err != nil {

@@ -26,6 +26,9 @@ func walSeedCorpus(tb testing.TB) []byte {
 	if _, err := w.AppendInsert(0, [][]float32{{1, 2, 3}, {4, 5, 6}}, 3); err != nil {
 		tb.Fatal(err)
 	}
+	if _, err := w.AppendInsertIDs([]int64{2, 6}, [][]float32{{7, 8, 9}, {10, 11, 12}}, 3); err != nil {
+		tb.Fatal(err)
+	}
 	if _, err := w.AppendDelete([]int64{0, 7}); err != nil {
 		tb.Fatal(err)
 	}
@@ -64,6 +67,18 @@ func FuzzWALReplay(f *testing.F) {
 			case RecInsert:
 				if op.Count*op.Dim != len(op.Vectors) {
 					t.Fatalf("insert decoded %d vectors for count %d dim %d", len(op.Vectors), op.Count, op.Dim)
+				}
+				var sum float32
+				for _, v := range op.Vectors {
+					sum += v
+				}
+				_ = sum
+			case RecInsertIDs:
+				if op.Count*op.Dim != len(op.Vectors) {
+					t.Fatalf("insert-ids decoded %d vectors for count %d dim %d", len(op.Vectors), op.Count, op.Dim)
+				}
+				if op.Count != len(op.IDs) {
+					t.Fatalf("insert-ids decoded %d ids for count %d", len(op.IDs), op.Count)
 				}
 				var sum float32
 				for _, v := range op.Vectors {

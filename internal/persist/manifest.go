@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vdtuner/internal/linalg"
+)
+
+// The collection manifest. A sharded data directory is laid out as
+//
+//	dir/
+//	  MANIFEST            this file: shard count, dimension, metric
+//	  shard-0/            snapshot + WAL of shard 0 (see package doc)
+//	  shard-1/            ...
+//
+// Each shard directory is an independent snapshot+WAL pair — shards
+// checkpoint, rotate, and recover without coordinating — and the manifest
+// is the one piece of collection-level state: the structural parameters
+// that decide which shard owns which id. It is written once, when the
+// directory is created, and never rewritten; recovery cross-checks it
+// against the opening configuration, because opening with a different
+// shard count would silently re-route ids (and a different dim/metric
+// would silently change results).
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// ManifestName is the manifest's file name within a data directory.
+const ManifestName = "MANIFEST"
+
+// Manifest records a sharded data directory's structural parameters.
+type Manifest struct {
+	Version int           `json:"version"`
+	Shards  int           `json:"shards"`
+	Dim     int           `json:"dim"`
+	Metric  linalg.Metric `json:"metric"`
+}
+
+// ShardDir returns shard i's subdirectory within a data directory.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
+// WriteManifest atomically persists m into dir: temp file, fsync, rename,
+// directory fsync — the same discipline snapshots use, so a crash leaves
+// either no manifest or a complete one.
+func WriteManifest(dir string, m *Manifest) error {
+	if m.Version == 0 {
+		m.Version = ManifestVersion
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadManifest reads dir's manifest. It returns (nil, nil) when no
+// manifest exists (a fresh or pre-sharding directory; callers decide which
+// with HasLegacyLayout) and a *CorruptError when one exists but cannot be
+// a valid manifest.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "undecodable manifest: %v", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "unsupported manifest version %d", m.Version)
+	}
+	if m.Shards < 1 || m.Dim <= 0 {
+		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "manifest declares %d shards, dim %d", m.Shards, m.Dim)
+	}
+	return &m, nil
+}
+
+// HasLegacyLayout reports whether dir holds pre-sharding persistence state:
+// snapshot or WAL files directly at the top level instead of under
+// shard-<i> subdirectories. Such a directory predates the manifest and
+// cannot be opened by the sharded engine; surfacing it beats silently
+// starting an empty collection next to unreachable data.
+func HasLegacyLayout(dir string) (bool, error) {
+	snaps, err := listSeqFiles(dir, "snap-", ".snap")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	wals, err := listSeqFiles(dir, "wal-", ".wal")
+	if err != nil {
+		return false, err
+	}
+	return len(snaps) > 0 || len(wals) > 0, nil
+}

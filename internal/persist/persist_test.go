@@ -98,6 +98,97 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWALInsertIDsRoundTrip covers the explicit-id insert record the
+// hash-routed shards write: non-contiguous ids survive encode/replay
+// aligned with their vectors.
+func TestWALInsertIDsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(Options{Dir: dir, Policy: SyncAlways}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int64{3, 11, 12, 40}
+	vecs := [][]float32{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	lsn, err := w.AppendInsertIDs(ids, vecs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops := collectOps(t, dir, 0)
+	if len(ops) != 1 {
+		t.Fatalf("replayed %d ops, want 1", len(ops))
+	}
+	op := ops[0]
+	if op.Type != RecInsertIDs || op.Count != 4 || op.Dim != 2 {
+		t.Fatalf("bad insert-ids op: %+v", op)
+	}
+	for i, id := range ids {
+		if op.IDs[i] != id {
+			t.Fatalf("ids[%d] = %d, want %d", i, op.IDs[i], id)
+		}
+		for d := 0; d < 2; d++ {
+			if op.Vectors[i*2+d] != vecs[i][d] {
+				t.Fatalf("vectors[%d][%d] = %v, want %v", i, d, op.Vectors[i*2+d], vecs[i][d])
+			}
+		}
+	}
+}
+
+// TestManifestRoundTrip covers the collection manifest: atomic write,
+// load, absence, and rejection of damaged or impossible contents.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := LoadManifest(dir); err != nil || m != nil {
+		t.Fatalf("empty dir: manifest %+v, err %v, want nil/nil", m, err)
+	}
+	want := &Manifest{Shards: 4, Dim: 16, Metric: linalg.Angular}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ManifestVersion || got.Shards != 4 || got.Dim != 16 || got.Metric != linalg.Angular {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); !IsCorrupt(err) {
+		t.Fatalf("damaged manifest: err = %v, want CorruptError", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"version":1,"shards":0,"dim":4}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); !IsCorrupt(err) {
+		t.Fatalf("zero-shard manifest: err = %v, want CorruptError", err)
+	}
+}
+
+// TestHasLegacyLayout distinguishes pre-sharding directories (top-level
+// snapshot/WAL files) from fresh and sharded ones.
+func TestHasLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	if legacy, err := HasLegacyLayout(dir); err != nil || legacy {
+		t.Fatalf("fresh dir: legacy=%v err=%v", legacy, err)
+	}
+	if legacy, err := HasLegacyLayout(filepath.Join(dir, "missing")); err != nil || legacy {
+		t.Fatalf("missing dir: legacy=%v err=%v", legacy, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1)), []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if legacy, err := HasLegacyLayout(dir); err != nil || !legacy {
+		t.Fatalf("dir with top-level WAL: legacy=%v err=%v", legacy, err)
+	}
+}
+
 // TestWALTornTail truncates the log at every byte offset and verifies
 // replay always yields a clean record-aligned prefix, never an error.
 func TestWALTornTail(t *testing.T) {

@@ -34,6 +34,11 @@ const (
 	// the surviving row ids (in id order), and the tombstoned ids whose
 	// rows were physically dropped.
 	RecCompactCommit RecordType = 4
+	// RecInsertIDs carries inserted vectors whose ids are NOT contiguous —
+	// the shape a hash-routed shard sees when a collection-level insert
+	// batch is partitioned across shards — so every id is spelled out
+	// explicitly. Contiguous runs keep using the denser RecInsert.
+	RecInsertIDs RecordType = 5
 
 	// Snapshot-only record types; see snapshot.go.
 
@@ -63,13 +68,15 @@ type WALOp struct {
 	Type RecordType
 
 	// RecInsert: Count vectors of dimension Dim, row-major in Vectors,
-	// with ids FirstID, FirstID+1, ….
+	// with ids FirstID, FirstID+1, …. RecInsertIDs reuses Dim, Count, and
+	// Vectors, with the (non-contiguous) ids in IDs instead.
 	FirstID int64
 	Dim     int
 	Count   int
 	Vectors []float32
 
-	// RecDelete: the requested ids.
+	// RecDelete: the requested ids. RecInsertIDs: the inserted ids,
+	// aligned with Vectors.
 	IDs []int64
 
 	// RecFlush and RecCompactCommit: the new segment's sequence number.
@@ -118,6 +125,18 @@ func encodeInsert(dst []byte, lsn uint64, firstID int64, vecs [][]float32, dim i
 	dst = beginBody(dst, lsn, RecInsert)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(firstID))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vecs)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	for _, v := range vecs {
+		dst = appendFloat32s(dst, v)
+	}
+	return dst
+}
+
+// encodeInsertIDs builds the body of a RecInsertIDs record: explicit ids
+// followed by the vectors, aligned index-by-index.
+func encodeInsertIDs(dst []byte, lsn uint64, ids []int64, vecs [][]float32, dim int) []byte {
+	dst = beginBody(dst, lsn, RecInsertIDs)
+	dst = appendInt64s(dst, ids)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
 	for _, v := range vecs {
 		dst = appendFloat32s(dst, v)
@@ -275,6 +294,19 @@ func decodeWALOp(path string, base int64, body []byte, op *WALOp) error {
 		}
 		if p.err == nil && op.Count > (len(p.buf)-p.off)/4/op.Dim {
 			p.fail("insert record declares %d×%d floats, payload has %d bytes", op.Count, op.Dim, len(p.buf)-p.off)
+		}
+		if p.err == nil {
+			op.Vectors = p.float32s(op.Count * op.Dim)
+		}
+	case RecInsertIDs:
+		op.IDs = p.int64s()
+		op.Count = len(op.IDs)
+		op.Dim = int(p.u32())
+		if p.err == nil && op.Dim <= 0 {
+			p.fail("insert-ids record with dim %d", op.Dim)
+		}
+		if p.err == nil && op.Count > (len(p.buf)-p.off)/4/op.Dim {
+			p.fail("insert-ids record declares %d×%d floats, payload has %d bytes", op.Count, op.Dim, len(p.buf)-p.off)
 		}
 		if p.err == nil {
 			op.Vectors = p.float32s(op.Count * op.Dim)

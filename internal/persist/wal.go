@@ -292,6 +292,16 @@ func (w *WAL) AppendInsert(firstID int64, vecs [][]float32, dim int) (uint64, er
 	})
 }
 
+// AppendInsertIDs logs inserted vectors with explicit (non-contiguous)
+// ids, aligned index-by-index with vecs. Shards of a hash-routed
+// collection use it for the sub-batches whose ids stride across shards;
+// contiguous runs keep the denser AppendInsert.
+func (w *WAL) AppendInsertIDs(ids []int64, vecs [][]float32, dim int) (uint64, error) {
+	return w.append(func(dst []byte, lsn uint64) []byte {
+		return encodeInsertIDs(dst, lsn, ids, vecs, dim)
+	})
+}
+
 // AppendDelete logs one Delete call's requested ids.
 func (w *WAL) AppendDelete(ids []int64) (uint64, error) {
 	return w.append(func(dst []byte, lsn uint64) []byte {

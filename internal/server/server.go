@@ -7,14 +7,17 @@
 // Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
 // "compact", "persist", "stats". The "searchBatch" op answers a whole
 // query batch in one round trip; the server fans it across the
-// collection's configured queryNode parallelism under a single read lock,
-// so the batch observes one consistent snapshot of the segment lifecycle.
-// The "compact" op runs segment compaction to quiescence (deletes trigger
-// it in the background anyway; the explicit op exists for operational
-// control). The "persist" op checkpoints a durable collection — snapshot
-// to disk, WAL truncated — and is a no-op on a memory-only one; the
-// "stats" reply reports the durability position (WALBytes,
-// LastCheckpointLSN, WALLastLSN). Connections
+// collection's configured queryNode parallelism under every shard's read
+// lock (acquired in fixed order), so the batch observes one consistent
+// snapshot of the whole segment lifecycle. The "compact" op runs segment
+// compaction to quiescence on every shard (deletes trigger it in the
+// background anyway; the explicit op exists for operational control). The
+// "persist" op checkpoints a durable collection — per-shard snapshots to
+// disk, per-shard WALs truncated — and is a no-op on a memory-only one;
+// the "stats" reply reports the aggregate durability position (WALBytes,
+// LastCheckpointLSN, WALLastLSN) plus a per-shard breakdown (Shards:
+// rows, segment states, tombstones, WAL position of every shard, in
+// shard order). Connections
 // are handled on one goroutine each, and the underlying collection is
 // safe for concurrent use, so any number of clients may mix reads and
 // writes. A panicking request handler answers that request with an error

@@ -2,9 +2,10 @@
 // 16 dimensions (§V-A — the index type, the eight index parameters of
 // Table I, and the seven recommended system parameters) plus the three
 // compaction parameters of the engine's segment-compaction extension
-// (trigger ratio, merge fan-in, compactor parallelism) and the two
+// (trigger ratio, merge fan-in, compactor parallelism), the two
 // durability parameters of its snapshot+WAL persistence extension (fsync
-// policy, group-commit batch), 21 dimensions in
+// policy, group-commit batch), and the shard count of its sharded live
+// engine, 22 dimensions in
 // all. It provides the encoding the surrogate model works in
 // ([0,1]^Dims), decoding back to engine configurations, per-index-type
 // parameter ownership, defaults, and random/LHS sampling restricted to an
@@ -53,6 +54,12 @@ const (
 	// search results.
 	WALFsyncPolicy
 	WALGroupCommit
+	// Sharding parameter (engine extension: the live collection is split
+	// into independently locked shards with per-shard WALs and
+	// compactors; see vdms.Config.ShardCount). It trades write/fsync/
+	// compaction parallelism against segment granularity — exactly the
+	// kind of workload-dependent knob the tuner exists to set.
+	ShardCount
 	numParams
 )
 
@@ -97,6 +104,8 @@ var defs = [NumParams]Def{
 
 	WALFsyncPolicy: {WALFsyncPolicy, "wal_fsyncPolicy", 1, 3, true, 2, nil},
 	WALGroupCommit: {WALGroupCommit, "wal_groupCommit", 1, 1024, true, 64, nil},
+
+	ShardCount: {ShardCount, "shard_count", 1, 16, true, 1, nil},
 }
 
 // Lookup returns the definition of p.
@@ -222,6 +231,9 @@ func Encode(cfg vdms.Config) Vector {
 	// recorded before durability existed).
 	setOrDefault(WALFsyncPolicy, float64(cfg.WALFsyncPolicy))
 	setOrDefault(WALGroupCommit, float64(cfg.WALGroupCommit))
+	// The shard count likewise treats zero as "engine default"
+	// (configurations recorded before the live engine was sharded).
+	setOrDefault(ShardCount, float64(cfg.ShardCount))
 	return x
 }
 
@@ -264,6 +276,8 @@ func Decode(x Vector) vdms.Config {
 
 		WALFsyncPolicy: int(get(WALFsyncPolicy)),
 		WALGroupCommit: int(get(WALGroupCommit)),
+
+		ShardCount: int(get(ShardCount)),
 	}
 	return cfg
 }

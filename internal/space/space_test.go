@@ -9,11 +9,11 @@ import (
 )
 
 func TestDefsComplete(t *testing.T) {
-	if len(All()) != 20 {
-		t.Fatalf("expected 20 scalar parameters (8 index + 7 system + 3 compaction + 2 durability), got %d", len(All()))
+	if len(All()) != 21 {
+		t.Fatalf("expected 21 scalar parameters (8 index + 7 system + 3 compaction + 2 durability + 1 sharding), got %d", len(All()))
 	}
-	if Dims != 21 {
-		t.Fatalf("Dims = %d, want 21 (paper §V-A's 16 + 3 compaction + 2 durability extensions)", Dims)
+	if Dims != 22 {
+		t.Fatalf("Dims = %d, want 22 (paper §V-A's 16 + 3 compaction + 2 durability + 1 sharding extensions)", Dims)
 	}
 	for p, d := range All() {
 		if d.Name == "" || d.Min >= d.Max {

@@ -70,3 +70,67 @@ func TestAllocGatePersistentSearch(t *testing.T) {
 		t.Fatalf("durable Search allocates %.1f/op, memory-only %.1f/op: persistence leaked into the query path", durAllocs, memAllocs)
 	}
 }
+
+// TestAllocGateShardedSearch is the sharding alloc gate: the per-segment
+// index query path stays at ≤1 allocation per query (gated in
+// internal/index — scratch pools are per index and unaffected by
+// sharding), so a sharded Search may cost at most the per-shard engine
+// work times the shard count plus a small fixed router constant (the
+// per-query list table and one cross-shard merge). Anything growing with
+// the corpus — a per-candidate allocation smuggled into the scatter-
+// gather path — blows the budget.
+func TestAllocGateShardedSearch(t *testing.T) {
+	strict := os.Getenv("ALLOC_GATE_STRICT") != ""
+	if raceEnabled {
+		if strict {
+			t.Fatal("alloc-gate tests cannot run under -race, but ALLOC_GATE_STRICT is set; run them without -race")
+		}
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const dim, n, k, shards = 16, 800, 10, 4
+	mk := func(shardCount int) *Collection {
+		cfg := DefaultConfig()
+		cfg.IndexType = index.HNSW
+		cfg.Parallelism = 1
+		cfg.ShardCount = shardCount
+		c, err := NewCollection(cfg, linalg.L2, dim, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Insert(randVecs(n, dim, 103)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	single := mk(1)
+	defer single.Close()
+	sharded := mk(shards)
+	defer sharded.Close()
+	q := randVecs(1, dim, 104)[0]
+	measure := func(c *Collection) float64 {
+		for i := 0; i < 10; i++ {
+			if _, err := c.Search(q, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := c.Search(q, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	singleAllocs := measure(single)
+	shardedAllocs := measure(sharded)
+	// Budget: each shard runs the same pooled engine path the single-shard
+	// collection does (its per-query constant, independent of corpus
+	// size), and the router adds one list table plus one MergeNeighbors
+	// (TopK + dedup map + result slice — a fixed handful).
+	budget := float64(shards)*(singleAllocs+2) + 8
+	if shardedAllocs > budget {
+		t.Fatalf("sharded Search allocates %.1f/op (single-shard %.1f/op), budget %.0f: sharding leaked allocations into the query path",
+			shardedAllocs, singleAllocs, budget)
+	}
+}

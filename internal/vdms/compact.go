@@ -8,10 +8,10 @@ import (
 	"vdtuner/internal/parallel"
 )
 
-// The background compactor. Milvus bounds delete-heavy workloads with two
+// The background compactors. Milvus bounds delete-heavy workloads with two
 // compaction flavors — single-segment compaction (drop rows past a
 // tombstone ratio) and merge compaction (coalesce undersized segments) —
-// and this file implements both for live collections:
+// and this file implements both, per shard:
 //
 //   - a sealed segment whose tombstone ratio reaches
 //     Config.CompactionTriggerRatio is rewritten: live rows are kept, the
@@ -23,13 +23,16 @@ import (
 //   - tombstones whose rows were dropped are garbage-collected, restoring
 //     the bounded search over-fetch (k + live tombstones).
 //
-// One pass plans deterministically under the lock (sealed segments are
-// kept in seq order), executes its rewrite/merge tasks on a
+// Every shard runs its own compactor under its own lock, so a pass
+// rewriting one shard's segments never blocks writes or searches on
+// another. One pass plans deterministically under the shard lock (sealed
+// segments are kept in seq order), executes its rewrite/merge tasks on a
 // parallel.Parallel pool of Config.CompactionParallelism workers, and
 // commits results in plan order. New segments take fresh seqs assigned at
 // plan time and index-build seeds derived from them, so workers=1 and
 // workers=N produce bit-identical segments and search results. A pass
-// loops until no trigger fires; at most one pass runs at a time.
+// loops until no trigger fires; at most one pass runs per shard at a
+// time.
 
 // compactTask rewrites (one source) or merges (several sources, in seq
 // order) sealed segments into at most one new segment.
@@ -47,15 +50,15 @@ type compactInput struct {
 }
 
 // planCompactionLocked selects the current pass's tasks. Callers hold
-// c.mu. The plan depends only on the sealed-segment state (seq-ordered)
+// s.mu. The plan depends only on the sealed-segment state (seq-ordered)
 // and the tombstone set, so it is deterministic for a given call sequence.
-func (c *Collection) planCompactionLocked() []compactTask {
-	trigger := c.cfg.compactionTriggerRatio()
-	fanIn := c.cfg.compactionMergeFanIn()
+func (s *shard) planCompactionLocked() []compactTask {
+	trigger := s.cfg.compactionTriggerRatio()
+	fanIn := s.cfg.compactionMergeFanIn()
 	var tasks []compactTask
 	rewriting := make(map[*sealedSegment]bool)
 	// (a) rewrite tombstone-heavy segments.
-	for _, seg := range c.sealed {
+	for _, seg := range s.sealed {
 		if seg.noCompact {
 			continue
 		}
@@ -77,15 +80,15 @@ func (c *Collection) planCompactionLocked() []compactTask {
 		group = nil
 		groupLive = 0
 	}
-	for _, seg := range c.sealed {
+	for _, seg := range s.sealed {
 		if rewriting[seg] || seg.noCompact {
 			continue
 		}
 		live := len(seg.ids) - seg.dead
-		if live >= c.sealRows {
+		if live >= s.sealRows {
 			continue
 		}
-		if len(group) == fanIn || groupLive+live > c.sealRows {
+		if len(group) == fanIn || groupLive+live > s.sealRows {
 			flush()
 		}
 		group = append(group, seg)
@@ -96,16 +99,16 @@ func (c *Collection) planCompactionLocked() []compactTask {
 }
 
 // gatherLocked snapshots a task's build input, copying the sources' live
-// rows into one fresh arena. Callers hold c.mu.
-func (c *Collection) gatherLocked(t compactTask) compactInput {
+// rows into one fresh arena. Callers hold s.mu.
+func (s *shard) gatherLocked(t compactTask) compactInput {
 	total := 0
 	for _, seg := range t.sources {
 		total += len(seg.ids) - seg.dead
 	}
-	in := compactInput{store: linalg.NewMatrix(c.dim, total)}
+	in := compactInput{store: linalg.NewMatrix(s.dim, total)}
 	for _, seg := range t.sources {
 		for i, id := range seg.ids {
-			if _, dead := c.tombstones[id]; dead {
+			if _, dead := s.tombstones[id]; dead {
 				in.dropped = append(in.dropped, id)
 				continue
 			}
@@ -141,47 +144,47 @@ func buildCompacted(cfg Config, metric linalg.Metric, dim int, in compactInput, 
 }
 
 // maybeCompactLocked starts a background compaction pass when a trigger
-// fires and no pass is already running. Callers hold c.mu.
-func (c *Collection) maybeCompactLocked() {
-	if c.compacting || c.closed {
+// fires and no pass is already running on this shard. Callers hold s.mu.
+func (s *shard) maybeCompactLocked() {
+	if s.compacting || s.closed {
 		return
 	}
-	if len(c.planCompactionLocked()) == 0 {
+	if len(s.planCompactionLocked()) == 0 {
 		return
 	}
-	c.compacting = true
-	c.compactDone = make(chan struct{})
-	go c.compactPass()
+	s.compacting = true
+	s.compactDone = make(chan struct{})
+	go s.compactPass()
 }
 
-// compactPass is the compactor goroutine: it loops plan → execute →
-// commit until no trigger fires (or the collection closes), then signals
+// compactPass is one shard's compactor goroutine: it loops plan → execute
+// → commit until no trigger fires (or the shard closes), then signals
 // completion. Source segments stay searchable until their replacement is
 // committed, and searches are unaffected throughout — dropped rows were
 // already tombstone-filtered.
-func (c *Collection) compactPass() {
+func (s *shard) compactPass() {
 	for {
-		c.mu.Lock()
+		s.mu.Lock()
 		var plan []compactTask
-		if !c.closed {
-			plan = c.planCompactionLocked()
+		if !s.closed {
+			plan = s.planCompactionLocked()
 		}
 		if len(plan) == 0 {
-			c.compacting = false
-			close(c.compactDone)
-			c.mu.Unlock()
+			s.compacting = false
+			close(s.compactDone)
+			s.mu.Unlock()
 			return
 		}
-		cfg := c.cfg
-		metric, dim := c.metric, c.dim
+		cfg := s.cfg
+		metric, dim := s.metric, s.dim
 		inputs := make([]compactInput, len(plan))
 		seqs := make([]int64, len(plan))
 		for i, t := range plan {
-			inputs[i] = c.gatherLocked(t)
-			seqs[i] = c.sealSeq
-			c.sealSeq++
+			inputs[i] = s.gatherLocked(t)
+			seqs[i] = s.sealSeq
+			s.sealSeq++
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 
 		segs := make([]*sealedSegment, len(plan))
 		errs := make([]error, len(plan))
@@ -189,12 +192,12 @@ func (c *Collection) compactPass() {
 			segs[i], errs[i] = buildCompacted(cfg, metric, dim, inputs[i], seqs[i])
 		})
 
-		c.mu.Lock()
+		s.mu.Lock()
 		committed := false
 		for i, t := range plan {
 			if errs[i] != nil {
 				err := errs[i]
-				c.buildErrOnce.Do(func() { c.buildErr = err })
+				s.buildErrOnce.Do(func() { s.buildErr = err })
 				// Sources stay in place, still searchable, but are
 				// excluded from future plans: re-planning would select
 				// the same deterministic failure forever and hang
@@ -205,7 +208,7 @@ func (c *Collection) compactPass() {
 				continue
 			}
 			committed = true
-			if c.wal != nil {
+			if s.wal != nil {
 				// Log the commit at its position in the operation order:
 				// sources, the replacement's seq (deriving its build
 				// seed), the surviving ids, and the physically dropped
@@ -214,37 +217,37 @@ func (c *Collection) compactPass() {
 				for j, seg := range t.sources {
 					srcSeqs[j] = seg.seq
 				}
-				if _, err := c.wal.AppendCompactCommit(seqs[i], srcSeqs, inputs[i].ids, inputs[i].dropped); err != nil {
+				if _, err := s.wal.AppendCompactCommit(seqs[i], srcSeqs, inputs[i].ids, inputs[i].dropped); err != nil {
 					err := fmt.Errorf("vdms: logging compaction commit: %w", err)
-					c.buildErrOnce.Do(func() { c.buildErr = err })
+					s.buildErrOnce.Do(func() { s.buildErr = err })
 				}
 			}
-			c.removeSealedLocked(t.sources)
+			s.removeSealedLocked(t.sources)
 			if ns := segs[i]; ns != nil {
 				// Deletes may have landed on rows gathered as live.
 				for _, id := range ns.ids {
-					if _, dead := c.tombstones[id]; dead {
+					if _, dead := s.tombstones[id]; dead {
 						ns.dead++
 					}
 				}
-				c.insertSealedLocked(ns)
+				s.insertSealedLocked(ns)
 			}
 			// The dropped rows exist nowhere anymore (ids are never
 			// reused): their tombstones are garbage.
 			for _, id := range inputs[i].dropped {
-				delete(c.tombstones, id)
+				delete(s.tombstones, id)
 			}
-			c.compactedSegments += int64(len(t.sources))
-			c.reclaimedRows += int64(len(inputs[i].dropped))
+			s.compactedSegments += int64(len(t.sources))
+			s.reclaimedRows += int64(len(inputs[i].dropped))
 		}
-		c.compactionPasses++
-		autoCkpt := !c.noAutoCkpt
+		s.compactionPasses++
+		autoCkpt := !s.noAutoCkpt
 		var lsn uint64
-		if c.wal != nil {
-			lsn = c.wal.LastLSN()
+		if s.wal != nil {
+			lsn = s.wal.LastLSN()
 		}
-		c.mu.Unlock()
-		if committed && c.wal != nil {
+		s.mu.Unlock()
+		if committed && s.wal != nil {
 			// Commit records get exactly the durability the fsync policy
 			// gives client writes. Under SyncAlways that makes them
 			// crash-proof immediately, which is what the bit-identical
@@ -256,72 +259,83 @@ func (c *Collection) compactPass() {
 			// crash may rewind the compaction — consistent with those
 			// policies' weaker contract, where the unsynced tail of
 			// client writes is lost the same way.
-			if err := c.wal.Commit(lsn); err != nil {
+			if err := s.wal.Commit(lsn); err != nil {
 				// Surface the durability failure the way append failures
 				// are: silently dropping it would let a crash rewind the
 				// compaction with no diagnostic.
 				err := fmt.Errorf("vdms: committing compaction log records: %w", err)
-				c.buildErrOnce.Do(func() { c.buildErr = err })
+				s.buildErrOnce.Do(func() { s.buildErr = err })
 			}
 			if autoCkpt {
 				// Checkpoint after every committed pass: the snapshot
-				// absorbs the rewritten segments and the WAL truncates to
-				// the churn since. A checkpoint failure costs only log
-				// length — the commit records are in the WAL, and the next
-				// checkpoint (or Close's) retries — so it is deliberately
-				// not fatal here.
-				_ = c.Checkpoint()
+				// absorbs the rewritten segments and this shard's WAL
+				// truncates to the churn since. A checkpoint failure
+				// costs only log length — the commit records are in the
+				// WAL, and the next checkpoint (or Close's) retries — so
+				// it is deliberately not fatal here.
+				_ = s.checkpoint()
 			}
 		}
 	}
 }
 
-// removeSealedLocked drops the given segments from c.sealed. Callers hold
-// c.mu.
-func (c *Collection) removeSealedLocked(drop []*sealedSegment) {
+// removeSealedLocked drops the given segments from s.sealed. Callers hold
+// s.mu.
+func (s *shard) removeSealedLocked(drop []*sealedSegment) {
 	dropping := make(map[*sealedSegment]bool, len(drop))
 	for _, seg := range drop {
 		dropping[seg] = true
 	}
-	keep := c.sealed[:0]
-	for _, seg := range c.sealed {
+	keep := s.sealed[:0]
+	for _, seg := range s.sealed {
 		if !dropping[seg] {
 			keep = append(keep, seg)
 		}
 	}
-	for i := len(keep); i < len(c.sealed); i++ {
-		c.sealed[i] = nil
+	for i := len(keep); i < len(s.sealed); i++ {
+		s.sealed[i] = nil
 	}
-	c.sealed = keep
+	s.sealed = keep
 }
 
-// Compact synchronously runs compaction to quiescence: it triggers a pass
-// if any segment warrants one and blocks until the compactor goes idle.
-// It returns the first background error, if any. Searches remain served
-// throughout.
+// Compact synchronously runs compaction to quiescence on every shard: it
+// triggers a pass wherever any segment warrants one and blocks until all
+// compactors go idle. It returns the first background error, if any.
+// Searches remain served throughout; shards compact independently.
 func (c *Collection) Compact() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return fmt.Errorf("vdms: collection closed")
 	}
-	c.maybeCompactLocked()
-	c.mu.Unlock()
-	c.waitCompactions()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.buildErr
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("vdms: collection closed")
+		}
+		s.maybeCompactLocked()
+		s.mu.Unlock()
+	}
+	for _, s := range c.shards {
+		s.waitCompactions()
+	}
+	for _, s := range c.shards {
+		if err := s.getBuildErr(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// waitCompactions blocks until no compaction pass is running. It tolerates
-// passes started while it waits (each pass closes its own done channel).
-func (c *Collection) waitCompactions() {
-	c.mu.Lock()
-	for c.compacting {
-		done := c.compactDone
-		c.mu.Unlock()
+// waitCompactions blocks until no compaction pass is running on this
+// shard. It tolerates passes started while it waits (each pass closes its
+// own done channel).
+func (s *shard) waitCompactions() {
+	s.mu.Lock()
+	for s.compacting {
+		done := s.compactDone
+		s.mu.Unlock()
 		<-done
-		c.mu.Lock()
+		s.mu.Lock()
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }

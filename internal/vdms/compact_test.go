@@ -150,10 +150,12 @@ func TestCompactionDeterministicAcrossWorkers(t *testing.T) {
 	a := mk(1, 1)
 	b := mk(8, 8)
 
-	a.mu.RLock()
-	bSegs := b.sealed
-	aSegs := a.sealed
-	a.mu.RUnlock()
+	// These collections run at the default shard_count of 1; compare the
+	// single shard's sealed layout directly.
+	a.shards[0].mu.RLock()
+	bSegs := b.shards[0].sealed
+	aSegs := a.shards[0].sealed
+	a.shards[0].mu.RUnlock()
 	if len(aSegs) != len(bSegs) {
 		t.Fatalf("segment layouts differ: %d vs %d", len(aSegs), len(bSegs))
 	}

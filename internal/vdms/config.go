@@ -3,13 +3,22 @@
 // segment lifecycle, per-segment ANN indexes, a bounded-consistency window,
 // intra-query parallelism, and memory accounting.
 //
+// The live engine is split along a shard/router boundary: Collection
+// (live.go) is a thin router that assigns ids from one atomic counter,
+// routes Insert/Delete to shards by a deterministic id hash, and
+// scatter-gathers Search/SearchBatch across them with a fixed-order
+// merge; shard (shard.go) is the single-lock engine — growing arena,
+// sealing/sealed segments, tombstones, compactor, and an independent
+// snapshot+WAL pair when durable — so writes, fsyncs, index builds, and
+// compaction on different shards never contend.
+//
 // The engine exposes the 16-dimensional configuration surface of the
 // paper (index type + 8 index parameters + 7 system parameters), extended
 // with three compaction parameters (trigger ratio, merge fan-in,
-// compactor parallelism) and two durability parameters (WAL fsync policy,
-// group-commit batch; see package persist), and reports deterministic
-// simulated performance derived from the real work its index structures
-// perform; see DESIGN.md "Substitutions".
+// compactor parallelism), two durability parameters (WAL fsync policy,
+// group-commit batch; see package persist), and the shard count, and
+// reports deterministic simulated performance derived from the real work
+// its index structures perform; see DESIGN.md "Substitutions".
 package vdms
 
 import (
@@ -88,6 +97,17 @@ type Config struct {
 	// [1, 1024]. Zero means the default (64).
 	WALGroupCommit int
 
+	// ShardCount is the number of independently locked shards a live
+	// Collection splits into, range [1, 16]. Zero means the default (1).
+	// Writes are routed by a deterministic id hash and searches fan out
+	// over all shards with a fixed-order merge, so results are identical
+	// for every value on layout-independent (FLAT) segments and
+	// bit-identical to the pre-sharding engine at 1; higher values buy
+	// parallel insert/fsync/compaction throughput at the cost of more,
+	// smaller segments. It is a structural knob for durable collections:
+	// a data directory is bound to the shard count it was created with.
+	ShardCount int
+
 	// Concurrency is the number of in-flight search requests during
 	// replay (the paper uses 10). Zero means 10. It is a workload
 	// property, not a tuned parameter.
@@ -113,6 +133,8 @@ func DefaultConfig() Config {
 
 		WALFsyncPolicy: 2,
 		WALGroupCommit: 64,
+
+		ShardCount: 1,
 
 		Concurrency: 10,
 	}
@@ -163,6 +185,11 @@ func (c *Config) Validate() error {
 	if c.WALGroupCommit != 0 && (c.WALGroupCommit < 1 || c.WALGroupCommit > 1024) {
 		return fmt.Errorf("vdms: wal_groupCommit %v outside [1, 1024]", c.WALGroupCommit)
 	}
+	// The shard count accepts zero ("use default") for compatibility with
+	// configurations recorded before the live engine was sharded.
+	if c.ShardCount != 0 && (c.ShardCount < 1 || c.ShardCount > 16) {
+		return fmt.Errorf("vdms: shard_count %v outside [1, 16]", c.ShardCount)
+	}
 	return nil
 }
 
@@ -206,4 +233,11 @@ func (c *Config) walGroupCommit() int {
 		return 64
 	}
 	return c.WALGroupCommit
+}
+
+func (c *Config) shardCount() int {
+	if c.ShardCount == 0 {
+		return 1
+	}
+	return c.ShardCount
 }

@@ -4,44 +4,90 @@ import (
 	"fmt"
 
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 )
 
 // Deletion support for live collections. Milvus implements deletes as
 // tombstones filtered at query time until compaction; this file does the
-// same: deleted ids in sealed/sealing data are recorded in a set and
-// filtered out of every search until the compactor (compact.go) rewrites
-// their segments, while deletes of growing rows are applied physically at
-// once and never tombstoned. The tombstone set therefore stays bounded by
-// the dead rows actually awaiting compaction.
+// same, per shard: deleted ids in sealed/sealing data are recorded in the
+// owning shard's tombstone set and filtered out of every search until its
+// compactor (compact.go) rewrites their segments, while deletes of
+// growing rows are applied physically at once and never tombstoned. Each
+// tombstone set therefore stays bounded by the dead rows actually
+// awaiting compaction on that shard.
 
 // Delete marks ids as deleted. Unknown or already-deleted ids are ignored
 // (idempotent, as in Milvus). It returns the number of ids newly deleted,
-// and may trigger a background compaction pass. On a durable collection
-// the requested ids are WAL-logged as issued (idempotence makes replaying
-// them exact) and the acknowledgement honors the fsync policy.
+// and may trigger background compaction passes. The batch is partitioned
+// across shards by the same id hash that routed the inserts, so each id
+// reaches exactly the shard that stores it; shards log, apply, and fsync
+// independently. On a durable collection the requested ids are WAL-logged
+// as issued (idempotence makes replaying them exact) and the
+// acknowledgement honors the fsync policy.
 func (c *Collection) Delete(ids []int64) (int, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return 0, fmt.Errorf("vdms: collection closed")
 	}
-	if c.wal != nil && len(ids) > 0 {
-		if _, err := c.wal.AppendDelete(ids); err != nil {
-			c.mu.Unlock()
+	if len(c.shards) == 1 {
+		return c.shards[0].delete(ids)
+	}
+	parts := make([][]int64, len(c.shards))
+	for _, id := range ids {
+		si := c.shardFor(id)
+		parts[si] = append(parts[si], id)
+	}
+	touched := make([]int, 0, len(c.shards))
+	for si, part := range parts {
+		if len(part) > 0 {
+			touched = append(touched, si)
+		}
+	}
+	// Like Insert, durable deletes dispatch in parallel so the per-shard
+	// WAL commits overlap their fsyncs; memory-only deletes stay inline.
+	counts := make([]int, len(touched))
+	errs := make([]error, len(touched))
+	dispatch := func(i int) {
+		counts[i], errs[i] = c.shards[touched[i]].delete(parts[touched[i]])
+	}
+	if c.dataDir != "" && len(touched) > 1 {
+		parallel.Parallel(len(touched), len(touched), dispatch)
+	} else {
+		for i := range touched {
+			dispatch(i)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, firstError(errs)
+}
+
+// delete applies one routed batch of deletions to this shard: WAL-log,
+// tombstone/prune, maybe trigger compaction, commit.
+func (s *shard) delete(ids []int64) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("vdms: collection closed")
+	}
+	if s.wal != nil && len(ids) > 0 {
+		if _, err := s.wal.AppendDelete(ids); err != nil {
+			s.mu.Unlock()
 			return 0, fmt.Errorf("vdms: logging delete: %w", err)
 		}
 	}
-	added := c.deleteLocked(ids)
+	added := s.deleteLocked(ids)
 	if added > 0 {
-		c.maybeCompactLocked()
+		s.maybeCompactLocked()
 	}
 	var lsn uint64
-	if c.wal != nil {
-		lsn = c.wal.LastLSN()
+	if s.wal != nil {
+		lsn = s.wal.LastLSN()
 	}
-	c.mu.Unlock()
-	if c.wal != nil && len(ids) > 0 {
-		if err := c.wal.Commit(lsn); err != nil {
+	s.mu.Unlock()
+	if s.wal != nil && len(ids) > 0 {
+		if err := s.wal.Commit(lsn); err != nil {
 			return added, fmt.Errorf("vdms: committing delete: %w", err)
 		}
 	}
@@ -49,11 +95,11 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 }
 
 // deleteLocked applies one batch of deletions and returns how many ids
-// were newly deleted. It is the shared core of Delete and of WAL replay:
-// no logging, no compaction trigger. Callers hold c.mu.
-func (c *Collection) deleteLocked(ids []int64) int {
-	if c.tombstones == nil {
-		c.tombstones = make(map[int64]struct{})
+// were newly deleted. It is the shared core of delete and of WAL replay:
+// no logging, no compaction trigger. Callers hold s.mu.
+func (s *shard) deleteLocked(ids []int64) int {
+	if s.tombstones == nil {
+		s.tombstones = make(map[int64]struct{})
 	}
 	added := 0
 	pruneGrowing := false
@@ -61,31 +107,31 @@ func (c *Collection) deleteLocked(ids []int64) int {
 	// uses a set built at most once per call rather than a scan per id.
 	var growing map[int64]struct{}
 	for _, id := range ids {
-		if id < 0 || id >= c.nextID {
+		if id < 0 || id >= s.nextID {
 			continue
 		}
-		if _, dup := c.tombstones[id]; dup {
+		if _, dup := s.tombstones[id]; dup {
 			continue
 		}
-		seg, present := c.locateLocked(id)
+		seg, present := s.locateLocked(id)
 		if !present {
 			if growing == nil {
-				growing = make(map[int64]struct{}, len(c.growingIDs))
-				for _, gid := range c.growingIDs {
+				growing = make(map[int64]struct{}, len(s.growingIDs))
+				for _, gid := range s.growingIDs {
 					growing[gid] = struct{}{}
 				}
 			}
 			if _, ok := growing[id]; !ok {
-				// Never existed under this id, or already deleted and
-				// physically reclaimed.
+				// Never existed under this id (on this shard), or already
+				// deleted and physically reclaimed.
 				continue
 			}
 			// A growing row: pruned below.
 			pruneGrowing = true
 		}
-		c.tombstones[id] = struct{}{}
+		s.tombstones[id] = struct{}{}
 		added++
-		c.rows--
+		s.rows--
 		if seg != nil {
 			seg.dead++
 		}
@@ -94,40 +140,45 @@ func (c *Collection) deleteLocked(ids []int64) int {
 	// tombstoned rows are dropped immediately (surviving arena rows slide
 	// down) — and since they then exist nowhere, their tombstones are
 	// garbage-collected on the spot.
-	if pruneGrowing && c.growingRowsLocked() > 0 {
+	if pruneGrowing && s.growingRowsLocked() > 0 {
 		w := 0
-		for i, id := range c.growingIDs {
-			if _, dead := c.tombstones[id]; dead {
-				delete(c.tombstones, id)
+		for i, id := range s.growingIDs {
+			if _, dead := s.tombstones[id]; dead {
+				delete(s.tombstones, id)
 				continue
 			}
-			c.growing.CopyRow(w, i)
-			c.growingIDs[w] = id
+			s.growing.CopyRow(w, i)
+			s.growingIDs[w] = id
 			w++
 		}
-		c.growing.Truncate(w)
-		c.growingIDs = c.growingIDs[:w]
+		s.growing.Truncate(w)
+		s.growingIDs = s.growingIDs[:w]
 	}
 	return added
 }
 
-// Deleted reports the live tombstone count: deleted ids still physically
-// present in sealed/sealing data and awaiting compaction. It is the
-// search over-fetch margin, not the all-time delete count.
+// Deleted reports the live tombstone count across shards: deleted ids
+// still physically present in sealed/sealing data and awaiting
+// compaction. It is the search over-fetch margin, not the all-time delete
+// count.
 func (c *Collection) Deleted() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.tombstones)
+	c.rlockAll()
+	defer c.runlockAll()
+	total := 0
+	for _, s := range c.shards {
+		total += len(s.tombstones)
+	}
+	return total
 }
 
 // filterTombstones drops deleted ids from a result list in place.
-func (c *Collection) filterTombstones(res []linalg.Neighbor) []linalg.Neighbor {
-	if len(c.tombstones) == 0 {
+func (s *shard) filterTombstones(res []linalg.Neighbor) []linalg.Neighbor {
+	if len(s.tombstones) == 0 {
 		return res
 	}
 	keep := res[:0]
 	for _, n := range res {
-		if _, dead := c.tombstones[n.ID]; dead {
+		if _, dead := s.tombstones[n.ID]; dead {
 			continue
 		}
 		keep = append(keep, n)

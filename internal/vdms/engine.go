@@ -81,10 +81,7 @@ func Open(ds *workload.Dataset, cfg Config) (*Instance, error) {
 	// corresponds to the full corpus; smaller budgets shard it. The
 	// divisor 512 keeps the paper's [100, 2048] MB range meaningful at
 	// our corpus scale.
-	sealRows := int(cfg.SegmentMaxSize * cfg.SealProportion * float64(n) / 512)
-	if sealRows < 48 {
-		sealRows = 48
-	}
+	sealRows := sealRowsFor(cfg, n)
 	// Steady-state unflushed rows: half-full insert buffer plus the
 	// ingest accumulated over half a flush interval. Bulk-loaded data is
 	// flushed and sealed (including a final partial segment), so only

@@ -2,24 +2,34 @@ package vdms
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"sync/atomic"
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
 	"vdtuner/internal/parallel"
-	"vdtuner/internal/persist"
 )
 
-// Collection is the live (streaming) face of the engine: vectors are
-// inserted at runtime into a growing segment, which seals when it reaches
-// the configured proportion of the segment budget; sealed segments get
-// their index built by a background worker while remaining brute-force
-// searchable, exactly like Milvus' growing/sealed/indexed lifecycle.
-// Delete-heavy workloads are kept bounded by a background compactor that
-// rewrites tombstone-heavy segments and merges undersized ones; see
-// compact.go.
+// Collection is the live (streaming) face of the engine: a thin router
+// over Config.ShardCount independent shards, the way a Milvus-style
+// vector DBMS scales writes by sharding a collection across channels.
+// Each shard (see shard.go) is the full single-lock engine of the
+// pre-sharding design — growing arena, sealing/sealed segment lifecycle,
+// tombstones, compactor, and (when durable) a private snapshot+WAL pair —
+// so inserts, fsyncs, index builds, and compaction passes on different
+// shards never contend on a lock.
+//
+// Routing and determinism:
+//
+//   - ids are assigned by one collection-wide atomic counter and routed to
+//     shardFor(id), a fixed hash — the same id lands on the same shard in
+//     every run and after every recovery;
+//   - Search/SearchBatch fan out over all shards and merge the per-shard
+//     top-k lists in fixed shard order with linalg.MergeNeighbors, so
+//     results are bit-identical for any worker count; with ShardCount=1
+//     the router delegates straight to its single shard, which is
+//     bit-identical to the pre-sharding engine;
+//   - each shard's parallel phases are themselves deterministic (see
+//     package parallel), so a fixed op sequence yields fixed results.
 //
 // Collection complements Open/Evaluate (the static, simulated-clock path
 // used by the tuner): it is the substrate for wall-clock measurements and
@@ -28,91 +38,32 @@ type Collection struct {
 	cfg    Config
 	metric linalg.Metric
 	dim    int
-	// sealRows is the rows-per-segment derived from segment_maxSize ×
-	// sealProportion at the declared expected corpus size.
-	sealRows int
-
-	mu     sync.RWMutex
-	nextID int64
-	// rows counts live (inserted and not deleted) rows.
-	rows int64
-	// growing is the current unsealed segment's vector arena (nil until
-	// the first insert after a seal); growingIDs are its row ids.
-	growing    *linalg.Matrix
-	growingIDs []int64
-	// sealing holds segments whose index build is in flight; they are
-	// scanned exactly until the build lands.
-	sealing []*sealingSegment
-	// sealed holds indexed segments, kept sorted by seq so iteration
-	// order (and therefore planning and merging) is deterministic no
-	// matter when each background build happened to land.
-	sealed  []*sealedSegment
-	sealSeq int64
-	// tombstones holds deleted ids that are still physically present in
-	// sealed or sealing data; they are filtered from every search (see
-	// delete.go) and garbage-collected when compaction drops the rows.
-	// Deleted growing rows are removed physically at once and never
-	// linger here, so len(tombstones) — the search over-fetch margin —
-	// is bounded by the dead rows awaiting compaction, not by the
-	// all-time delete count.
-	tombstones map[int64]struct{}
-	closed     bool
-
-	// Compactor state; see compact.go. compacting guards the single
-	// in-flight pass, compactDone is closed when it finishes.
-	compacting        bool
-	compactDone       chan struct{}
-	compactionPasses  int64
-	compactedSegments int64
-	reclaimedRows     int64
-
-	// Durability state; nil/zero for memory-only collections (see
-	// persist.go in this package). Records are appended under mu — the
-	// log order is the engine's serialization order — and committed
-	// (fsynced per policy) outside it.
-	wal     *persist.WAL
+	shards []*shard
+	// nextID is the collection-wide id counter. It is advanced atomically
+	// outside any shard lock, so concurrent inserts assign disjoint id
+	// runs without serializing on each other.
+	nextID atomic.Int64
+	// closed gates the public API; each shard additionally carries its own
+	// flag (set first by Close) so racing inserts cannot outlive shutdown.
+	closed atomic.Bool
+	// dataDir is the durable data directory ("" for memory-only).
 	dataDir string
-	// ckptMu serializes checkpoints (compactor passes, the server's
-	// "persist" op, Close); ckptLSN is the newest durable snapshot's LSN,
-	// mirrored in lastCkpt for lock-free reads by Stats.
-	ckptMu   sync.Mutex
-	ckptLSN  uint64
-	lastCkpt atomic.Uint64
-	// noAutoCkpt suppresses the compactor's checkpoint-after-pass; see
-	// DisableAutoCheckpoint.
-	noAutoCkpt bool
-
-	builds sync.WaitGroup
-	// buildErr records the first background build failure.
-	buildErrOnce sync.Once
-	buildErr     error
 }
 
-type sealingSegment struct {
-	seq   int64
-	store *linalg.Matrix
-	ids   []int64
+// sealRowsFor derives the rows-per-segment seal threshold from the
+// segment-size model at the given expected row count (one shard's slice
+// of the corpus).
+func sealRowsFor(cfg Config, expectedRows int) int {
+	sealRows := int(cfg.SegmentMaxSize * cfg.SealProportion * float64(expectedRows) / 512)
+	if sealRows < 48 {
+		sealRows = 48
+	}
+	return sealRows
 }
 
-// sealedSegment is one indexed segment. The raw row arena is retained next
-// to the built index (the analogue of Milvus keeping segment binlogs): it
-// is what compaction rewrites. ids are ascending.
-type sealedSegment struct {
-	seq   int64
-	store *linalg.Matrix
-	ids   []int64
-	idx   index.Index
-	// dead counts this segment's rows that are tombstoned.
-	dead int
-	// noCompact excludes a segment whose compaction rebuild failed from
-	// further planning, so a deterministic build error cannot spin the
-	// compactor forever; the segment stays searchable and its tombstones
-	// keep filtering.
-	noCompact bool
-}
-
-// NewCollection creates an empty live collection. expectedRows scales the
-// segment-size model the same way Open does for bulk loads; it must be
+// NewCollection creates an empty live collection of cfg.ShardCount shards.
+// expectedRows scales the segment-size model the same way Open does for
+// bulk loads (each shard budgets for its 1/ShardCount slice); it must be
 // positive.
 func NewCollection(cfg Config, metric linalg.Metric, dim, expectedRows int) (*Collection, error) {
 	if err := cfg.Validate(); err != nil {
@@ -124,239 +75,219 @@ func NewCollection(cfg Config, metric linalg.Metric, dim, expectedRows int) (*Co
 	if expectedRows <= 0 {
 		return nil, fmt.Errorf("vdms: expectedRows must be positive, got %d", expectedRows)
 	}
-	sealRows := int(cfg.SegmentMaxSize * cfg.SealProportion * float64(expectedRows) / 512)
-	if sealRows < 48 {
-		sealRows = 48
+	n := cfg.shardCount()
+	perShard := (expectedRows + n - 1) / n
+	sealRows := sealRowsFor(cfg, perShard)
+	c := &Collection{cfg: cfg, metric: metric, dim: dim, shards: make([]*shard, n)}
+	for i := range c.shards {
+		c.shards[i] = newShard(cfg, metric, dim, sealRows)
 	}
-	return &Collection{cfg: cfg, metric: metric, dim: dim, sealRows: sealRows}, nil
+	return c, nil
+}
+
+// splitmix64 is the id-routing hash: a full-avalanche finalizer, so dense
+// sequential ids spread evenly across shards while the mapping stays a
+// pure function of the id (deterministic across runs and recoveries).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// shardFor routes an id to its owning shard.
+func (c *Collection) shardFor(id int64) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return int(splitmix64(uint64(id)) % uint64(len(c.shards)))
+}
+
+// firstError returns the first non-nil error of a per-shard dispatch, in
+// shard-dispatch order (deterministic when several shards fail at once).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Insert appends vectors and returns their assigned ids. Vectors are
 // copied; the caller may reuse the slices. Growing data is searchable
-// immediately. When the growing segment reaches the seal threshold it is
-// sealed and handed to a background index build. A batch containing a
-// wrong-dimension vector is rejected whole, before any row is applied or
-// logged. On a durable collection the batch is WAL-logged before it is
-// applied and the acknowledgement waits for the configured fsync policy,
-// so a returned id is exactly as crash-proof as that policy promises.
+// immediately. A batch containing a wrong-dimension vector is rejected
+// whole, before any row is applied or logged. Ids are assigned from the
+// collection-wide counter and the batch is partitioned across shards by
+// id hash; each shard applies, WAL-logs, and fsyncs its sub-batch under
+// its own lock, so concurrent Insert calls proceed in parallel on
+// different shards. Shards are visited in an order rotated by the batch's
+// first id, which staggers concurrent callers across the shard array
+// instead of convoying them all onto shard 0. On a durable collection the
+// acknowledgement waits for every touched shard's configured fsync
+// policy, so a returned id is exactly as crash-proof as that policy
+// promises.
 func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
 	for i, v := range vecs {
 		if len(v) != c.dim {
-			c.mu.Unlock()
 			return nil, fmt.Errorf("vdms: vector %d has dim %d, want %d", i, len(v), c.dim)
 		}
 	}
-	ids := make([]int64, len(vecs))
-	// Insert records are split at seal boundaries: each record covers
-	// exactly the rows that entered the growing segment before the next
-	// RecFlush, so replaying "insert, insert, flush, insert" rebuilds the
-	// same segment membership the live engine produced when a batch
-	// straddled a seal.
-	runStart := 0
-	var logErr error
-	logRun := func(end int) {
-		if c.wal == nil || end <= runStart || logErr != nil {
-			runStart = end
-			return
-		}
-		if _, err := c.wal.AppendInsert(ids[runStart], vecs[runStart:end], c.dim); err != nil {
-			logErr = err
-		}
-		runStart = end
+	n := len(vecs)
+	base := c.nextID.Add(int64(n)) - int64(n)
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = base + int64(i)
 	}
-	for i, v := range vecs {
-		if c.growing == nil {
-			c.growing = linalg.NewMatrix(c.dim, c.sealRows)
+	if len(c.shards) == 1 {
+		if err := c.shards[0].insert(ids, vecs); err != nil {
+			return nil, err
 		}
-		// Copy straight into the growing arena; angular inputs are
-		// normalized in place on their arena row (no temporary copy).
-		c.growing.AppendRow(v)
-		if c.metric == linalg.Angular {
-			linalg.Normalize(c.growing.Row(c.growing.Rows() - 1))
-		}
-		ids[i] = c.nextID
-		c.nextID++
-		c.rows++
-		c.growingIDs = append(c.growingIDs, ids[i])
-		if c.growing.Rows() >= c.sealRows {
-			logRun(i + 1) // the sealing rows must precede the seal record
-			c.sealLocked()
+		return ids, nil
+	}
+	// Partition the batch: per-shard id/vector sub-slices in batch order
+	// (ascending ids within each shard). Two passes — count, then fill
+	// exactly sized sub-slices — so the routing hash runs once per row
+	// and nothing reallocates.
+	owner := make([]uint8, n)
+	counts := make([]int, len(c.shards))
+	for i, id := range ids {
+		s := c.shardFor(id)
+		owner[i] = uint8(s)
+		counts[s]++
+	}
+	parts := make([][]int64, len(c.shards))
+	partVecs := make([][][]float32, len(c.shards))
+	for s, cnt := range counts {
+		if cnt > 0 {
+			parts[s] = make([]int64, 0, cnt)
+			partVecs[s] = make([][]float32, 0, cnt)
 		}
 	}
-	logRun(len(vecs))
-	var lsn uint64
-	if c.wal != nil {
-		lsn = c.wal.LastLSN() // covers the insert and any seal records
+	for i, id := range ids {
+		s := owner[i]
+		parts[s] = append(parts[s], id)
+		partVecs[s] = append(partVecs[s], vecs[i])
 	}
-	c.mu.Unlock()
-	if logErr != nil {
-		// The rows are applied in memory but the log is broken: surface
-		// the durability failure instead of acknowledging.
-		return nil, fmt.Errorf("vdms: logging insert: %w", logErr)
+	start := 0
+	if n > 0 {
+		start = int(uint64(base) % uint64(len(c.shards)))
 	}
-	if c.wal != nil && len(vecs) > 0 {
-		if err := c.wal.Commit(lsn); err != nil {
-			return nil, fmt.Errorf("vdms: committing insert: %w", err)
+	touched := make([]int, 0, len(c.shards))
+	for off := 0; off < len(c.shards); off++ {
+		si := (start + off) % len(c.shards)
+		if len(parts[si]) > 0 {
+			touched = append(touched, si)
 		}
+	}
+	// Every touched shard is applied even if an earlier one fails — the
+	// faithful generalization of the single-lock engine's failure mode
+	// (rows applied in memory, the durability failure surfaced instead of
+	// an acknowledgement, no ids returned). On a durable collection the
+	// sub-batches dispatch in parallel: each shard's WAL commit fsyncs a
+	// different file, so one acknowledgement costs one fsync of wall
+	// time, not shard-count of them. Memory-only inserts stay on the
+	// calling goroutine — their per-shard work is a short arena copy, not
+	// worth a fan-out.
+	errs := make([]error, len(touched))
+	dispatch := func(i int) {
+		si := touched[i]
+		errs[i] = c.shards[si].insert(parts[si], partVecs[si])
+	}
+	if c.dataDir != "" && len(touched) > 1 {
+		parallel.Parallel(len(touched), len(touched), dispatch)
+	} else {
+		for i := range touched {
+			dispatch(i)
+		}
+	}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return ids, nil
 }
 
-// growingRowsLocked reports the growing segment's row count. Callers hold
-// c.mu.
-func (c *Collection) growingRowsLocked() int {
-	if c.growing == nil {
-		return 0
-	}
-	return c.growing.Rows()
-}
-
-// sealLocked moves the growing segment into the sealing state and starts
-// its background index build. Callers hold c.mu.
-func (c *Collection) sealLocked() {
-	// Canonical row order: growing rows are normally already ascending by
-	// id, but rows requeued by a failed build may not be; sorting here
-	// keeps the sealed-segment invariant (ids ascending) unconditionally.
-	index.SortRowsByID(c.growing, c.growingIDs)
-	seq := c.sealSeq
-	c.sealSeq++
-	if c.wal != nil {
-		// The seal is logged at its position in the operation order; a
-		// failure cannot abort the seal (callers are mid-insert), so it is
-		// surfaced the way background build failures are.
-		if _, err := c.wal.AppendFlush(seq); err != nil {
-			err := fmt.Errorf("vdms: logging seal: %w", err)
-			c.buildErrOnce.Do(func() { c.buildErr = err })
-		}
-	}
-	seg := &sealingSegment{seq: seq, store: c.growing, ids: c.growingIDs}
-	c.growing = nil
-	c.growingIDs = nil
-	c.sealing = append(c.sealing, seg)
-
-	c.builds.Add(1)
-	go func() {
-		defer c.builds.Done()
-		m := c.metric
-		if m == linalg.Angular {
-			m = linalg.L2 // inputs were normalized on insert
-		}
-		idx, err := newSegmentIndex(c.cfg, m, c.dim, seq)
-		if err == nil {
-			err = idx.Build(seg.store, seg.ids)
-		}
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		// Remove seg from the sealing list regardless of outcome.
-		for i, s := range c.sealing {
-			if s == seg {
-				c.sealing = append(c.sealing[:i], c.sealing[i+1:]...)
-				break
-			}
-		}
-		if err != nil {
-			c.buildErrOnce.Do(func() { c.buildErr = err })
-			// Keep the data searchable: put the rows back into growing.
-			// Rows tombstoned while the build was in flight are dropped
-			// here (growing data is mutable), and their tombstones are
-			// no longer needed.
-			for i, id := range seg.ids {
-				if _, dead := c.tombstones[id]; dead {
-					delete(c.tombstones, id)
-					continue
-				}
-				if c.growing == nil {
-					c.growing = linalg.NewMatrix(c.dim, seg.store.Rows())
-				}
-				c.growing.AppendRow(seg.store.Row(i))
-				c.growingIDs = append(c.growingIDs, id)
-			}
-			return
-		}
-		ss := &sealedSegment{seq: seq, store: seg.store, ids: seg.ids, idx: idx}
-		// Deletes may have landed while the build was in flight.
-		for _, id := range ss.ids {
-			if _, dead := c.tombstones[id]; dead {
-				ss.dead++
-			}
-		}
-		c.insertSealedLocked(ss)
-		c.maybeCompactLocked()
-	}()
-}
-
-// insertSealedLocked places seg into c.sealed keeping seq order.
-func (c *Collection) insertSealedLocked(seg *sealedSegment) {
-	i := sort.Search(len(c.sealed), func(j int) bool { return c.sealed[j].seq > seg.seq })
-	c.sealed = append(c.sealed, nil)
-	copy(c.sealed[i+1:], c.sealed[i:])
-	c.sealed[i] = seg
-}
-
-// containsSorted reports whether the ascending id slice contains id.
-func containsSorted(ids []int64, id int64) bool {
-	n := len(ids)
-	if n == 0 || id < ids[0] || id > ids[n-1] {
-		return false
-	}
-	i := sort.Search(n, func(j int) bool { return ids[j] >= id })
-	return i < n && ids[i] == id
-}
-
-// locateLocked reports where id currently lives among the immutable
-// segment states: the sealed segment containing it (nil when it is in a
-// sealing segment) and whether it was found at all. Sealed and sealing
-// segments keep their ids ascending (sealLocked sorts), so each probe is
-// a binary search. Growing data is NOT consulted — its ids can be
-// unsorted after a failed-build requeue; callers that need growing
-// membership build a set (see Delete). Callers hold c.mu.
-func (c *Collection) locateLocked(id int64) (*sealedSegment, bool) {
-	for _, seg := range c.sealed {
-		if containsSorted(seg.ids, id) {
-			return seg, true
-		}
-	}
-	for _, seg := range c.sealing {
-		if containsSorted(seg.ids, id) {
-			return nil, true
-		}
-	}
-	return nil, false
-}
-
-// Flush seals the current growing segment (even if partial) and blocks
+// Flush seals every shard's growing segment (even if partial) and blocks
 // until every pending index build and compaction pass completes. On a
-// durable collection it also forces the WAL to disk regardless of fsync
-// policy, so everything inserted before Flush survives a crash. It
-// returns the first background error, if any.
+// durable collection it also forces each shard's WAL to disk regardless
+// of fsync policy, so everything inserted before Flush survives a crash.
+// It returns the first background error, if any.
 func (c *Collection) Flush() error {
-	c.mu.Lock()
-	if c.growingRowsLocked() > 0 {
-		c.sealLocked()
+	for _, s := range c.shards {
+		s.sealPartial()
 	}
-	c.mu.Unlock()
 	var syncErr error
-	if c.wal != nil {
-		syncErr = c.wal.Sync()
+	for _, s := range c.shards {
+		if s.wal != nil {
+			if err := s.wal.Sync(); err != nil && syncErr == nil {
+				syncErr = err
+			}
+		}
 	}
-	c.builds.Wait()
-	c.waitCompactions()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.buildErr != nil {
-		return c.buildErr
+	for _, s := range c.shards {
+		s.builds.Wait()
+		s.waitCompactions()
+	}
+	for _, s := range c.shards {
+		if err := s.getBuildErr(); err != nil {
+			return err
+		}
 	}
 	return syncErr
 }
 
-// Search returns the k nearest neighbors of q across every segment state:
-// indexed sealed segments, in-flight sealing segments (scanned exactly),
-// and the growing tail. st may be nil.
+// rlockAll acquires every shard's read lock in fixed shard order, so the
+// caller observes one consistent snapshot of every shard's segment
+// lifecycle. The matching runlockAll releases them.
+func (c *Collection) rlockAll() {
+	for _, s := range c.shards {
+		s.mu.RLock()
+	}
+}
+
+func (c *Collection) runlockAll() {
+	for _, s := range c.shards {
+		s.mu.RUnlock()
+	}
+}
+
+// searchShardsLocked answers one already-normalized query: each shard
+// contributes its top-k (over-fetched past its own tombstones, filtered,
+// truncated — see shard.searchLocked), and the per-shard lists are merged
+// in fixed shard order. Ids are partitioned across shards, so the merge
+// is a pure k-way selection; fixed order makes boundary ties
+// deterministic. With one shard the router adds nothing — the shard's
+// list is the result, bit-identical to the pre-sharding engine. Callers
+// hold every shard's read lock.
+func (c *Collection) searchShardsLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
+	if len(c.shards) == 1 {
+		return c.shards[0].searchLocked(qq, m, k, st)
+	}
+	lists := make([][]linalg.Neighbor, len(c.shards))
+	for i, s := range c.shards {
+		lists[i] = s.searchLocked(qq, m, k, st)
+	}
+	return linalg.MergeNeighbors(k, lists...)
+}
+
+// normalizeQuery prepares a query for the metric: angular queries are
+// normalized on a private copy and searched under L2 (inputs were
+// normalized on insert).
+func (c *Collection) normalizeQuery(q []float32) ([]float32, linalg.Metric) {
+	if c.metric != linalg.Angular {
+		return q, c.metric
+	}
+	qq := linalg.Clone(q)
+	linalg.Normalize(qq)
+	return qq, linalg.L2
+}
+
+// Search returns the k nearest neighbors of q across every shard and
+// every segment state: indexed sealed segments, in-flight sealing
+// segments (scanned exactly), and the growing tails. st may be nil.
 func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
@@ -364,55 +295,22 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	if len(q) != c.dim {
 		return nil, fmt.Errorf("vdms: query has dim %d, want %d", len(q), c.dim)
 	}
-	qq := q
-	m := c.metric
-	if m == linalg.Angular {
-		qq = linalg.Clone(q)
-		linalg.Normalize(qq)
-		m = linalg.L2
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.closed {
+	qq, m := c.normalizeQuery(q)
+	if c.closed.Load() {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
-	return c.searchLocked(qq, m, k, st), nil
-}
-
-// searchLocked answers one already-normalized query against the current
-// segment states. Callers hold c.mu (read side suffices): the method only
-// reads collection state, so any number of goroutines holding the same
-// read lock may call it concurrently — that is how SearchBatch fans out.
-func (c *Collection) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
-	// Over-fetch to survive tombstone filtering: deleted ids may occupy
-	// top slots inside immutable sealed segments. The margin is the live
-	// tombstone count — dead rows still physically present and awaiting
-	// compaction — not the all-time delete count.
-	fetch := k + len(c.tombstones)
-	lists := make([][]linalg.Neighbor, 0, len(c.sealed)+len(c.sealing)+1)
-	for _, seg := range c.sealed {
-		lists = append(lists, seg.idx.Search(qq, fetch, c.cfg.Search, st))
-	}
-	for _, seg := range c.sealing {
-		lists = append(lists, index.ScanStore(m, qq, seg.store, seg.ids, fetch, st))
-	}
-	if c.growingRowsLocked() > 0 {
-		lists = append(lists, index.ScanStore(m, qq, c.growing, c.growingIDs, fetch, st))
-	}
-	merged := c.filterTombstones(linalg.MergeNeighbors(fetch, lists...))
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged
+	c.rlockAll()
+	defer c.runlockAll()
+	return c.searchShardsLocked(qq, m, k, st), nil
 }
 
 // SearchBatch answers queries[i] into result slot i, fanning the batch
 // across a worker pool sized by the configured queryNode parallelism. The
-// whole batch executes under one read lock, so it observes a single
-// consistent snapshot of the segment lifecycle even while concurrent
-// Insert/Delete/Flush calls are queued. Per-query work is accumulated into
-// private Stats and merged into st in query order (exact, since the counts
-// are integers).
+// whole batch executes under every shard's read lock (acquired in fixed
+// order), so it observes a single consistent snapshot of every shard's
+// segment lifecycle even while concurrent Insert/Delete/Flush calls are
+// queued. Per-query work is accumulated into private Stats and merged
+// into st in query order (exact, since the counts are integers).
 func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([][]linalg.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
@@ -432,18 +330,18 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 		}
 		m = linalg.L2
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.closed {
+	if c.closed.Load() {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
+	c.rlockAll()
+	defer c.runlockAll()
 	out := make([][]linalg.Neighbor, len(qs))
 	if len(qs) == 0 {
 		return out, nil
 	}
 	per := make([]index.Stats, len(qs))
 	parallel.Parallel(c.cfg.Parallelism, len(qs), func(qi int) {
-		out[qi] = c.searchLocked(qs[qi], m, k, &per[qi])
+		out[qi] = c.searchShardsLocked(qs[qi], m, k, &per[qi])
 	})
 	if st != nil {
 		for i := range per {
@@ -453,7 +351,26 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 	return out, nil
 }
 
-// CollectionStats is a point-in-time snapshot of a live collection.
+// ShardStats is one shard's slice of a CollectionStats snapshot. The
+// fields mirror the collection-level aggregates; see CollectionStats for
+// their meaning.
+type ShardStats struct {
+	Rows              int64
+	Sealed            int
+	Sealing           int
+	GrowingRows       int
+	MemoryBytes       int64
+	Tombstones        int
+	CompactionPasses  int64
+	CompactedSegments int64
+	ReclaimedRows     int64
+	WALBytes          int64
+	LastCheckpointLSN uint64
+	WALLastLSN        uint64
+}
+
+// CollectionStats is a point-in-time snapshot of a live collection,
+// aggregated over its shards; Shards carries the per-shard breakdown.
 type CollectionStats struct {
 	// Rows is the live row count (inserted minus deleted).
 	Rows        int64
@@ -471,83 +388,69 @@ type CollectionStats struct {
 	CompactionPasses  int64
 	CompactedSegments int64
 	ReclaimedRows     int64
-	// WALBytes is the write-ahead log's current byte footprint — what a
-	// recovery would replay on top of the newest snapshot. Checkpoints
-	// drive it back down. Zero on memory-only collections.
+	// WALBytes is the write-ahead logs' current byte footprint (summed
+	// over shards) — what a recovery would replay on top of the newest
+	// snapshots. Checkpoints drive it back down. Zero on memory-only
+	// collections.
 	WALBytes int64
 	// LastCheckpointLSN is the log sequence number the newest durable
-	// snapshot covers; records beyond it live only in the WAL. Zero on
-	// memory-only collections or before the first checkpoint.
+	// snapshot covers; records beyond it live only in the WAL. LSNs are
+	// per-shard streams, so with several shards this is the maximum over
+	// them (Shards has each shard's own). Zero on memory-only collections
+	// or before the first checkpoint.
 	LastCheckpointLSN uint64
 	// WALLastLSN is the log head: the sequence number of the most
-	// recently appended record. Zero on memory-only collections.
+	// recently appended record, maximized over shards like
+	// LastCheckpointLSN. Zero on memory-only collections.
 	WALLastLSN uint64
+	// Shards is the per-shard breakdown, in shard order. Its length is the
+	// collection's shard count.
+	Shards []ShardStats
 }
 
-// Stats reports the collection's current segment layout and footprint.
+// Stats reports the collection's current segment layout and footprint:
+// per-shard snapshots taken under every shard's read lock (one consistent
+// cut), plus their aggregate.
 func (c *Collection) Stats() CollectionStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s := CollectionStats{
-		Rows:              c.rows,
-		Sealed:            len(c.sealed),
-		Sealing:           len(c.sealing),
-		GrowingRows:       c.growingRowsLocked(),
-		Tombstones:        len(c.tombstones),
-		CompactionPasses:  c.compactionPasses,
-		CompactedSegments: c.compactedSegments,
-		ReclaimedRows:     c.reclaimedRows,
-	}
-	if c.wal != nil {
-		s.WALBytes = c.wal.Size()
-		s.LastCheckpointLSN = c.lastCkpt.Load()
-		s.WALLastLSN = c.wal.LastLSN()
-	}
-	bytesPerRow := int64(c.dim) * 4
-	for _, seg := range c.sealed {
-		s.MemoryBytes += seg.idx.MemoryBytes()
-		// The retained raw arena (the binlog analogue compaction
-		// rewrites) is already inside MemoryBytes when the index adopted
-		// it as its storage; otherwise (the IVF family re-groups its
-		// payloads cell-major into private storage) the binlog arena is
-		// an additional resident copy, counted separately.
-		if !seg.idx.StoreAdopted() {
-			s.MemoryBytes += seg.store.Bytes()
+	c.rlockAll()
+	defer c.runlockAll()
+	out := CollectionStats{Shards: make([]ShardStats, len(c.shards))}
+	for i, s := range c.shards {
+		st := s.statsLocked()
+		out.Shards[i] = st
+		out.Rows += st.Rows
+		out.Sealed += st.Sealed
+		out.Sealing += st.Sealing
+		out.GrowingRows += st.GrowingRows
+		out.MemoryBytes += st.MemoryBytes
+		out.Tombstones += st.Tombstones
+		out.CompactionPasses += st.CompactionPasses
+		out.CompactedSegments += st.CompactedSegments
+		out.ReclaimedRows += st.ReclaimedRows
+		out.WALBytes += st.WALBytes
+		if st.LastCheckpointLSN > out.LastCheckpointLSN {
+			out.LastCheckpointLSN = st.LastCheckpointLSN
+		}
+		if st.WALLastLSN > out.WALLastLSN {
+			out.WALLastLSN = st.WALLastLSN
 		}
 	}
-	for _, seg := range c.sealing {
-		s.MemoryBytes += seg.store.Bytes()
-	}
-	s.MemoryBytes += int64(c.growingRowsLocked()) * bytesPerRow * 2
-	return s
+	return out
 }
 
-// Close marks the collection unusable, then waits for pending builds and
-// compactions. The closed flag is set under the lock *before* waiting so
-// that no Insert racing with Close can seal a segment whose background
-// build Close would miss. A durable collection then takes a final
-// checkpoint — WAL sync, full snapshot, log truncation — so a graceful
-// shutdown is lossless under every fsync policy, growing tail included.
-// Close is idempotent: a second Close (or a Close after Crash) skips the
-// checkpoint instead of failing against the already-closed WAL.
+// Close marks the collection unusable, then shuts every shard down:
+// pending builds and compactions are waited out, and each durable shard
+// takes a final checkpoint — WAL sync, full snapshot, log truncation — so
+// a graceful shutdown is lossless under every fsync policy, growing tails
+// included. Shards close in parallel (mirroring recovery), so shutdown
+// wall time is the slowest shard's final checkpoint, not the sum. Close
+// is idempotent: a second Close (or a Close after Crash) skips the
+// checkpoints instead of failing against the already-closed WALs.
 func (c *Collection) Close() error {
-	c.mu.Lock()
-	already := c.closed
-	c.closed = true
-	c.mu.Unlock()
-	c.builds.Wait()
-	c.waitCompactions()
-	var persistErr error
-	if c.wal != nil && !already {
-		persistErr = c.Checkpoint()
-		if err := c.wal.Close(); persistErr == nil {
-			persistErr = err
-		}
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.buildErr != nil {
-		return c.buildErr
-	}
-	return persistErr
+	c.closed.Store(true)
+	errs := make([]error, len(c.shards))
+	parallel.Parallel(len(c.shards), len(c.shards), func(i int) {
+		errs[i] = c.shards[i].close()
+	})
+	return firstError(errs)
 }

@@ -7,42 +7,54 @@ import (
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
 	"vdtuner/internal/persist"
 )
 
 // Durable collections. A Collection opened through OpenDurable pairs the
 // in-memory engine with the persist subsystem's snapshot + write-ahead-log
-// split, the way the production VDMS backends the paper tunes persist
-// Milvus-style segment storage:
+// split, sharded the way the production VDMS backends the paper tunes
+// persist Milvus-style segment storage per channel:
 //
-//   - every mutation (insert, delete, seal, compaction commit) appends a
-//     WAL record under the same lock hold that applies it, so the log
-//     order is exactly the engine's serialization order;
+//	dir/
+//	  MANIFEST     shard count, dimension, metric (versioned; see persist)
+//	  shard-0/     shard 0's snapshots + WAL
+//	  shard-1/     ...
+//
+// Each shard is an independent durability domain:
+//
+//   - every mutation routed to it (insert, delete, seal, compaction
+//     commit) appends a record to its WAL under the same lock hold that
+//     applies it, so each log's order is exactly its shard's
+//     serialization order;
 //   - acknowledgement durability follows Config.WALFsyncPolicy (never /
-//     batch / always, group-committed);
-//   - the compactor checkpoints after every committed pass — snapshot the
-//     full state, rotate the WAL, drop the files the snapshot made
-//     redundant — so the log stays bounded by the churn since the last
-//     pass; Close takes a final checkpoint, making shutdown lossless even
-//     under SyncNever.
+//     batch / always, group-committed) — concurrent inserts to different
+//     shards fsync different files in parallel;
+//   - each shard's compactor checkpoints after every committed pass, and
+//     Close takes a final checkpoint per shard, so every log stays
+//     bounded by its shard's churn.
 //
-// Recovery (OpenDurable on a non-empty directory) loads the newest valid
-// snapshot, replays the WAL suffix, and truncates a torn tail. It is
-// deterministic: segment indexes are rebuilt from raw rows with the same
-// sequence-derived seeds the pre-crash engine used (see newSegmentIndex),
-// so a recovered collection answers Search and SearchBatch bit-identically
-// to the engine that crashed. One counter is approximate across recovery:
-// CompactionPasses counts pass boundaries, which the WAL does not record
-// (each pass's work is fully covered by its per-task commit records and
-// usually by the snapshot the pass wrote).
+// Recovery (OpenDurable on a non-empty directory) validates the manifest
+// against the opening configuration, then recovers every shard in
+// parallel over the engine's worker pool: newest valid snapshot, WAL
+// suffix replay, torn-tail truncation — shards never wait on each other.
+// It is deterministic: segment indexes are rebuilt from raw rows with the
+// same sequence-derived seeds the pre-crash engine used (see
+// newSegmentIndex), so a recovered collection answers Search and
+// SearchBatch bit-identically to the engine that crashed. One counter is
+// approximate across recovery: CompactionPasses counts pass boundaries,
+// which the WAL does not record (each pass's work is fully covered by its
+// per-task commit records and usually by the snapshot the pass wrote).
 
 // OpenDurable opens (or creates) a durable collection backed by the data
 // directory dir. On a fresh directory it behaves like NewCollection plus
-// logging; on a directory with prior state it recovers: newest valid
-// snapshot, then the WAL suffix, with a torn trailing record truncated.
-// The configuration must agree with the persisted state on dimension,
-// metric, index type, and index build parameters (a silent change would
-// silently change search results); system knobs may differ freely.
+// a manifest and per-shard logging; on a directory with prior state it
+// recovers every shard (in parallel): newest valid snapshot, then the WAL
+// suffix, with a torn trailing record truncated. The configuration must
+// agree with the persisted state on shard count (a silent change would
+// re-route ids), dimension, metric, index type, and index build
+// parameters (a silent change would silently change search results);
+// system knobs may differ freely.
 func OpenDurable(dir string, cfg Config, metric linalg.Metric, dim, expectedRows int) (*Collection, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("vdms: OpenDurable requires a data directory")
@@ -54,117 +66,173 @@ func OpenDurable(dir string, cfg Config, metric linalg.Metric, dim, expectedRows
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
-	snap, err := persist.LoadNewestSnapshot(dir)
+	man, err := persist.LoadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	var after uint64
-	if snap != nil {
-		if err := c.restoreSnapshot(snap); err != nil {
+	if man == nil {
+		legacy, err := persist.HasLegacyLayout(dir)
+		if err != nil {
 			return nil, err
 		}
-		after = snap.CheckpointLSN
+		if legacy {
+			return nil, fmt.Errorf("vdms: %s holds a pre-sharding data layout (top-level snapshot/WAL files, no manifest); migrate it by replaying into a fresh directory", dir)
+		}
+		man = &persist.Manifest{Shards: len(c.shards), Dim: dim, Metric: metric}
+		if err := persist.WriteManifest(dir, man); err != nil {
+			return nil, err
+		}
 	}
-	nextLSN, err := persist.ReplayWAL(dir, after, c.applyWALOp)
-	if err != nil {
+	if man.Shards != len(c.shards) {
+		return nil, fmt.Errorf("vdms: configuration says %d shards, directory %s was created with %d (the id routing would change)", len(c.shards), dir, man.Shards)
+	}
+	if man.Dim != dim {
+		return nil, fmt.Errorf("vdms: manifest dimension %d, collection opened with %d", man.Dim, dim)
+	}
+	if man.Metric != metric {
+		return nil, fmt.Errorf("vdms: manifest metric %v, collection opened with %v", man.Metric, metric)
+	}
+	// Recover the shards in parallel: each replays only its own snapshot
+	// and log, so recovery wall time is the slowest shard, not the sum.
+	errs := make([]error, len(c.shards))
+	parallel.Parallel(cfg.Parallelism, len(c.shards), func(i int) {
+		errs[i] = c.shards[i].openDurable(persist.ShardDir(dir, i))
+	})
+	if err := firstError(errs); err != nil {
+		// Abandon whatever the other shards already opened.
+		for _, s := range c.shards {
+			if s.wal != nil {
+				s.wal.Crash()
+			}
+		}
 		return nil, err
 	}
-	w, err := persist.OpenWAL(persist.Options{
-		Dir:         dir,
-		Policy:      cfg.walFsyncPolicy(),
-		GroupCommit: cfg.walGroupCommit(),
-	}, nextLSN)
-	if err != nil {
-		return nil, err
-	}
-	c.wal = w
 	c.dataDir = dir
-	c.ckptLSN = after
-	c.lastCkpt.Store(after)
+	// Seed the collection-wide id counter past every shard's watermark.
+	var next int64
+	for _, s := range c.shards {
+		if s.nextID > next {
+			next = s.nextID
+		}
+	}
+	c.nextID.Store(next)
 	// A compaction trigger that was pending at the crash is pending again
 	// now; restart it the way the pre-crash engine would have.
-	c.mu.Lock()
-	c.maybeCompactLocked()
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.maybeCompactLocked()
+		s.mu.Unlock()
+	}
 	return c, nil
 }
 
-// restoreSnapshot installs a decoded snapshot into an empty collection,
+// openDurable recovers (or creates) one shard's durability domain rooted
+// at sdir and leaves the shard with an open WAL.
+func (s *shard) openDurable(sdir string) error {
+	if err := os.MkdirAll(sdir, 0o777); err != nil {
+		return err
+	}
+	snap, err := persist.LoadNewestSnapshot(sdir)
+	if err != nil {
+		return err
+	}
+	var after uint64
+	if snap != nil {
+		if err := s.restoreSnapshot(snap); err != nil {
+			return err
+		}
+		after = snap.CheckpointLSN
+	}
+	nextLSN, err := persist.ReplayWAL(sdir, after, s.applyWALOp)
+	if err != nil {
+		return err
+	}
+	w, err := persist.OpenWAL(persist.Options{
+		Dir:         sdir,
+		Policy:      s.cfg.walFsyncPolicy(),
+		GroupCommit: s.cfg.walGroupCommit(),
+	}, nextLSN)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.dataDir = sdir
+	s.ckptLSN = after
+	s.lastCkpt.Store(after)
+	return nil
+}
+
+// restoreSnapshot installs a decoded snapshot into an empty shard,
 // rebuilding every segment index deterministically from its raw rows.
-func (c *Collection) restoreSnapshot(s *persist.Snapshot) error {
-	if s.Dim != c.dim {
-		return fmt.Errorf("vdms: snapshot dimension %d, collection opened with %d", s.Dim, c.dim)
+func (s *shard) restoreSnapshot(snap *persist.Snapshot) error {
+	if snap.Dim != s.dim {
+		return fmt.Errorf("vdms: snapshot dimension %d, collection opened with %d", snap.Dim, s.dim)
 	}
-	if s.Metric != c.metric {
-		return fmt.Errorf("vdms: snapshot metric %v, collection opened with %v", s.Metric, c.metric)
+	if snap.Metric != s.metric {
+		return fmt.Errorf("vdms: snapshot metric %v, collection opened with %v", snap.Metric, s.metric)
 	}
-	if s.IndexType != c.cfg.IndexType {
-		return fmt.Errorf("vdms: snapshot index type %v, configuration says %v", s.IndexType, c.cfg.IndexType)
+	if snap.IndexType != s.cfg.IndexType {
+		return fmt.Errorf("vdms: snapshot index type %v, configuration says %v", snap.IndexType, s.cfg.IndexType)
 	}
-	if a, b := s.Build, c.cfg.Build; a.NList != b.NList || a.M != b.M || a.NBits != b.NBits ||
+	if a, b := snap.Build, s.cfg.Build; a.NList != b.NList || a.M != b.M || a.NBits != b.NBits ||
 		a.HNSWM != b.HNSWM || a.EfConstruction != b.EfConstruction || a.Seed != b.Seed {
 		return fmt.Errorf("vdms: snapshot index build parameters differ from the configuration")
 	}
-	c.nextID = s.NextID
-	c.sealSeq = s.SealSeq
-	c.rows = s.Rows
-	c.compactionPasses = s.CompactionPasses
-	c.compactedSegments = s.CompactedSegments
-	c.reclaimedRows = s.ReclaimedRows
-	if len(s.Tombstones) > 0 {
-		c.tombstones = make(map[int64]struct{}, len(s.Tombstones))
-		for _, id := range s.Tombstones {
-			c.tombstones[id] = struct{}{}
+	s.nextID = snap.NextID
+	s.sealSeq = snap.SealSeq
+	s.rows = snap.Rows
+	s.compactionPasses = snap.CompactionPasses
+	s.compactedSegments = snap.CompactedSegments
+	s.reclaimedRows = snap.ReclaimedRows
+	if len(snap.Tombstones) > 0 {
+		s.tombstones = make(map[int64]struct{}, len(snap.Tombstones))
+		for _, id := range snap.Tombstones {
+			s.tombstones[id] = struct{}{}
 		}
 	}
 	// Install the growing tail before landing segments: a segment whose
 	// rebuild fails deterministically requeues its rows into growing, and
 	// those must append to the tail, not be overwritten by it.
-	if s.Growing != nil && s.Growing.Rows() > 0 {
-		c.growing = s.Growing
-		c.growingIDs = s.GrowingIDs
+	if snap.Growing != nil && snap.Growing.Rows() > 0 {
+		s.growing = snap.Growing
+		s.growingIDs = snap.GrowingIDs
 	}
-	for i := range s.Segments {
-		seg := &s.Segments[i]
-		c.landSegment(seg.Store, seg.IDs, seg.Seq)
-		if seg.Seq >= c.sealSeq {
-			c.sealSeq = seg.Seq + 1
+	for i := range snap.Segments {
+		seg := &snap.Segments[i]
+		s.landSegment(seg.Store, seg.IDs, seg.Seq)
+		if seg.Seq >= s.sealSeq {
+			s.sealSeq = seg.Seq + 1
 		}
 	}
 	return nil
 }
 
-// applyWALOp replays one WAL record onto the recovering collection. It
-// runs before the collection is shared, so no locking is involved; seals
-// and compaction rebuilds happen synchronously, in log order, which is
-// exactly the serialization order of the pre-crash engine.
-func (c *Collection) applyWALOp(op *persist.WALOp) error {
+// applyWALOp replays one WAL record onto the recovering shard. It runs
+// before the shard is shared, so no locking is involved; seals and
+// compaction rebuilds happen synchronously, in log order, which is
+// exactly the serialization order of this shard in the pre-crash engine.
+func (s *shard) applyWALOp(op *persist.WALOp) error {
 	switch op.Type {
 	case persist.RecInsert:
-		if op.FirstID != c.nextID {
-			return fmt.Errorf("vdms: WAL replay: insert record starts at id %d, engine expects %d (snapshot and log disagree)", op.FirstID, c.nextID)
-		}
-		if op.Dim != c.dim {
-			return fmt.Errorf("vdms: WAL replay: insert record dimension %d, collection has %d", op.Dim, c.dim)
+		if op.Dim != s.dim {
+			return fmt.Errorf("vdms: WAL replay: insert record dimension %d, collection has %d", op.Dim, s.dim)
 		}
 		for i := 0; i < op.Count; i++ {
-			if c.growing == nil {
-				c.growing = linalg.NewMatrix(c.dim, c.sealRows)
-			}
-			c.growing.AppendRow(op.Vectors[i*op.Dim : (i+1)*op.Dim])
-			if c.metric == linalg.Angular {
-				linalg.Normalize(c.growing.Row(c.growing.Rows() - 1))
-			}
-			c.growingIDs = append(c.growingIDs, c.nextID)
-			c.nextID++
-			c.rows++
+			s.applyInsertRowLocked(op.FirstID+int64(i), op.Vectors[i*op.Dim:(i+1)*op.Dim])
+		}
+	case persist.RecInsertIDs:
+		if op.Dim != s.dim {
+			return fmt.Errorf("vdms: WAL replay: insert record dimension %d, collection has %d", op.Dim, s.dim)
+		}
+		for i, id := range op.IDs {
+			s.applyInsertRowLocked(id, op.Vectors[i*op.Dim:(i+1)*op.Dim])
 		}
 	case persist.RecDelete:
-		c.deleteLocked(op.IDs)
+		s.deleteLocked(op.IDs)
 	case persist.RecFlush:
-		c.replayFlush(op.Seq)
+		s.replayFlush(op.Seq)
 	case persist.RecCompactCommit:
-		return c.replayCompactCommit(op)
+		return s.replayCompactCommit(op)
 	default:
 		return fmt.Errorf("vdms: WAL replay: unexpected record type %d", op.Type)
 	}
@@ -176,65 +244,65 @@ func (c *Collection) applyWALOp(op *persist.WALOp) error {
 // failed-seal path: the rows fall back into the growing tail (minus any
 // tombstoned ones, whose tombstones are then garbage) and the error is
 // recorded.
-func (c *Collection) landSegment(store *linalg.Matrix, ids []int64, seq int64) {
-	m := c.metric
+func (s *shard) landSegment(store *linalg.Matrix, ids []int64, seq int64) {
+	m := s.metric
 	if m == linalg.Angular {
 		m = linalg.L2 // inputs were normalized on insert
 	}
-	idx, err := newSegmentIndex(c.cfg, m, c.dim, seq)
+	idx, err := newSegmentIndex(s.cfg, m, s.dim, seq)
 	if err == nil {
 		err = idx.Build(store, ids)
 	}
 	if err != nil {
-		c.buildErrOnce.Do(func() { c.buildErr = err })
+		s.buildErrOnce.Do(func() { s.buildErr = err })
 		for i, id := range ids {
-			if _, dead := c.tombstones[id]; dead {
-				delete(c.tombstones, id)
+			if _, dead := s.tombstones[id]; dead {
+				delete(s.tombstones, id)
 				continue
 			}
-			if c.growing == nil {
-				c.growing = linalg.NewMatrix(c.dim, store.Rows())
+			if s.growing == nil {
+				s.growing = linalg.NewMatrix(s.dim, store.Rows())
 			}
-			c.growing.AppendRow(store.Row(i))
-			c.growingIDs = append(c.growingIDs, id)
+			s.growing.AppendRow(store.Row(i))
+			s.growingIDs = append(s.growingIDs, id)
 		}
 		return
 	}
 	ss := &sealedSegment{seq: seq, store: store, ids: ids, idx: idx}
 	for _, id := range ss.ids {
-		if _, dead := c.tombstones[id]; dead {
+		if _, dead := s.tombstones[id]; dead {
 			ss.dead++
 		}
 	}
-	c.insertSealedLocked(ss)
+	s.insertSealedLocked(ss)
 }
 
 // replayFlush replays a RecFlush record: seal the growing tail as segment
 // seq and build its index synchronously.
-func (c *Collection) replayFlush(seq int64) {
-	if seq >= c.sealSeq {
-		c.sealSeq = seq + 1
+func (s *shard) replayFlush(seq int64) {
+	if seq >= s.sealSeq {
+		s.sealSeq = seq + 1
 	}
-	if c.growingRowsLocked() == 0 {
+	if s.growingRowsLocked() == 0 {
 		return
 	}
-	index.SortRowsByID(c.growing, c.growingIDs)
-	store, ids := c.growing, c.growingIDs
-	c.growing, c.growingIDs = nil, nil
-	c.landSegment(store, ids, seq)
+	index.SortRowsByID(s.growing, s.growingIDs)
+	store, ids := s.growing, s.growingIDs
+	s.growing, s.growingIDs = nil, nil
+	s.landSegment(store, ids, seq)
 }
 
 // replayCompactCommit replays one committed compaction task: rebuild the
 // replacement segment from the recorded surviving ids and drop the
 // sources, exactly as the pre-crash commit did.
-func (c *Collection) replayCompactCommit(op *persist.WALOp) error {
-	if op.Seq >= c.sealSeq {
-		c.sealSeq = op.Seq + 1
+func (s *shard) replayCompactCommit(op *persist.WALOp) error {
+	if op.Seq >= s.sealSeq {
+		s.sealSeq = op.Seq + 1
 	}
 	var sources []*sealedSegment
 	for _, seq := range op.Sources {
 		var found *sealedSegment
-		for _, seg := range c.sealed {
+		for _, seg := range s.sealed {
 			if seg.seq == seq {
 				found = seg
 				break
@@ -249,7 +317,7 @@ func (c *Collection) replayCompactCommit(op *persist.WALOp) error {
 	for _, id := range op.LiveIDs {
 		live[id] = struct{}{}
 	}
-	in := compactInput{store: linalg.NewMatrix(c.dim, len(op.LiveIDs)), dropped: op.Dropped}
+	in := compactInput{store: linalg.NewMatrix(s.dim, len(op.LiveIDs)), dropped: op.Dropped}
 	for _, seg := range sources {
 		for i, id := range seg.ids {
 			if _, ok := live[id]; ok {
@@ -262,143 +330,157 @@ func (c *Collection) replayCompactCommit(op *persist.WALOp) error {
 		return fmt.Errorf("vdms: WAL replay: compaction commit lists %d surviving ids, sources hold %d of them", len(op.LiveIDs), len(in.ids))
 	}
 	index.SortRowsByID(in.store, in.ids)
-	seg, err := buildCompacted(c.cfg, c.metric, c.dim, in, op.Seq)
+	seg, err := buildCompacted(s.cfg, s.metric, s.dim, in, op.Seq)
 	if err != nil {
 		// Mirror the live engine: sources stay, excluded from future plans.
-		c.buildErrOnce.Do(func() { c.buildErr = err })
-		for _, s := range sources {
-			s.noCompact = true
+		s.buildErrOnce.Do(func() { s.buildErr = err })
+		for _, src := range sources {
+			src.noCompact = true
 		}
 		return nil
 	}
-	c.removeSealedLocked(sources)
+	s.removeSealedLocked(sources)
 	if seg != nil {
 		for _, id := range seg.ids {
-			if _, dead := c.tombstones[id]; dead {
+			if _, dead := s.tombstones[id]; dead {
 				seg.dead++
 			}
 		}
-		c.insertSealedLocked(seg)
+		s.insertSealedLocked(seg)
 	}
 	for _, id := range op.Dropped {
-		delete(c.tombstones, id)
+		delete(s.tombstones, id)
 	}
-	c.compactedSegments += int64(len(sources))
-	c.reclaimedRows += int64(len(op.Dropped))
+	s.compactedSegments += int64(len(sources))
+	s.reclaimedRows += int64(len(op.Dropped))
 	return nil
 }
 
-// snapshotLocked captures the collection's full durable state. Sealed and
+// snapshotLocked captures the shard's full durable state. Sealed and
 // sealing stores are immutable, so the snapshot references them directly;
-// the growing tail is mutable and gets copied. Callers hold c.mu.
-func (c *Collection) snapshotLocked() *persist.Snapshot {
-	s := &persist.Snapshot{
-		CheckpointLSN:     c.wal.LastLSN(),
-		Dim:               c.dim,
-		Metric:            c.metric,
-		IndexType:         c.cfg.IndexType,
-		Build:             c.cfg.Build,
-		NextID:            c.nextID,
-		SealSeq:           c.sealSeq,
-		Rows:              c.rows,
-		CompactionPasses:  c.compactionPasses,
-		CompactedSegments: c.compactedSegments,
-		ReclaimedRows:     c.reclaimedRows,
+// the growing tail is mutable and gets copied. Callers hold s.mu.
+func (s *shard) snapshotLocked() *persist.Snapshot {
+	snap := &persist.Snapshot{
+		CheckpointLSN:     s.wal.LastLSN(),
+		Dim:               s.dim,
+		Metric:            s.metric,
+		IndexType:         s.cfg.IndexType,
+		Build:             s.cfg.Build,
+		NextID:            s.nextID,
+		SealSeq:           s.sealSeq,
+		Rows:              s.rows,
+		CompactionPasses:  s.compactionPasses,
+		CompactedSegments: s.compactedSegments,
+		ReclaimedRows:     s.reclaimedRows,
 	}
-	for _, seg := range c.sealed {
-		s.Segments = append(s.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
+	for _, seg := range s.sealed {
+		snap.Segments = append(snap.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
 	}
 	// In-flight builds are not waited for: a sealing segment snapshots as
 	// its rows + seq, and recovery rebuilds the identical index.
-	for _, seg := range c.sealing {
-		s.Segments = append(s.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
+	for _, seg := range s.sealing {
+		snap.Segments = append(snap.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
 	}
-	sort.Slice(s.Segments, func(i, j int) bool { return s.Segments[i].Seq < s.Segments[j].Seq })
-	if n := c.growingRowsLocked(); n > 0 {
-		g := linalg.NewMatrix(c.dim, n)
+	sort.Slice(snap.Segments, func(i, j int) bool { return snap.Segments[i].Seq < snap.Segments[j].Seq })
+	if n := s.growingRowsLocked(); n > 0 {
+		g := linalg.NewMatrix(s.dim, n)
 		for i := 0; i < n; i++ {
-			g.AppendRow(c.growing.Row(i))
+			g.AppendRow(s.growing.Row(i))
 		}
-		s.Growing = g
-		s.GrowingIDs = append([]int64(nil), c.growingIDs...)
+		snap.Growing = g
+		snap.GrowingIDs = append([]int64(nil), s.growingIDs...)
 	}
-	if len(c.tombstones) > 0 {
-		s.Tombstones = make([]int64, 0, len(c.tombstones))
-		for id := range c.tombstones {
-			s.Tombstones = append(s.Tombstones, id)
+	if len(s.tombstones) > 0 {
+		snap.Tombstones = make([]int64, 0, len(s.tombstones))
+		for id := range s.tombstones {
+			snap.Tombstones = append(snap.Tombstones, id)
 		}
-		sort.Slice(s.Tombstones, func(i, j int) bool { return s.Tombstones[i] < s.Tombstones[j] })
+		sort.Slice(snap.Tombstones, func(i, j int) bool { return snap.Tombstones[i] < snap.Tombstones[j] })
 	}
-	return s
+	return snap
 }
 
-// Checkpoint persists a snapshot of the current state and truncates the
+// checkpoint persists a snapshot of this shard's state and truncates its
 // WAL to the records beyond it. The previous snapshot generation (and the
 // WAL files it needs) is kept until the next checkpoint, so a damaged
-// newest snapshot still leaves a recoverable directory. On a memory-only
-// collection it is a no-op.
-func (c *Collection) Checkpoint() error {
-	if c.wal == nil {
+// newest snapshot still leaves a recoverable shard directory. On a
+// memory-only shard it is a no-op.
+func (s *shard) checkpoint() error {
+	if s.wal == nil {
 		return nil
 	}
-	c.ckptMu.Lock()
-	defer c.ckptMu.Unlock()
-	// Drain the log to disk before taking the engine lock: Rotate below
-	// fsyncs while every Search and Insert is blocked on c.mu, so this
-	// pre-sync (which blocks nobody) leaves it almost nothing to flush —
-	// only the records appended in the gap between here and the lock.
-	if err := c.wal.Sync(); err != nil {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// Drain the log to disk before taking the shard lock: Rotate below
+	// fsyncs while this shard's Searches and inserts are blocked on s.mu,
+	// so this pre-sync (which blocks nobody) leaves it almost nothing to
+	// flush — only the records appended in the gap between here and the
+	// lock.
+	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("vdms: syncing WAL before checkpoint: %w", err)
 	}
-	c.mu.Lock()
-	snap := c.snapshotLocked()
+	s.mu.Lock()
+	snap := s.snapshotLocked()
 	// Rotate inside the same lock hold that captured the state: records
 	// after the snapshot boundary land in the new file, so truncation
 	// can simply drop whole old files.
-	err := c.wal.Rotate()
-	c.mu.Unlock()
+	err := s.wal.Rotate()
+	s.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("vdms: rotating WAL: %w", err)
 	}
-	if err := persist.WriteSnapshot(c.dataDir, snap); err != nil {
+	if err := persist.WriteSnapshot(s.dataDir, snap); err != nil {
 		// The snapshot failed but the rotated WAL files all survive:
 		// recovery still has the previous snapshot plus a complete log.
 		return fmt.Errorf("vdms: writing snapshot: %w", err)
 	}
-	keep := c.ckptLSN // the generation before this one
-	c.ckptLSN = snap.CheckpointLSN
-	c.lastCkpt.Store(snap.CheckpointLSN)
+	keep := s.ckptLSN // the generation before this one
+	s.ckptLSN = snap.CheckpointLSN
+	s.lastCkpt.Store(snap.CheckpointLSN)
 	// Retention trimming is best-effort: a failure here costs disk, not
 	// durability, and the next checkpoint retries it.
-	_ = persist.RemoveObsoleteSnapshots(c.dataDir, keep)
-	_ = c.wal.RemoveObsolete(keep)
+	_ = persist.RemoveObsoleteSnapshots(s.dataDir, keep)
+	_ = s.wal.RemoveObsolete(keep)
 	return nil
 }
 
-// DisableAutoCheckpoint stops the compactor from checkpointing after
-// each committed pass: WAL records then accumulate until an explicit
-// Checkpoint or Close. Operators who prefer scheduled checkpoints (or
-// tests that must exercise long log replays, compaction commits
-// included) use this; durability is unaffected — only the recovery
-// replay length grows.
+// Checkpoint persists a snapshot of every shard's current state and
+// truncates each shard's WAL to the records beyond it. Shards checkpoint
+// independently and in parallel (each under its own locks and into its
+// own directory), so an explicit checkpoint costs the slowest shard's
+// snapshot, not the sum; the first failure (in shard order) is returned,
+// leaving failed shards to their next compactor-driven or explicit
+// checkpoint. On a memory-only collection it is a no-op.
+func (c *Collection) Checkpoint() error {
+	errs := make([]error, len(c.shards))
+	parallel.Parallel(len(c.shards), len(c.shards), func(i int) {
+		errs[i] = c.shards[i].checkpoint()
+	})
+	return firstError(errs)
+}
+
+// DisableAutoCheckpoint stops every shard's compactor from checkpointing
+// after each committed pass: WAL records then accumulate until an
+// explicit Checkpoint or Close. Operators who prefer scheduled
+// checkpoints (or tests that must exercise long log replays, compaction
+// commits included) use this; durability is unaffected — only the
+// recovery replay length grows.
 func (c *Collection) DisableAutoCheckpoint() {
-	c.mu.Lock()
-	c.noAutoCkpt = true
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.noAutoCkpt = true
+		s.mu.Unlock()
+	}
 }
 
 // Crash abandons the collection the way a process crash would: background
 // work is stopped, but no flush, snapshot, or WAL sync happens, and
 // records still buffered in user space are discarded. What survives on
-// disk is exactly what the fsync policy had made durable. It exists for
-// crash-recovery testing; production shutdown is Close.
+// disk is exactly what the fsync policy had made durable, shard by shard.
+// It exists for crash-recovery testing; production shutdown is Close.
 func (c *Collection) Crash() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.builds.Wait()
-	c.waitCompactions()
-	if c.wal != nil {
-		c.wal.Crash()
+	c.closed.Store(true)
+	for _, s := range c.shards {
+		s.crash()
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/persist"
 )
 
 // durableConfig is a small, fast configuration for durability tests.
@@ -403,8 +404,9 @@ func TestWALFilesBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Snapshot/WAL files live under the (single) shard's subdirectory.
 	snaps, wals := 0, 0
-	ents, err := os.ReadDir(dir)
+	ents, err := os.ReadDir(persist.ShardDir(dir, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

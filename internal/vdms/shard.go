@@ -1,0 +1,452 @@
+package vdms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/persist"
+)
+
+// shard is one independently locked slice of a live collection: a growing
+// arena, sealing/sealed segments, a tombstone set, a compactor, and (when
+// durable) a private snapshot+WAL pair. It is the pre-sharding Collection
+// engine verbatim — same lifecycle, same determinism guarantees — behind a
+// lowercase door: the Collection router owns N of these, routes writes to
+// them by id hash, and fans reads out across all of them (see live.go).
+// Nothing a shard does ever takes another shard's lock, which is the whole
+// point: an insert, fsync, index build, or compaction pass on one shard
+// proceeds while every other shard keeps serving.
+type shard struct {
+	cfg    Config
+	metric linalg.Metric
+	dim    int
+	// sealRows is the rows-per-segment derived from segment_maxSize ×
+	// sealProportion at this shard's slice of the declared corpus size.
+	sealRows int
+
+	mu sync.RWMutex
+	// nextID is this shard's id watermark: one past the highest id it has
+	// ever applied. Ids are assigned by the router's collection-wide
+	// counter, so consecutive batches routed here need not be contiguous —
+	// the watermark only bounds Delete's range check and seeds the
+	// router's counter after recovery.
+	nextID int64
+	// rows counts live (inserted and not deleted) rows.
+	rows int64
+	// growing is the current unsealed segment's vector arena (nil until
+	// the first insert after a seal); growingIDs are its row ids.
+	growing    *linalg.Matrix
+	growingIDs []int64
+	// sealing holds segments whose index build is in flight; they are
+	// scanned exactly until the build lands.
+	sealing []*sealingSegment
+	// sealed holds indexed segments, kept sorted by seq so iteration
+	// order (and therefore planning and merging) is deterministic no
+	// matter when each background build happened to land.
+	sealed  []*sealedSegment
+	sealSeq int64
+	// tombstones holds deleted ids that are still physically present in
+	// sealed or sealing data; they are filtered from every search (see
+	// delete.go) and garbage-collected when compaction drops the rows.
+	// Deleted growing rows are removed physically at once and never
+	// linger here, so len(tombstones) — the search over-fetch margin —
+	// is bounded by the dead rows awaiting compaction, not by the
+	// all-time delete count.
+	tombstones map[int64]struct{}
+	closed     bool
+
+	// Compactor state; see compact.go. compacting guards the single
+	// in-flight pass, compactDone is closed when it finishes.
+	compacting        bool
+	compactDone       chan struct{}
+	compactionPasses  int64
+	compactedSegments int64
+	reclaimedRows     int64
+
+	// Durability state; nil/zero for memory-only collections (see
+	// persist.go in this package). Records are appended under mu — the
+	// log order is the shard's serialization order — and committed
+	// (fsynced per policy) outside it.
+	wal     *persist.WAL
+	dataDir string
+	// ckptMu serializes checkpoints (compactor passes, the server's
+	// "persist" op, Close); ckptLSN is the newest durable snapshot's LSN,
+	// mirrored in lastCkpt for lock-free reads by Stats.
+	ckptMu   sync.Mutex
+	ckptLSN  uint64
+	lastCkpt atomic.Uint64
+	// noAutoCkpt suppresses the compactor's checkpoint-after-pass; see
+	// DisableAutoCheckpoint.
+	noAutoCkpt bool
+
+	builds sync.WaitGroup
+	// buildErr records the first background build failure.
+	buildErrOnce sync.Once
+	buildErr     error
+}
+
+type sealingSegment struct {
+	seq   int64
+	store *linalg.Matrix
+	ids   []int64
+}
+
+// sealedSegment is one indexed segment. The raw row arena is retained next
+// to the built index (the analogue of Milvus keeping segment binlogs): it
+// is what compaction rewrites. ids are ascending.
+type sealedSegment struct {
+	seq   int64
+	store *linalg.Matrix
+	ids   []int64
+	idx   index.Index
+	// dead counts this segment's rows that are tombstoned.
+	dead int
+	// noCompact excludes a segment whose compaction rebuild failed from
+	// further planning, so a deterministic build error cannot spin the
+	// compactor forever; the segment stays searchable and its tombstones
+	// keep filtering.
+	noCompact bool
+}
+
+// newShard creates an empty shard sealing at sealRows rows per segment.
+func newShard(cfg Config, metric linalg.Metric, dim, sealRows int) *shard {
+	return &shard{cfg: cfg, metric: metric, dim: dim, sealRows: sealRows}
+}
+
+// insert applies one routed sub-batch: vecs[i] is stored under the
+// pre-assigned ids[i]. Dimensions were validated by the router. Growing
+// data is searchable immediately; reaching the seal threshold seals the
+// growing segment and hands it to a background index build. On a durable
+// shard the rows are WAL-logged before the method returns and the
+// acknowledgement waits for the configured fsync policy. Ids within a
+// sub-batch ascend, but across batches they arrive in lock-acquisition
+// order, which concurrent routed inserts may interleave.
+func (s *shard) insert(ids []int64, vecs [][]float32) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("vdms: collection closed")
+	}
+	// Insert records are split at seal boundaries: each record covers
+	// exactly the rows that entered the growing segment before the next
+	// RecFlush, so replaying "insert, insert, flush, insert" rebuilds the
+	// same segment membership the live engine produced when a batch
+	// straddled a seal. A contiguous run uses the dense RecInsert frame
+	// (which is also what keeps a shard_count=1 log byte-identical to the
+	// pre-sharding engine's); a hash-strided run spells its ids out.
+	runStart := 0
+	var logErr error
+	logRun := func(end int) {
+		if s.wal == nil || end <= runStart || logErr != nil {
+			runStart = end
+			return
+		}
+		run := ids[runStart:end]
+		var err error
+		if run[len(run)-1]-run[0] == int64(len(run)-1) {
+			_, err = s.wal.AppendInsert(run[0], vecs[runStart:end], s.dim)
+		} else {
+			_, err = s.wal.AppendInsertIDs(run, vecs[runStart:end], s.dim)
+		}
+		if err != nil {
+			logErr = err
+		}
+		runStart = end
+	}
+	for i, v := range vecs {
+		s.applyInsertRowLocked(ids[i], v)
+		if s.growing.Rows() >= s.sealRows {
+			logRun(i + 1) // the sealing rows must precede the seal record
+			s.sealLocked()
+		}
+	}
+	logRun(len(vecs))
+	var lsn uint64
+	if s.wal != nil {
+		lsn = s.wal.LastLSN() // covers the insert and any seal records
+	}
+	s.mu.Unlock()
+	if logErr != nil {
+		// The rows are applied in memory but the log is broken: surface
+		// the durability failure instead of acknowledging.
+		return fmt.Errorf("vdms: logging insert: %w", logErr)
+	}
+	if s.wal != nil && len(vecs) > 0 {
+		if err := s.wal.Commit(lsn); err != nil {
+			return fmt.Errorf("vdms: committing insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyInsertRowLocked lands one (id, vector) pair in the growing arena:
+// the shared core of insert and WAL replay. Angular inputs are normalized
+// in place on their arena row (no temporary copy). Callers hold s.mu.
+func (s *shard) applyInsertRowLocked(id int64, v []float32) {
+	if s.growing == nil {
+		s.growing = linalg.NewMatrix(s.dim, s.sealRows)
+	}
+	s.growing.AppendRow(v)
+	if s.metric == linalg.Angular {
+		linalg.Normalize(s.growing.Row(s.growing.Rows() - 1))
+	}
+	s.growingIDs = append(s.growingIDs, id)
+	s.rows++
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+}
+
+// growingRowsLocked reports the growing segment's row count. Callers hold
+// s.mu.
+func (s *shard) growingRowsLocked() int {
+	if s.growing == nil {
+		return 0
+	}
+	return s.growing.Rows()
+}
+
+// sealLocked moves the growing segment into the sealing state and starts
+// its background index build. Callers hold s.mu.
+func (s *shard) sealLocked() {
+	// Canonical row order: growing rows are normally already ascending by
+	// id, but rows requeued by a failed build (or landed by interleaved
+	// concurrent batches) may not be; sorting here keeps the
+	// sealed-segment invariant (ids ascending) unconditionally.
+	index.SortRowsByID(s.growing, s.growingIDs)
+	seq := s.sealSeq
+	s.sealSeq++
+	if s.wal != nil {
+		// The seal is logged at its position in the operation order; a
+		// failure cannot abort the seal (callers are mid-insert), so it is
+		// surfaced the way background build failures are.
+		if _, err := s.wal.AppendFlush(seq); err != nil {
+			err := fmt.Errorf("vdms: logging seal: %w", err)
+			s.buildErrOnce.Do(func() { s.buildErr = err })
+		}
+	}
+	seg := &sealingSegment{seq: seq, store: s.growing, ids: s.growingIDs}
+	s.growing = nil
+	s.growingIDs = nil
+	s.sealing = append(s.sealing, seg)
+
+	s.builds.Add(1)
+	go func() {
+		defer s.builds.Done()
+		m := s.metric
+		if m == linalg.Angular {
+			m = linalg.L2 // inputs were normalized on insert
+		}
+		idx, err := newSegmentIndex(s.cfg, m, s.dim, seq)
+		if err == nil {
+			err = idx.Build(seg.store, seg.ids)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Remove seg from the sealing list regardless of outcome.
+		for i, sl := range s.sealing {
+			if sl == seg {
+				s.sealing = append(s.sealing[:i], s.sealing[i+1:]...)
+				break
+			}
+		}
+		if err != nil {
+			s.buildErrOnce.Do(func() { s.buildErr = err })
+			// Keep the data searchable: put the rows back into growing.
+			// Rows tombstoned while the build was in flight are dropped
+			// here (growing data is mutable), and their tombstones are
+			// no longer needed.
+			for i, id := range seg.ids {
+				if _, dead := s.tombstones[id]; dead {
+					delete(s.tombstones, id)
+					continue
+				}
+				if s.growing == nil {
+					s.growing = linalg.NewMatrix(s.dim, seg.store.Rows())
+				}
+				s.growing.AppendRow(seg.store.Row(i))
+				s.growingIDs = append(s.growingIDs, id)
+			}
+			return
+		}
+		ss := &sealedSegment{seq: seq, store: seg.store, ids: seg.ids, idx: idx}
+		// Deletes may have landed while the build was in flight.
+		for _, id := range ss.ids {
+			if _, dead := s.tombstones[id]; dead {
+				ss.dead++
+			}
+		}
+		s.insertSealedLocked(ss)
+		s.maybeCompactLocked()
+	}()
+}
+
+// insertSealedLocked places seg into s.sealed keeping seq order.
+func (s *shard) insertSealedLocked(seg *sealedSegment) {
+	i := sort.Search(len(s.sealed), func(j int) bool { return s.sealed[j].seq > seg.seq })
+	s.sealed = append(s.sealed, nil)
+	copy(s.sealed[i+1:], s.sealed[i:])
+	s.sealed[i] = seg
+}
+
+// containsSorted reports whether the ascending id slice contains id.
+func containsSorted(ids []int64, id int64) bool {
+	n := len(ids)
+	if n == 0 || id < ids[0] || id > ids[n-1] {
+		return false
+	}
+	i := sort.Search(n, func(j int) bool { return ids[j] >= id })
+	return i < n && ids[i] == id
+}
+
+// locateLocked reports where id currently lives among the immutable
+// segment states: the sealed segment containing it (nil when it is in a
+// sealing segment) and whether it was found at all. Sealed and sealing
+// segments keep their ids ascending (sealLocked sorts), so each probe is
+// a binary search. Growing data is NOT consulted — its ids can be
+// unsorted after a failed-build requeue; callers that need growing
+// membership build a set (see delete.go). Callers hold s.mu.
+func (s *shard) locateLocked(id int64) (*sealedSegment, bool) {
+	for _, seg := range s.sealed {
+		if containsSorted(seg.ids, id) {
+			return seg, true
+		}
+	}
+	for _, seg := range s.sealing {
+		if containsSorted(seg.ids, id) {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// sealPartial seals a non-empty growing segment (Flush's first phase).
+func (s *shard) sealPartial() {
+	s.mu.Lock()
+	if s.growingRowsLocked() > 0 {
+		s.sealLocked()
+	}
+	s.mu.Unlock()
+}
+
+// searchLocked answers one already-normalized query against the current
+// segment states: indexed sealed segments, in-flight sealing segments
+// (scanned exactly), and the growing tail. Callers hold s.mu (read side
+// suffices): the method only reads shard state, so any number of
+// goroutines holding the same read lock may call it concurrently — that
+// is how SearchBatch fans out.
+func (s *shard) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
+	// Over-fetch to survive tombstone filtering: deleted ids may occupy
+	// top slots inside immutable sealed segments. The margin is this
+	// shard's live tombstone count — dead rows still physically present
+	// and awaiting compaction — not the all-time delete count.
+	fetch := k + len(s.tombstones)
+	lists := make([][]linalg.Neighbor, 0, len(s.sealed)+len(s.sealing)+1)
+	for _, seg := range s.sealed {
+		lists = append(lists, seg.idx.Search(qq, fetch, s.cfg.Search, st))
+	}
+	for _, seg := range s.sealing {
+		lists = append(lists, index.ScanStore(m, qq, seg.store, seg.ids, fetch, st))
+	}
+	if s.growingRowsLocked() > 0 {
+		lists = append(lists, index.ScanStore(m, qq, s.growing, s.growingIDs, fetch, st))
+	}
+	merged := s.filterTombstones(linalg.MergeNeighbors(fetch, lists...))
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// statsLocked snapshots this shard's layout and footprint. Callers hold
+// s.mu (read side suffices).
+func (s *shard) statsLocked() ShardStats {
+	st := ShardStats{
+		Rows:              s.rows,
+		Sealed:            len(s.sealed),
+		Sealing:           len(s.sealing),
+		GrowingRows:       s.growingRowsLocked(),
+		Tombstones:        len(s.tombstones),
+		CompactionPasses:  s.compactionPasses,
+		CompactedSegments: s.compactedSegments,
+		ReclaimedRows:     s.reclaimedRows,
+	}
+	if s.wal != nil {
+		st.WALBytes = s.wal.Size()
+		st.LastCheckpointLSN = s.lastCkpt.Load()
+		st.WALLastLSN = s.wal.LastLSN()
+	}
+	bytesPerRow := int64(s.dim) * 4
+	for _, seg := range s.sealed {
+		st.MemoryBytes += seg.idx.MemoryBytes()
+		// The retained raw arena (the binlog analogue compaction
+		// rewrites) is already inside MemoryBytes when the index adopted
+		// it as its storage; otherwise (the IVF family re-groups its
+		// payloads cell-major into private storage) the binlog arena is
+		// an additional resident copy, counted separately.
+		if !seg.idx.StoreAdopted() {
+			st.MemoryBytes += seg.store.Bytes()
+		}
+	}
+	for _, seg := range s.sealing {
+		st.MemoryBytes += seg.store.Bytes()
+	}
+	st.MemoryBytes += int64(s.growingRowsLocked()) * bytesPerRow * 2
+	return st
+}
+
+// getBuildErr returns the first background failure recorded on this shard.
+func (s *shard) getBuildErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.buildErr
+}
+
+// markClosed sets the closed flag and reports whether it was already set.
+// The flag is set under the lock *before* any waiting so that no insert
+// racing with Close can seal a segment whose background build the closer
+// would miss.
+func (s *shard) markClosed() (already bool) {
+	s.mu.Lock()
+	already = s.closed
+	s.closed = true
+	s.mu.Unlock()
+	return already
+}
+
+// close shuts this shard down: mark closed, wait out builds and
+// compactions, and (when durable and not already closed) take a final
+// checkpoint — WAL sync, full snapshot, log truncation — so a graceful
+// shutdown is lossless under every fsync policy, growing tail included.
+func (s *shard) close() error {
+	already := s.markClosed()
+	s.builds.Wait()
+	s.waitCompactions()
+	var persistErr error
+	if s.wal != nil && !already {
+		persistErr = s.checkpoint()
+		if err := s.wal.Close(); persistErr == nil {
+			persistErr = err
+		}
+	}
+	if err := s.getBuildErr(); err != nil {
+		return err
+	}
+	return persistErr
+}
+
+// crash abandons the shard the way a process crash would: background work
+// is stopped, but no flush, snapshot, or WAL sync happens, and records
+// still buffered in user space are discarded.
+func (s *shard) crash() {
+	s.markClosed()
+	s.builds.Wait()
+	s.waitCompactions()
+	if s.wal != nil {
+		s.wal.Crash()
+	}
+}
