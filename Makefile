@@ -47,7 +47,11 @@ BENCH_JSON_OUT ?= BENCH_query.json
 
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
-	if ! $(GO) test -run '^$$' -bench 'SearchAfterDeletes|SearchBatchWorkers|ShardedInsert|ShardedSearchBatch' -benchmem -benchtime=1x . > "$$tmp" 2>&1; \
+	if ! $(GO) test -run '^$$' -bench 'SearchAfterDeletes|SearchBatchWorkers' -benchmem -benchtime=1x . > "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'ShardedInsert' -benchmem -benchtime=100x . >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'ShardedSearchBatch' -benchmem -benchtime=30x . >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \

@@ -34,6 +34,11 @@ func (a *autoIndex) Search(q []float32, k int, _ SearchParams, st *Stats) []lina
 	return a.inner.Search(q, k, SearchParams{Ef: autoEf}, st)
 }
 
+// SearchInto delegates with the pinned beam width, like Search.
+func (a *autoIndex) SearchInto(q []float32, k int, _ SearchParams, st *Stats, top *linalg.TopK) {
+	a.inner.SearchInto(q, k, SearchParams{Ef: autoEf}, st, top)
+}
+
 // SearchBatch honors only the batch fan-out width; like Search, the
 // per-query beam is pinned to the AUTOINDEX default.
 func (a *autoIndex) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

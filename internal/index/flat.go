@@ -50,9 +50,9 @@ func (f *flat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 	return searchPooled(f, q, k, p, st)
 }
 
-func (f *flat) searchWith(q []float32, k int, _ SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (f *flat) searchWith(q []float32, k int, _ SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if f.store == nil || f.store.Rows() == 0 || k < 1 {
-		return nil
+		return dst
 	}
 	n := f.store.Rows()
 	s.dists = f32Buf(s.dists, n)
@@ -62,7 +62,28 @@ func (f *flat) searchWith(q []float32, k int, _ SearchParams, st *Stats, s *sear
 		top.Push(f.ids[i], d)
 	}
 	accumulate(st, Stats{DistComps: int64(n)})
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+// SearchInto offers every stored row directly to the collector: the
+// exhaustive scan needs no private top-k stage, so a capacity->=k collector
+// sees exactly the rows Search would rank, in the same (storage) order.
+func (f *flat) SearchInto(q []float32, k int, _ SearchParams, st *Stats, top *linalg.TopK) {
+	if f.store == nil || f.store.Rows() == 0 || k < 1 {
+		return
+	}
+	s := f.scratch.get()
+	n := f.store.Rows()
+	s.dists = f32Buf(s.dists, n)
+	linalg.DistanceBlock(f.metric, q, f.store.Data(), s.dists)
+	for i, d := range s.dists {
+		top.Push(f.ids[i], d)
+	}
+	accumulate(st, Stats{DistComps: int64(n)})
+	f.scratch.put(s)
 }
 
 func (f *flat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
@@ -104,4 +125,23 @@ func ScanStore(m linalg.Metric, q []float32, store *linalg.Matrix, ids []int64, 
 	out := top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
 	scanPool.put(s)
 	return out
+}
+
+// ScanStoreInto is the collector-feeding variant of ScanStore: it pushes
+// every row of the arena into the caller-owned top and reuses dists as the
+// distance buffer (returned grown to the high-water mark). The engine's
+// scatter-gather path scans growing and sealing tails with it, so a shard
+// probe allocates nothing.
+func ScanStoreInto(m linalg.Metric, q []float32, store *linalg.Matrix, ids []int64, top *linalg.TopK, dists []float32, st *Stats) []float32 {
+	if store == nil || store.Rows() == 0 {
+		return dists
+	}
+	n := store.Rows()
+	dists = f32Buf(dists, n)
+	linalg.DistanceBlock(m, q, store.Data(), dists)
+	for i, d := range dists {
+		top.Push(ids[i], d)
+	}
+	accumulate(st, Stats{DistComps: int64(n)})
+	return dists
 }

@@ -436,9 +436,9 @@ func (h *hnsw) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Ne
 	return searchPooled(h, q, k, p, st)
 }
 
-func (h *hnsw) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (h *hnsw) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if h.store == nil || h.store.Rows() == 0 || k < 1 || h.entry < 0 {
-		return nil
+		return dst
 	}
 	ef := p.Ef
 	if ef < k {
@@ -471,7 +471,14 @@ func (h *hnsw) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sear
 		top.Push(h.ids[c.ID], c.Dist)
 	}
 	accumulate(st, work)
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+func (h *hnsw) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	searchIntoPooled(h, q, k, p, st, top)
 }
 
 func (h *hnsw) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -180,6 +180,14 @@ type Index interface {
 	// Search returns up to k nearest neighbors of q, accumulating the
 	// work performed into st (which may be nil).
 	Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor
+	// SearchInto offers the candidates Search(q, k, p, st) would return to
+	// the caller-owned collector instead of materializing a result slice
+	// (exhaustive indexes may offer every stored row). For a collector of
+	// capacity >= k the surviving set is exactly Search's result set, with
+	// the same first-offered-wins tie handling; the call performs no heap
+	// allocation at steady state. The engine's scatter-gather path uses it
+	// to merge per-segment and per-shard probes without per-probe slices.
+	SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK)
 	// SearchBatch answers queries[i] into result slot i, fanning the
 	// batch across p.Workers goroutines (built indexes are immutable, so
 	// concurrent probes are safe). Per-query work is accumulated into

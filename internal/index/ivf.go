@@ -249,9 +249,9 @@ func (x *ivfFlat) Search(q []float32, k int, p SearchParams, st *Stats) []linalg
 	return searchPooled(x, q, k, p, st)
 }
 
-func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if x.store == nil || x.store.Rows() == 0 || k < 1 {
-		return nil
+		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
 	data := x.store.Data()
@@ -271,7 +271,14 @@ func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *s
 		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{DistComps: scanned})
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+func (x *ivfFlat) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	searchIntoPooled(x, q, k, p, st, top)
 }
 
 func (x *ivfFlat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

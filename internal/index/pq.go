@@ -119,9 +119,9 @@ func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.N
 	return searchPooled(x, q, k, p, st)
 }
 
-func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
-		return nil
+		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
 
@@ -165,7 +165,14 @@ func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 		candidates += int64(hi - lo)
 	}
 	accumulate(st, Stats{Lookups: candidates * int64(m)})
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+func (x *ivfPQ) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	searchIntoPooled(x, q, k, p, st, top)
 }
 
 func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -58,9 +58,9 @@ func (x *scann) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.N
 	return searchPooled(x, q, k, p, st)
 }
 
-func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
-		return nil
+		return dst
 	}
 	reorder := p.ReorderK
 	if reorder < k {
@@ -90,7 +90,14 @@ func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 		top.Push(x.ids[g], linalg.Distance(x.coarse.metric, q, x.store.Row(g)))
 	}
 	accumulate(st, Stats{DistComps: int64(len(s.neighbors))})
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+func (x *scann) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	searchIntoPooled(x, q, k, p, st, top)
 }
 
 func (x *scann) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -42,6 +42,10 @@ type searchScratch struct {
 	probeD []float32
 	// neighbors is a transient neighbor buffer (SCANN stage-1 results).
 	neighbors []linalg.Neighbor
+	// res is the reusable result buffer of SearchInto: the probe's top-k
+	// lands here before being offered to the caller's collector, so the
+	// scatter-gather path materializes no per-probe slices.
+	res []linalg.Neighbor
 }
 
 // hnswCand is one beam-search candidate: a node and its distance to the
@@ -102,11 +106,13 @@ func (sp *scratchPool) get() *searchScratch {
 func (sp *scratchPool) put(s *searchScratch) { sp.p.Put(s) }
 
 // searcher is the scratch-aware face every index implements: searchWith is
-// Search with all transient state drawn from s.
+// Search with all transient state drawn from s and the result appended to
+// dst (which may be nil; the caller-visible slice of Search is exactly one
+// append onto a nil dst).
 type searcher interface {
 	Index
 	pool() *scratchPool
-	searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor
+	searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor
 }
 
 // searchPooled implements Index.Search on top of searchWith: check a
@@ -114,9 +120,23 @@ type searcher interface {
 func searchPooled(x searcher, q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
 	sp := x.pool()
 	s := sp.get()
-	res := x.searchWith(q, k, p, st, s)
+	res := x.searchWith(q, k, p, st, s, nil)
 	sp.put(s)
 	return res
+}
+
+// searchIntoPooled implements Index.SearchInto on top of searchWith: the
+// probe's top-k lands in the scratch's reusable result buffer and is
+// offered to the caller-owned collector, so a steady-state probe performs
+// no heap allocations at all.
+func searchIntoPooled(x searcher, q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	sp := x.pool()
+	s := sp.get()
+	s.res = x.searchWith(q, k, p, st, s, s.res[:0])
+	for _, n := range s.res {
+		top.Push(n.ID, n.Dist)
+	}
+	sp.put(s)
 }
 
 // searchBatch is the shared SearchBatch implementation: every index type's
@@ -140,7 +160,7 @@ func searchBatch(x searcher, queries [][]float32, k int, p SearchParams, st *Sta
 			s = sp.get()
 			scratches[w] = s
 		}
-		out[qi] = x.searchWith(queries[qi], k, p, &per[qi], s)
+		out[qi] = x.searchWith(queries[qi], k, p, &per[qi], s, nil)
 	})
 	for _, s := range scratches {
 		if s != nil {

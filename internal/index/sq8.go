@@ -172,9 +172,9 @@ func (x *ivfSQ8) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.
 	return searchPooled(x, q, k, p, st)
 }
 
-func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch) []linalg.Neighbor {
+func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	if len(x.codes) == 0 || k < 1 {
-		return nil
+		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
 	dim := x.coarse.dim
@@ -188,7 +188,14 @@ func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *se
 		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{CodeComps: scanned})
-	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+	if dst == nil {
+		dst = make([]linalg.Neighbor, 0, top.Len())
+	}
+	return top.AppendResults(dst)
+}
+
+func (x *ivfSQ8) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
+	searchIntoPooled(x, q, k, p, st, top)
 }
 
 func (x *ivfSQ8) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -71,14 +71,15 @@ func TestAllocGatePersistentSearch(t *testing.T) {
 	}
 }
 
-// TestAllocGateShardedSearch is the sharding alloc gate: the per-segment
-// index query path stays at ≤1 allocation per query (gated in
-// internal/index — scratch pools are per index and unaffected by
-// sharding), so a sharded Search may cost at most the per-shard engine
-// work times the shard count plus a small fixed router constant (the
-// per-query list table and one cross-shard merge). Anything growing with
-// the corpus — a per-candidate allocation smuggled into the scatter-
-// gather path — blows the budget.
+// TestAllocGateShardedSearch is the sharding alloc gate: shard probes run
+// over pooled probe scratches and feed a pooled result grid, and every
+// segment offers its candidates straight into the shard-level collector
+// (SearchInto), so a sharded Search costs the allocations of the
+// single-shard Search plus a small fixed router constant — independent of
+// the shard count. Anything proportional to shards (per-shard result
+// lists, per-merge tables) or to the corpus blows the budget. Parallelism
+// is pinned to 1 so worker-goroutine spawns don't pollute the counts; the
+// fan-out machinery is the same code either way.
 func TestAllocGateShardedSearch(t *testing.T) {
 	strict := os.Getenv("ALLOC_GATE_STRICT") != ""
 	if raceEnabled {
@@ -87,7 +88,7 @@ func TestAllocGateShardedSearch(t *testing.T) {
 		}
 		t.Skip("allocation counts are meaningless under -race")
 	}
-	const dim, n, k, shards = 16, 800, 10, 4
+	const dim, n, k, queries = 16, 800, 10, 32
 	mk := func(shardCount int) *Collection {
 		cfg := DefaultConfig()
 		cfg.IndexType = index.HNSW
@@ -105,12 +106,9 @@ func TestAllocGateShardedSearch(t *testing.T) {
 		}
 		return c
 	}
-	single := mk(1)
-	defer single.Close()
-	sharded := mk(shards)
-	defer sharded.Close()
 	q := randVecs(1, dim, 104)[0]
-	measure := func(c *Collection) float64 {
+	qs := randVecs(queries, dim, 105)
+	measureSearch := func(c *Collection) float64 {
 		for i := 0; i < 10; i++ {
 			if _, err := c.Search(q, k, nil); err != nil {
 				t.Fatal(err)
@@ -122,15 +120,36 @@ func TestAllocGateShardedSearch(t *testing.T) {
 			}
 		})
 	}
-	singleAllocs := measure(single)
-	shardedAllocs := measure(sharded)
-	// Budget: each shard runs the same pooled engine path the single-shard
-	// collection does (its per-query constant, independent of corpus
-	// size), and the router adds one list table plus one MergeNeighbors
-	// (TopK + dedup map + result slice — a fixed handful).
-	budget := float64(shards)*(singleAllocs+2) + 8
-	if shardedAllocs > budget {
-		t.Fatalf("sharded Search allocates %.1f/op (single-shard %.1f/op), budget %.0f: sharding leaked allocations into the query path",
-			shardedAllocs, singleAllocs, budget)
+	measureBatch := func(c *Collection) float64 {
+		for i := 0; i < 10; i++ {
+			if _, err := c.SearchBatch(qs, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := c.SearchBatch(qs, k, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	single := mk(1)
+	defer single.Close()
+	singleSearch := measureSearch(single)
+	singleBatch := measureBatch(single)
+	for _, shards := range []int{4, 8} {
+		sharded := mk(shards)
+		shardedSearch := measureSearch(sharded)
+		shardedBatch := measureBatch(sharded)
+		sharded.Close()
+		// Budget: the single-shard cost plus a fixed router constant.
+		// Notably NOT a function of the shard count.
+		if budget := singleSearch + 4; shardedSearch > budget {
+			t.Errorf("shards=%d Search allocates %.1f/op (single-shard %.1f/op), budget %.0f: sharding leaked allocations into the query path",
+				shards, shardedSearch, singleSearch, budget)
+		}
+		if budget := singleBatch + 8; shardedBatch > budget {
+			t.Errorf("shards=%d SearchBatch allocates %.1f/op (single-shard %.1f/op), budget %.0f: sharding leaked allocations into the batch path",
+				shards, shardedBatch, singleBatch, budget)
+		}
 	}
 }

@@ -2,6 +2,8 @@ package vdms
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"vdtuner/internal/index"
@@ -23,11 +25,12 @@ import (
 //   - ids are assigned by one collection-wide atomic counter and routed to
 //     shardFor(id), a fixed hash — the same id lands on the same shard in
 //     every run and after every recovery;
-//   - Search/SearchBatch fan out over all shards and merge the per-shard
-//     top-k lists in fixed shard order with linalg.MergeNeighbors, so
-//     results are bit-identical for any worker count; with ShardCount=1
-//     the router delegates straight to its single shard, which is
-//     bit-identical to the pre-sharding engine;
+//   - Search/SearchBatch scatter per-shard probes over the deterministic
+//     worker pool (a query × shard grid for batches) and merge the
+//     per-shard top-k lists in fixed shard order from a pooled result
+//     grid, so results are bit-identical for any worker count; with
+//     ShardCount=1 the router delegates straight to its single shard,
+//     which is bit-identical to the pre-sharding engine;
 //   - each shard's parallel phases are themselves deterministic (see
 //     package parallel), so a fixed op sequence yields fixed results.
 //
@@ -48,6 +51,12 @@ type Collection struct {
 	closed atomic.Bool
 	// dataDir is the durable data directory ("" for memory-only).
 	dataDir string
+	// gatherPool recycles scatter-gather working sets (per-worker probe
+	// scratches, the query×shard result grid); insertPool the routed
+	// Insert's partition state. Both keep the steady-state hot paths
+	// allocation-free; see scratch.go.
+	gatherPool sync.Pool
+	insertPool sync.Pool
 }
 
 // sealRowsFor derives the rows-per-segment seal threshold from the
@@ -149,38 +158,40 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 		return ids, nil
 	}
 	// Partition the batch: per-shard id/vector sub-slices in batch order
-	// (ascending ids within each shard). Two passes — count, then fill
-	// exactly sized sub-slices — so the routing hash runs once per row
-	// and nothing reallocates.
-	owner := make([]uint8, n)
-	counts := make([]int, len(c.shards))
+	// (ascending ids within each shard), carved out of pooled flat arenas
+	// — count, prefix-sum, then fill — so the routing hash runs once per
+	// row and the partition allocates nothing at steady state. Shards
+	// copy rows into their own arenas, so nothing here outlives the call.
+	is := c.getInsert(n, len(c.shards))
 	for i, id := range ids {
 		s := c.shardFor(id)
-		owner[i] = uint8(s)
-		counts[s]++
+		is.owner[i] = uint8(s)
+		is.counts[s]++
 	}
-	parts := make([][]int64, len(c.shards))
-	partVecs := make([][][]float32, len(c.shards))
-	for s, cnt := range counts {
-		if cnt > 0 {
-			parts[s] = make([]int64, 0, cnt)
-			partVecs[s] = make([][]float32, 0, cnt)
-		}
+	off := 0
+	for s, cnt := range is.counts {
+		is.offs[s] = off
+		is.cur[s] = off
+		off += cnt
 	}
 	for i, id := range ids {
-		s := owner[i]
-		parts[s] = append(parts[s], id)
-		partVecs[s] = append(partVecs[s], vecs[i])
+		s := is.owner[i]
+		is.idsBuf[is.cur[s]] = id
+		is.vecsBuf[is.cur[s]] = vecs[i]
+		is.cur[s]++
+	}
+	for s, cnt := range is.counts {
+		is.parts[s] = is.idsBuf[is.offs[s] : is.offs[s]+cnt]
+		is.partVecs[s] = is.vecsBuf[is.offs[s] : is.offs[s]+cnt]
 	}
 	start := 0
 	if n > 0 {
 		start = int(uint64(base) % uint64(len(c.shards)))
 	}
-	touched := make([]int, 0, len(c.shards))
-	for off := 0; off < len(c.shards); off++ {
-		si := (start + off) % len(c.shards)
-		if len(parts[si]) > 0 {
-			touched = append(touched, si)
+	for o := 0; o < len(c.shards); o++ {
+		si := (start + o) % len(c.shards)
+		if len(is.parts[si]) > 0 {
+			is.touched = append(is.touched, si)
 		}
 	}
 	// Every touched shard is applied even if an earlier one fails — the
@@ -192,19 +203,21 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 	// time, not shard-count of them. Memory-only inserts stay on the
 	// calling goroutine — their per-shard work is a short arena copy, not
 	// worth a fan-out.
-	errs := make([]error, len(touched))
+	errs := is.errs[:len(is.touched)]
 	dispatch := func(i int) {
-		si := touched[i]
-		errs[i] = c.shards[si].insert(parts[si], partVecs[si])
+		si := is.touched[i]
+		errs[i] = c.shards[si].insert(is.parts[si], is.partVecs[si])
 	}
-	if c.dataDir != "" && len(touched) > 1 {
-		parallel.Parallel(len(touched), len(touched), dispatch)
+	if c.dataDir != "" && len(is.touched) > 1 {
+		parallel.Parallel(len(is.touched), len(is.touched), dispatch)
 	} else {
-		for i := range touched {
+		for i := range is.touched {
 			dispatch(i)
 		}
 	}
-	if err := firstError(errs); err != nil {
+	err := firstError(errs)
+	c.putInsert(is)
+	if err != nil {
 		return nil, err
 	}
 	return ids, nil
@@ -254,23 +267,67 @@ func (c *Collection) runlockAll() {
 	}
 }
 
-// searchShardsLocked answers one already-normalized query: each shard
-// contributes its top-k (over-fetched past its own tombstones, filtered,
-// truncated — see shard.searchLocked), and the per-shard lists are merged
-// in fixed shard order. Ids are partitioned across shards, so the merge
-// is a pure k-way selection; fixed order makes boundary ties
-// deterministic. With one shard the router adds nothing — the shard's
-// list is the result, bit-identical to the pre-sharding engine. Callers
-// hold every shard's read lock.
-func (c *Collection) searchShardsLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
-	if len(c.shards) == 1 {
-		return c.shards[0].searchLocked(qq, m, k, st)
+// readWorkers sizes the scatter-gather fan-out: the configured queryNode
+// parallelism, clamped to the machine (running more probe workers than
+// GOMAXPROCS only adds scheduling overhead, never throughput). The pool
+// further clamps to the number of grid cells. Results are identical for
+// any value — determinism comes from fixed-order merging, not scheduling.
+func (c *Collection) readWorkers() int {
+	w := c.cfg.Parallelism
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
 	}
-	lists := make([][]linalg.Neighbor, len(c.shards))
-	for i, s := range c.shards {
-		lists[i] = s.searchLocked(qq, m, k, st)
+	return w
+}
+
+// mergeShardRow merges one query's row of the result grid — its per-shard
+// top-k cells — in fixed shard order into a fresh caller-visible slice.
+// Ids are partitioned across shards, so the merge is a pure k-way
+// selection (no dedup needed); fixed order makes boundary ties
+// deterministic regardless of which worker probed which shard when.
+func mergeShardRow(g *gatherScratch, mt *linalg.TopK, qi, q, s, k int) []linalg.Neighbor {
+	top := mt.Reset(k)
+	for si := 0; si < s; si++ {
+		cell := si*q + qi
+		base := cell * k
+		for _, nb := range g.cells[base : base+int(g.cellLen[cell])] {
+			top.Push(nb.ID, nb.Dist)
+		}
 	}
-	return linalg.MergeNeighbors(k, lists...)
+	return top.AppendResults(make([]linalg.Neighbor, 0, top.Len()))
+}
+
+// searchOneLocked answers one already-normalized query: the per-shard
+// probes scatter over the worker pool (each shard's top-k lands in its
+// grid cell) and the cells merge in fixed shard order. With one shard the
+// router adds nothing — the shard's list is copied out as the result,
+// bit-identical to the pre-sharding engine. Callers hold every shard's
+// read lock.
+func (c *Collection) searchOneLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
+	s := len(c.shards)
+	if s == 1 {
+		g := c.getGather(1, 1, k, 1)
+		res := c.shards[0].searchLocked(qq, m, k, st, &g.probes[0])
+		out := make([]linalg.Neighbor, len(res))
+		copy(out, res)
+		c.putGather(g)
+		return out
+	}
+	workers := parallel.WorkerCount(c.readWorkers(), s)
+	g := c.getGather(1, s, k, workers)
+	parallel.WorkerParallel(workers, s, func(w, si int) {
+		res := c.shards[si].searchLocked(qq, m, k, &g.stats[si], &g.probes[w])
+		base := si * k
+		g.cellLen[si] = int32(copy(g.cells[base:base+k], res))
+	})
+	out := mergeShardRow(g, &g.probes[0].top, 0, 1, s, k)
+	if st != nil {
+		for i := range g.stats {
+			st.Add(g.stats[i])
+		}
+	}
+	c.putGather(g)
+	return out
 }
 
 // normalizeQuery prepares a query for the metric: angular queries are
@@ -301,16 +358,24 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	}
 	c.rlockAll()
 	defer c.runlockAll()
-	return c.searchShardsLocked(qq, m, k, st), nil
+	return c.searchOneLocked(qq, m, k, st), nil
 }
 
-// SearchBatch answers queries[i] into result slot i, fanning the batch
-// across a worker pool sized by the configured queryNode parallelism. The
-// whole batch executes under every shard's read lock (acquired in fixed
+// SearchBatch answers queries[i] into result slot i, scattering the
+// (query × shard) probe grid across a worker pool sized by the configured
+// queryNode parallelism — both axes feed the same worker budget, so a
+// single query on many shards and many queries on one shard parallelize
+// equally well. Cells are claimed in shard-major order (every query
+// probes shard 0, then every query shard 1, …), which keeps one shard's
+// smaller segment data cache-resident across the whole batch. The merge
+// pipelines behind the probes: the worker that finishes a query's last
+// shard merges that query's row of the grid immediately, in fixed shard
+// order, so results are bit-identical for any worker count. The whole
+// batch executes under every shard's read lock (acquired in fixed
 // order), so it observes a single consistent snapshot of every shard's
 // segment lifecycle even while concurrent Insert/Delete/Flush calls are
-// queued. Per-query work is accumulated into private Stats and merged
-// into st in query order (exact, since the counts are integers).
+// queued. Per-probe work is accumulated into private per-cell Stats and
+// merged into st in cell order (exact, since the counts are integers).
 func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([][]linalg.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
@@ -339,15 +404,37 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 	if len(qs) == 0 {
 		return out, nil
 	}
-	per := make([]index.Stats, len(qs))
-	parallel.Parallel(c.cfg.Parallelism, len(qs), func(qi int) {
-		out[qi] = c.searchShardsLocked(qs[qi], m, k, &per[qi])
+	q, s := len(qs), len(c.shards)
+	cells := q * s
+	workers := parallel.WorkerCount(c.readWorkers(), cells)
+	g := c.getGather(q, s, k, workers)
+	parallel.WorkerParallel(workers, cells, func(w, cell int) {
+		si, qi := cell/q, cell%q // shard-major: all queries probe si in a run
+		ps := &g.probes[w]
+		res := c.shards[si].searchLocked(qs[qi], m, k, &g.stats[cell], ps)
+		if s == 1 {
+			buf := make([]linalg.Neighbor, len(res))
+			copy(buf, res)
+			out[qi] = buf
+			return
+		}
+		base := cell * k
+		g.cellLen[cell] = int32(copy(g.cells[base:base+k], res))
+		if g.pending[qi].Add(-1) != 0 {
+			return
+		}
+		// Last probe in: this query's row is complete, merge it now. The
+		// atomic counter orders the merge after every contributing cell
+		// write, and fixed shard order keeps the result independent of
+		// which worker got here.
+		out[qi] = mergeShardRow(g, &ps.top, qi, q, s, k)
 	})
 	if st != nil {
-		for i := range per {
-			st.Add(per[i])
+		for i := range g.stats {
+			st.Add(g.stats[i])
 		}
 	}
+	c.putGather(g)
 	return out, nil
 }
 

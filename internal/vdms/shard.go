@@ -335,27 +335,34 @@ func (s *shard) sealPartial() {
 
 // searchLocked answers one already-normalized query against the current
 // segment states: indexed sealed segments, in-flight sealing segments
-// (scanned exactly), and the growing tail. Callers hold s.mu (read side
-// suffices): the method only reads shard state, so any number of
-// goroutines holding the same read lock may call it concurrently — that
-// is how SearchBatch fans out.
-func (s *shard) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
+// (scanned exactly), and the growing tail. Every segment offers its
+// candidates straight into one shard-level top-k collector (SearchInto /
+// ScanStoreInto) in fixed segment order — sealed by seq, then sealing,
+// then growing — so no per-segment list is materialized and the merge is
+// the collector itself. Ids are disjoint across segments (an id lives in
+// exactly one), so the collected set equals a deduplicating merge of
+// per-segment lists. The returned slice aliases ps.out: consume it before
+// reusing ps. Callers hold s.mu (read side suffices): the method only
+// reads shard state, so any number of goroutines holding the same read
+// lock may call it concurrently — that is how SearchBatch fans out.
+func (s *shard) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Stats, ps *probeScratch) []linalg.Neighbor {
 	// Over-fetch to survive tombstone filtering: deleted ids may occupy
 	// top slots inside immutable sealed segments. The margin is this
 	// shard's live tombstone count — dead rows still physically present
 	// and awaiting compaction — not the all-time delete count.
 	fetch := k + len(s.tombstones)
-	lists := make([][]linalg.Neighbor, 0, len(s.sealed)+len(s.sealing)+1)
+	top := ps.top.Reset(fetch)
 	for _, seg := range s.sealed {
-		lists = append(lists, seg.idx.Search(qq, fetch, s.cfg.Search, st))
+		seg.idx.SearchInto(qq, fetch, s.cfg.Search, st, top)
 	}
 	for _, seg := range s.sealing {
-		lists = append(lists, index.ScanStore(m, qq, seg.store, seg.ids, fetch, st))
+		ps.dists = index.ScanStoreInto(m, qq, seg.store, seg.ids, top, ps.dists, st)
 	}
 	if s.growingRowsLocked() > 0 {
-		lists = append(lists, index.ScanStore(m, qq, s.growing, s.growingIDs, fetch, st))
+		ps.dists = index.ScanStoreInto(m, qq, s.growing, s.growingIDs, top, ps.dists, st)
 	}
-	merged := s.filterTombstones(linalg.MergeNeighbors(fetch, lists...))
+	ps.out = top.AppendResults(ps.out[:0])
+	merged := s.filterTombstones(ps.out)
 	if len(merged) > k {
 		merged = merged[:k]
 	}

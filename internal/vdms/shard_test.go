@@ -545,3 +545,169 @@ func TestShardedRoutingFixed(t *testing.T) {
 		t.Fatalf("per-shard row layout differs across identical runs: %s vs %s", a, b)
 	}
 }
+
+// TestShardedParallelFanoutMatrix is the parallel scatter-gather identity
+// matrix: shards {1,4,8} × workers {1,8} × {fresh, post-recovery} all
+// answer the same insert-only FLAT workload with byte-identical
+// SearchBatch results AND identical merged index.Stats. The workload is
+// insert-only on purpose — FLAT distance-comp counts are then a pure
+// function of the live row count (every query scans every row exactly
+// once, however the rows are partitioned), so the accounting must match
+// across shard counts too, proving no probe is skipped or double-counted
+// by the grid, the pipelined merge, or recovery.
+func TestShardedParallelFanoutMatrix(t *testing.T) {
+	const dim, n, k, batch = 8, 600, 9, 75
+	vecs := randVecs(n, dim, 61)
+	qs := randVecs(18, dim, 62)
+
+	load := func(coll *Collection) {
+		t.Helper()
+		for off := 0; off < n; off += batch {
+			if _, err := coll.Insert(vecs[off : off+batch]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := coll.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := func(coll *Collection) ([][]linalg.Neighbor, index.Stats) {
+		t.Helper()
+		var st index.Stats
+		res, err := coll.SearchBatch(qs, k, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+
+	var baseRes [][]linalg.Neighbor
+	var baseStats index.Stats
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 8} {
+			cfg := flatConfig(shards)
+			cfg.Parallelism = workers
+
+			fresh, err := NewCollection(cfg, linalg.L2, dim, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load(fresh)
+			freshRes, freshStats := query(fresh)
+			fresh.Close()
+
+			dcfg := cfg
+			dcfg.WALFsyncPolicy = 3 // always
+			dir := t.TempDir()
+			live, err := OpenDurable(dir, dcfg, linalg.L2, dim, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load(live)
+			live.Crash()
+			rec, err := OpenDurable(dir, dcfg, linalg.L2, dim, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			recRes, recStats := query(rec)
+			rec.Close()
+
+			if baseRes == nil {
+				baseRes, baseStats = freshRes, freshStats
+			}
+			leg := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			if !reflect.DeepEqual(freshRes, baseRes) {
+				t.Fatalf("%s fresh: results differ from shards=1 workers=1", leg)
+			}
+			if freshStats != baseStats {
+				t.Fatalf("%s fresh: merged stats %+v, want %+v", leg, freshStats, baseStats)
+			}
+			if !reflect.DeepEqual(recRes, baseRes) {
+				t.Fatalf("%s recovered: results differ from shards=1 workers=1", leg)
+			}
+			if recStats != baseStats {
+				t.Fatalf("%s recovered: merged stats %+v, want %+v", leg, recStats, baseStats)
+			}
+		}
+	}
+}
+
+// TestShardedSearchGridRace is the race gate for the (query × shard)
+// probe grid: batched searches run concurrently with cross-shard insert
+// and delete churn and explicit compactions, and then a Close fires while
+// searches are still in flight. Whatever interleaving wins, every
+// operation either succeeds on a consistent snapshot or fails cleanly
+// with the closed error — no panic, no hang, no torn read. Run under
+// `make race`.
+func TestShardedSearchGridRace(t *testing.T) {
+	const dim = 8
+	coll, err := NewCollection(flatConfig(4), linalg.L2, dim, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randVecs(1000, dim, 63)
+	qs := randVecs(12, dim, 64)
+	if _, err := coll.Insert(vecs[:200]); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for off := 200 + w*400; off < 200+(w+1)*400; off += 16 {
+				ids, err := coll.Insert(vecs[off : off+16])
+				if err != nil {
+					return // closed underneath us: expected
+				}
+				if off%64 == 0 {
+					if _, err := coll.Delete(ids[:4]); err != nil {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := coll.SearchBatch(qs, 6, nil); err != nil {
+					return // closed: expected
+				}
+				if _, err := coll.Search(qs[0], 3, nil); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := coll.Compact(); err != nil {
+				return
+			}
+		}
+	}()
+	// Close races the searchers and writers above.
+	if err := coll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := coll.SearchBatch(qs, 1, nil); err == nil {
+		t.Fatal("search after close succeeded")
+	}
+}
