@@ -1,14 +1,16 @@
 # Developer / CI entry points. `make ci` is the gate: vet, the full test
 # suite under the race detector (crash-matrix recovery tests included), a
 # single pass over every benchmark so the macro experiments at least
-# compile and run, the alloc-gate tests in strict mode (so the
+# compile and run, the online-reconfiguration gate (migration determinism
+# and the migration crash matrix, run explicitly so they cannot be
+# filtered out), the alloc-gate tests in strict mode (so the
 # zero-allocation query-path guarantee — with persistence enabled —
 # cannot be silently skipped), a 30s-per-target fuzz smoke pass over the
 # snapshot/WAL decoders, and a bench-json smoke pass.
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate fuzz-smoke ci
+.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate reconfig-gate fuzz-smoke ci
 
 all: build
 
@@ -59,6 +61,10 @@ bench-json:
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -benchtime=3x ./internal/vdms >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkReconfigureHot' -benchmem -benchtime=20x . >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkMigrateReshard' -benchmem -benchtime=3x . >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT) < "$$tmp"; \
 	echo "wrote $(BENCH_JSON_OUT)"
 
@@ -81,6 +87,16 @@ alloc-gate:
 		|| { echo "sharded alloc-gate test missing from ./internal/vdms"; exit 1; }
 	ALLOC_GATE_STRICT=1 $(GO) test -run 'TestAllocGate' -count=1 ./internal/index ./internal/vdms
 
+# The online-reconfiguration gate, run explicitly (not just as part of
+# the suite) so neither half can be filtered out: migration determinism —
+# post-migration state bit-identical to a fresh build at the target
+# configuration, hot swaps and reshards under churn — and the migration
+# crash matrix — a kill injected at every protocol step recovers to
+# exactly the old or the new generation, never a mix.
+reconfig-gate:
+	$(GO) test -run 'TestReconfigure|TestHotSwap|TestMigrate' -count=1 ./internal/vdms
+	$(GO) test -run 'TestMigrationCrashMatrix' -count=1 ./internal/persist/crashtest
+
 # Native fuzzing smoke pass over the persistence decoders: 30 seconds per
 # target proving hostile snapshot/WAL bytes never panic or OOM — recovery
 # either succeeds or returns a typed persist.CorruptError.
@@ -88,4 +104,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 30s ./internal/persist
 	$(GO) test -run '^$$' -fuzz 'FuzzSnapshotDecode' -fuzztime 30s ./internal/persist
 
-ci: vet race bench alloc-gate fuzz-smoke bench-json-smoke
+ci: vet race bench reconfig-gate alloc-gate fuzz-smoke bench-json-smoke

@@ -6,9 +6,18 @@
 // independently locked shards by id hash, searches scatter-gather across
 // all of them deterministically, and with -data-dir every shard keeps its
 // own write-ahead log and snapshots under <data-dir>/shard-<i>, described
-// by a versioned manifest. A data directory is bound to the shard count
-// it was created with; reopening it with a different -shards value is
-// refused.
+// by a versioned, generation-stamped manifest. A data directory is bound
+// to the shard count it was created with; reopening it with a different
+// -shards value is refused — open it at its recorded count and reshard
+// online through the "reconfigure" op instead.
+//
+// The running engine is reconfigurable without restart: the "reconfigure"
+// op (server.Client.Reconfigure) applies a full configuration — hot knobs
+// swap atomically, cold knobs (index type/build parameters, segment
+// sizing, shard count) migrate in the background while the engine keeps
+// serving. With -tune the daemon closes the loop itself: it windows the
+// queries it serves, re-tunes when the workload drifts, and applies each
+// winner through the same path (hot knobs only unless -tune-cold).
 //
 // With -data-dir the collection is durable: every insert/delete is
 // write-ahead logged under the configured -fsync policy, the per-shard
@@ -28,6 +37,8 @@
 //	      [-compact-ratio 0.2] [-compact-fanin 4] [-compact-workers 2]
 //	      [-data-dir /var/lib/vdms] [-fsync always|batch|never]
 //	      [-wal-group 64]
+//	      [-tune] [-tune-interval 30s] [-tune-window 256]
+//	      [-tune-iters 20] [-tune-cold]
 //
 // Clients: see internal/server.Client, e.g.
 //
@@ -41,10 +52,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
+	"vdtuner/internal/core"
 	"vdtuner/internal/index"
 	"vdtuner/internal/linalg"
+	"vdtuner/internal/online"
 	"vdtuner/internal/persist"
 	"vdtuner/internal/server"
 	"vdtuner/internal/vdms"
@@ -71,31 +86,35 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for durable persistence (empty = memory-only)")
 	fsyncName := flag.String("fsync", "", "WAL fsync policy: never, batch, always (empty = engine default, batch)")
 	walGroup := flag.Int("wal-group", 0, "group-commit batch size under the batch policy, [1, 1024] (0 = engine default)")
+	tune := flag.Bool("tune", false, "run the in-process tuning daemon: window served queries, re-tune on drift, apply winners online")
+	tuneInterval := flag.Duration("tune-interval", 30*time.Second, "how often the tuning daemon checks the query window")
+	tuneWindow := flag.Int("tune-window", 256, "minimum served queries per tuning window")
+	tuneIters := flag.Int("tune-iters", 20, "cold-start tuning budget (re-tunes use half)")
+	tuneCold := flag.Bool("tune-cold", false, "let the tuning daemon apply cold knobs too (index type, segment sizing, shard count — triggers online migrations)")
 	flag.Parse()
 
 	// Validate every flag before building anything: a typo'd knob should
 	// be a crisp usage error, not a half-started collection (or a silently
-	// absurd segment model).
+	// absurd segment model). Knobs that live in the engine configuration
+	// are checked by the engine's own validator below — the same
+	// vdms.ValidateConfig that guards Reconfigure and bounds the tuner's
+	// search space — so the CLI can never accept a value the engine would
+	// refuse (or vice versa).
 	if *dim <= 0 {
 		usageError("-dim must be positive, got %d", *dim)
 	}
 	if *expectedRows <= 0 {
 		usageError("-expected-rows must be positive, got %d", *expectedRows)
 	}
-	if *shards < 1 || *shards > 16 {
-		usageError("-shards %d outside [1, 16]", *shards)
+	if *tune && (*tuneWindow <= 0 || *tuneIters <= 0 || *tuneInterval <= 0) {
+		usageError("-tune-window, -tune-iters and -tune-interval must be positive")
 	}
-	if *compactRatio != 0 && (*compactRatio < 0.05 || *compactRatio > 0.95) {
-		usageError("-compact-ratio %v outside [0.05, 0.95]", *compactRatio)
-	}
-	if *compactFanIn != 0 && (*compactFanIn < 2 || *compactFanIn > 16) {
-		usageError("-compact-fanin %d outside [2, 16]", *compactFanIn)
-	}
-	if *compactWorkers != 0 && (*compactWorkers < 1 || *compactWorkers > 16) {
-		usageError("-compact-workers %d outside [1, 16]", *compactWorkers)
-	}
-	if *walGroup != 0 && (*walGroup < 1 || *walGroup > 1024) {
-		usageError("-wal-group %d outside [1, 1024]", *walGroup)
+	// ValidateConfig treats a zero shard count as "engine default", but on
+	// the command line zero is a typo, not a request for the default — the
+	// flag's own default is already 1. The range still comes from the
+	// shared table.
+	if r := vdms.SystemKnobRanges["shard_count"]; float64(*shards) < r.Min || float64(*shards) > r.Max {
+		usageError("-shards %d outside [%v, %v]", *shards, r.Min, r.Max)
 	}
 	var metric linalg.Metric
 	switch *metricName {
@@ -135,6 +154,9 @@ func main() {
 	if *walGroup != 0 {
 		cfg.WALGroupCommit = *walGroup
 	}
+	if err := vdms.ValidateConfig(cfg); err != nil {
+		usageError("%v", err)
+	}
 
 	// Register the shutdown handler before anything is externally
 	// visible: a SIGTERM arriving right after the listening line must hit
@@ -165,6 +187,56 @@ func main() {
 	fmt.Printf("vdmsd listening on %s (dim=%d, metric=%s, index=%v, shards=%d)\n",
 		srv.Addr(), *dim, metric, typ, *shards)
 
+	// The tuning daemon: every -tune-interval, drain the window of queries
+	// the server just served; once it holds enough, tune against a live
+	// sample of the corpus and push the winner into the engine through the
+	// same Reconfigure path a client would use.
+	tuneDone := make(chan struct{})
+	var tuneWG sync.WaitGroup
+	if *tune {
+		srv.EnableQueryLog(4 * *tuneWindow)
+		daemon := online.NewDaemon(coll, online.DaemonOptions{
+			Manager: online.ManagerOptions{
+				Tuning:       core.Options{Seed: 1},
+				InitialIters: *tuneIters,
+			},
+			ApplyColdChanges: *tuneCold,
+		})
+		fmt.Printf("tuning daemon watching query windows (interval=%s, window>=%d, cold=%v)\n",
+			*tuneInterval, *tuneWindow, *tuneCold)
+		tuneWG.Add(1)
+		go func() {
+			defer tuneWG.Done()
+			ticker := time.NewTicker(*tuneInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-tuneDone:
+					return
+				case <-ticker.C:
+				}
+				qs := srv.TakeQueries()
+				if len(qs) < *tuneWindow {
+					continue
+				}
+				rep, err := daemon.ObserveWindow(qs)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tuner: %v\n", err)
+					continue
+				}
+				if rep.Applied {
+					kind := "hot swap"
+					if rep.Migrated {
+						kind = "migration"
+					}
+					fmt.Printf("tuner applied generation %d via %s (drift=%.3f retuned=%v, recall=%.3f qps=%.0f)\n",
+						rep.Generation, kind, rep.Window.DriftScore, rep.Window.Retuned,
+						rep.Window.Result.Recall, rep.Window.Result.QPS)
+				}
+			}
+		}()
+	}
+
 	// Graceful shutdown on SIGTERM as well as interrupt: stop accepting,
 	// then Close the collection — which waits out builds and compactions
 	// and, when durable, syncs every shard's WAL and writes final
@@ -173,6 +245,8 @@ func main() {
 	// durable, which recovery replays on the next start.
 	<-sig
 	fmt.Println("shutting down")
+	close(tuneDone)
+	tuneWG.Wait()
 	code := 0
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

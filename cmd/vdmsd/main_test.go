@@ -230,3 +230,91 @@ func TestDaemonGracefulShutdown(t *testing.T) {
 		t.Fatalf("graceful shutdown lost data: %+v", hits)
 	}
 }
+
+// TestDaemonOnlineReshard: a data directory created at one shard count is
+// resharded through the wire ("reconfigure" op) instead of at open. After
+// a graceful restart the directory opens at the NEW count — and is
+// refused at the old one, proving the generation actually committed.
+func TestDaemonOnlineReshard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and restarts a real daemon")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	base := []string{"-data-dir", dir, "-fsync", "always", "-index", "FLAT", "-metric", "l2", "-dim", "4", "-expected-rows", "1000"}
+
+	d := startDaemon(t, bin, append([]string{"-shards", "1"}, base...)...)
+	cl := dialDaemon(t, d.addr)
+	var vecs [][]float32
+	for i := 0; i < 40; i++ {
+		vecs = append(vecs, []float32{float32(i), float32(i % 7), float32(i % 3), 1})
+	}
+	ids, err := cl.Insert(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, gen, err := cl.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("fresh daemon at generation %d", gen)
+	}
+	target := *cfg
+	target.ShardCount = 4
+	gen, err = cl.Reconfigure(target)
+	if err != nil {
+		t.Fatalf("online reshard failed: %v", err)
+	}
+	if gen != 1 {
+		t.Fatalf("reshard produced generation %d, want 1", gen)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardCount != 4 || st.Rows != int64(len(vecs)) {
+		t.Fatalf("after reshard: %d shards, %d rows", st.ShardCount, st.Rows)
+	}
+	cl.Close()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, d)
+
+	// The old shard count no longer matches the directory.
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-shards", "1"}, base...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("restart at the pre-reshard count succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "Reconfigure") {
+		t.Fatalf("mismatch error does not point at online resharding: %q", out)
+	}
+
+	// The new one does, and every row survived the reshard + restart.
+	d2 := startDaemon(t, bin, append([]string{"-shards", "4"}, base...)...)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM)
+		waitExit(t, d2)
+	}()
+	cl2 := dialDaemon(t, d2.addr)
+	defer cl2.Close()
+	st2, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Rows != int64(len(vecs)) {
+		t.Fatalf("restart after reshard holds %d rows, want %d", st2.Rows, len(vecs))
+	}
+	for i := 0; i < len(vecs); i += 8 {
+		hits, err := cl2.Search(vecs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 || hits[0].ID != ids[i] || hits[0].Dist != 0 {
+			t.Fatalf("row %d lost across reshard: %+v", ids[i], hits)
+		}
+	}
+}

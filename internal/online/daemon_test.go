@@ -1,0 +1,131 @@
+package online
+
+import (
+	"testing"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/vdms"
+)
+
+// liveCollection builds a small live engine holding one window's corpus.
+func liveCollection(t *testing.T) (*vdms.Collection, vdms.Config) {
+	t.Helper()
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = index.Flat
+	cfg.ShardCount = 2
+	cfg.Parallelism = 2
+	ds := window(t, "daemon-corpus", 8, 0.4, 41)
+	c, err := vdms.NewCollection(cfg, linalg.L2, ds.Dim, len(ds.Vectors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ds.Vectors); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return c, cfg
+}
+
+func TestDaemonClosesTheLoop(t *testing.T) {
+	coll, base := liveCollection(t)
+	defer coll.Close()
+	d := NewDaemon(coll, DaemonOptions{
+		Manager: ManagerOptions{
+			Tuning:       core.Options{Seed: 9, Candidates: 32, MCSamples: 8},
+			InitialIters: 10,
+			RetuneIters:  6,
+		},
+		SampleSize: 400,
+		K:          5,
+	})
+
+	// Window 1: cold start must tune and push a configuration into the
+	// engine as a hot swap — cold knobs stay the engine's own.
+	w1 := window(t, "daemon-w1", 8, 0.4, 42)
+	rep1, err := d.ObserveWindow(w1.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Applied {
+		t.Fatal("cold start did not apply a configuration")
+	}
+	if rep1.Migrated {
+		t.Fatal("cold-knob migration applied with ApplyColdChanges=false")
+	}
+	if rep1.Window.Result.Failed {
+		t.Fatalf("deployed config failed on its window: %s", rep1.Window.Result.FailReason)
+	}
+	active := coll.Config()
+	if active.IndexType != base.IndexType || active.ShardCount != base.ShardCount ||
+		active.SegmentMaxSize != base.SegmentMaxSize {
+		t.Fatalf("hot application changed cold knobs: %+v", active)
+	}
+	best, ok := d.Best()
+	if !ok {
+		t.Fatal("no deployed configuration after cold start")
+	}
+	if active.Search != best.Search {
+		t.Fatalf("engine search knobs %+v, tuner deployed %+v", active.Search, best.Search)
+	}
+	gen1 := coll.Stats().ConfigGeneration
+	if gen1 == 0 || rep1.Generation != gen1 {
+		t.Fatalf("generation after cold start: stats %d, report %d", gen1, rep1.Generation)
+	}
+
+	// Window 2: same distribution (same generator seed, as in the
+	// manager's stability test) — no drift, no re-tune, no new apply.
+	w2 := window(t, "daemon-w2", 8, 0.4, 42)
+	rep2, err := d.ObserveWindow(w2.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Window.Retuned || rep2.Applied {
+		t.Fatalf("stable window re-applied: %+v", rep2)
+	}
+	if got := coll.Stats().ConfigGeneration; got != gen1 {
+		t.Fatalf("stable window advanced the generation: %d -> %d", gen1, got)
+	}
+
+	// Window 3: a very different distribution — drift triggers a warm
+	// re-tune; any new winner reaches the engine.
+	w3 := window(t, "daemon-w3", 32, 1.5, 97)
+	rep3, err := d.ObserveWindow(w3.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Window.Retuned || d.Retunes() != 1 {
+		t.Fatalf("drifted window did not re-tune: %+v", rep3)
+	}
+	if rep3.Migrated {
+		t.Fatal("re-tune migrated cold knobs with ApplyColdChanges=false")
+	}
+	if rep3.Applied {
+		if got := coll.Stats().ConfigGeneration; got <= gen1 {
+			t.Fatalf("applied re-tune left generation at %d", got)
+		}
+	}
+	// The engine must still serve after everything the daemon did.
+	if _, err := coll.SearchBatch(w3.Queries[:4], 5, nil); err != nil {
+		t.Fatalf("engine unusable after daemon loop: %v", err)
+	}
+}
+
+func TestDaemonRequiresData(t *testing.T) {
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = index.Flat
+	coll, err := vdms.NewCollection(cfg, linalg.L2, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	d := NewDaemon(coll, DaemonOptions{Manager: ManagerOptions{
+		Tuning: core.Options{Seed: 1, Candidates: 16, MCSamples: 4}, InitialIters: 4,
+	}})
+	if _, err := d.ObserveWindow([][]float32{{0, 0, 0, 0, 0, 0, 0, 1}}); err == nil {
+		t.Fatal("daemon tuned against an empty collection")
+	}
+}

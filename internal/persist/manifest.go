@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"vdtuner/internal/linalg"
 )
@@ -12,21 +14,36 @@ import (
 // The collection manifest. A sharded data directory is laid out as
 //
 //	dir/
-//	  MANIFEST            this file: shard count, dimension, metric
-//	  shard-0/            snapshot + WAL of shard 0 (see package doc)
+//	  MANIFEST            this file: generation, shard count, dim, metric
+//	  shard-0/            snapshot + WAL of shard 0 (generation 0 layout)
 //	  shard-1/            ...
+//	  gen-1/shard-0/      snapshot + WAL of shard 0 after one migration
+//	  gen-1/shard-1/      ...
 //
 // Each shard directory is an independent snapshot+WAL pair — shards
 // checkpoint, rotate, and recover without coordinating — and the manifest
 // is the one piece of collection-level state: the structural parameters
-// that decide which shard owns which id. It is written once, when the
-// directory is created, and never rewritten; recovery cross-checks it
-// against the opening configuration, because opening with a different
-// shard count would silently re-route ids (and a different dim/metric
-// would silently change results).
+// that decide which shard owns which id, plus the config generation that
+// decides which layout directory is current.
+//
+// Generations exist for online reconfiguration: changing a structural
+// knob (shard count, index shape, segment sizing) rewrites the layout.
+// The migrated layout is built in a sibling generation directory
+// (gen-<G+1>/shard-<i>) next to the live one, and the migration commits
+// by atomically renaming a new MANIFEST over the old — the same
+// temp+fsync+rename discipline snapshots use — so a crash at any point
+// leaves the directory recoverable as exactly the old or exactly the new
+// generation, never a mix. Generation directories not named by the
+// current manifest are abandoned migrations; openers remove them.
+//
+// Generation 0 is special-cased for compatibility: its shard directories
+// live at the top level (the pre-reconfiguration layout), so directories
+// created before manifests carried generations open unchanged.
 
-// ManifestVersion is the current manifest schema version.
-const ManifestVersion = 1
+// ManifestVersion is the current manifest schema version. Version 1
+// (pre-reconfiguration, implicitly generation 0) is still accepted on
+// load.
+const ManifestVersion = 2
 
 // ManifestName is the manifest's file name within a data directory.
 const ManifestName = "MANIFEST"
@@ -37,16 +54,39 @@ type Manifest struct {
 	Shards  int           `json:"shards"`
 	Dim     int           `json:"dim"`
 	Metric  linalg.Metric `json:"metric"`
+	// Generation is the config generation the directory currently holds.
+	// Generation 0 keeps its shard directories at the top level; every
+	// later generation keeps them under gen-<Generation>/. It advances by
+	// one per committed migration (see package vdms, Reconfigure).
+	Generation uint64 `json:"generation,omitempty"`
 }
 
-// ShardDir returns shard i's subdirectory within a data directory.
+// ShardDir returns shard i's subdirectory within a generation-0 data
+// directory (the pre-reconfiguration layout).
 func ShardDir(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 }
 
+// GenDir returns the layout directory of generation gen within dir: dir
+// itself for generation 0, gen-<gen> for later generations.
+func GenDir(dir string, gen uint64) string {
+	if gen == 0 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("gen-%d", gen))
+}
+
+// ShardDir returns shard i's directory under the manifest's current
+// generation within data directory dir.
+func (m *Manifest) ShardDir(dir string, i int) string {
+	return filepath.Join(GenDir(dir, m.Generation), fmt.Sprintf("shard-%d", i))
+}
+
 // WriteManifest atomically persists m into dir: temp file, fsync, rename,
 // directory fsync — the same discipline snapshots use, so a crash leaves
-// either no manifest or a complete one.
+// either no manifest or a complete one. It is also the commit point of a
+// layout migration: the rename atomically switches the directory from one
+// generation to the next.
 func WriteManifest(dir string, m *Manifest) error {
 	if m.Version == 0 {
 		m.Version = ManifestVersion
@@ -98,13 +138,59 @@ func LoadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "undecodable manifest: %v", err)
 	}
-	if m.Version != ManifestVersion {
+	// Version 1 manifests predate generations: they are generation 0 by
+	// construction (shard dirs at the top level).
+	if m.Version != ManifestVersion && m.Version != 1 {
 		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "unsupported manifest version %d", m.Version)
+	}
+	if m.Version == 1 && m.Generation != 0 {
+		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "version-1 manifest declares generation %d", m.Generation)
 	}
 	if m.Shards < 1 || m.Dim <= 0 {
 		return nil, corruptf(filepath.Join(dir, ManifestName), 0, "manifest declares %d shards, dim %d", m.Shards, m.Dim)
 	}
 	return &m, nil
+}
+
+// RemoveStaleGenerations deletes generation directories other than the
+// manifest's current one: the debris of a migration that crashed before
+// its commit rename (or after it, before cleanup finished). Openers call
+// it after loading the manifest; failures are surfaced but cost only
+// disk, never durability, so callers may treat them as best-effort.
+func RemoveStaleGenerations(dir string, m *Manifest) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !strings.HasPrefix(name, "gen-") {
+			continue
+		}
+		gen, err := strconv.ParseUint(name[len("gen-"):], 10, 64)
+		if err != nil || gen == m.Generation {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Top-level shard dirs are generation 0's layout; once the current
+	// generation has moved past 0 they are stale the same way.
+	if m.Generation != 0 {
+		for _, e := range ents {
+			if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+				if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
 }
 
 // HasLegacyLayout reports whether dir holds pre-sharding persistence state:

@@ -326,18 +326,21 @@ func (w *WAL) AppendCompactCommit(newSeq int64, sources, liveIDs, dropped []int6
 // Commit makes the record at lsn (and everything before it) as durable as
 // the policy promises: SyncAlways waits for an fsync covering lsn (group-
 // committed), SyncBatch fsyncs only when enough records have accumulated,
-// SyncNever returns immediately.
+// SyncNever returns immediately. The policy is read under the lock so a
+// concurrent SetPolicy is observed either wholly before or wholly after
+// this commit.
 func (w *WAL) Commit(lsn uint64) error {
-	switch w.policy {
+	w.mu.Lock()
+	policy := w.policy
+	// Count records since the last fsync by LSN, not by buffered
+	// records: the 1MB buffer auto-flush hands bytes to the OS
+	// without syncing, and must not reset the group-commit clock.
+	due := w.nextLSN-1-w.syncedLSN >= uint64(w.group)
+	w.mu.Unlock()
+	switch policy {
 	case SyncAlways:
 		return w.syncTo(lsn)
 	case SyncBatch:
-		w.mu.Lock()
-		// Count records since the last fsync by LSN, not by buffered
-		// records: the 1MB buffer auto-flush hands bytes to the OS
-		// without syncing, and must not reset the group-commit clock.
-		due := w.nextLSN-1-w.syncedLSN >= uint64(w.group)
-		w.mu.Unlock()
 		if due {
 			return w.syncTo(lsn)
 		}
@@ -345,6 +348,17 @@ func (w *WAL) Commit(lsn uint64) error {
 	default:
 		return nil
 	}
+}
+
+// SetPolicy switches the fsync policy and group-commit batch of an open
+// log. The change applies to the next Commit; records already buffered
+// keep accumulating toward the new group size. It exists for online
+// reconfiguration — durability knobs are hot, the log never rewrites.
+func (w *WAL) SetPolicy(p SyncPolicy, groupCommit int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.policy = Options{Policy: p}.policy()
+	w.group = Options{GroupCommit: groupCommit}.groupCommit()
 }
 
 // Sync forces every appended record to disk regardless of policy.

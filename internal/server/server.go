@@ -5,7 +5,12 @@
 // exercised over a real network path.
 //
 // Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
-// "compact", "persist", "stats". The "searchBatch" op answers a whole
+// "compact", "persist", "stats", "reconfigure", "config". The
+// "reconfigure" op applies a full vdms.Config to the live collection
+// through its online reconfiguration path — hot-knob changes swap
+// atomically, cold-knob changes run a background migration — and answers
+// with the new config generation; "config" reads back the active
+// configuration and generation. The "searchBatch" op answers a whole
 // query batch in one round trip; the server fans it across the
 // collection's configured queryNode parallelism under every shard's read
 // lock (acquired in fixed order), so the batch observes one consistent
@@ -52,6 +57,8 @@ type Request struct {
 	Queries [][]float32 `json:"queries,omitempty"`
 	// IDs carries the ids for "delete".
 	IDs []int64 `json:"ids,omitempty"`
+	// Config carries the target configuration for "reconfigure".
+	Config *vdms.Config `json:"config,omitempty"`
 }
 
 // Neighbor is one search hit on the wire.
@@ -71,6 +78,11 @@ type Response struct {
 	Stats   *vdms.CollectionStats `json:"stats,omitempty"`
 	// Deleted is the number of ids newly tombstoned by "delete".
 	Deleted int `json:"deleted,omitempty"`
+	// Config answers a "config" request with the active configuration.
+	Config *vdms.Config `json:"config,omitempty"`
+	// Generation is the config generation after "reconfigure" (or the
+	// active one for "config").
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // Server exposes one collection over TCP.
@@ -82,6 +94,70 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// qlog is the bounded window of recently served queries, recorded
+	// when EnableQueryLog was called; the in-process tuning daemon drains
+	// it to observe the live workload.
+	qmu   sync.Mutex
+	qlog  [][]float32
+	qcap  int
+	qhead int
+	qfull bool
+}
+
+// EnableQueryLog starts recording served search queries into a bounded
+// ring of the given capacity (the newest capacity queries are kept). The
+// tuning daemon drains the ring with TakeQueries; recording references
+// the decoded query slices, which the server never reuses, so it costs no
+// copies on the serving path.
+func (s *Server) EnableQueryLog(capacity int) {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	s.qmu.Lock()
+	s.qlog = make([][]float32, 0, capacity)
+	s.qcap = capacity
+	s.qhead = 0
+	s.qfull = false
+	s.qmu.Unlock()
+}
+
+// recordQueries appends served queries to the ring, if enabled.
+func (s *Server) recordQueries(qs ...[]float32) {
+	s.qmu.Lock()
+	if s.qcap > 0 {
+		for _, q := range qs {
+			if len(s.qlog) < s.qcap {
+				s.qlog = append(s.qlog, q)
+			} else {
+				s.qlog[s.qhead] = q
+				s.qhead = (s.qhead + 1) % s.qcap
+				s.qfull = true
+			}
+		}
+	}
+	s.qmu.Unlock()
+}
+
+// TakeQueries drains and returns the recorded query window (oldest
+// first). It returns nil when the log is disabled or empty.
+func (s *Server) TakeQueries() [][]float32 {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if len(s.qlog) == 0 {
+		return nil
+	}
+	out := make([][]float32, 0, len(s.qlog))
+	if s.qfull {
+		out = append(out, s.qlog[s.qhead:]...)
+		out = append(out, s.qlog[:s.qhead]...)
+	} else {
+		out = append(out, s.qlog...)
+	}
+	s.qlog = s.qlog[:0]
+	s.qhead = 0
+	s.qfull = false
+	return out
 }
 
 // New starts a server for coll listening on addr (e.g. "127.0.0.1:0").
@@ -193,6 +269,7 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}
+		s.recordQueries(req.Query)
 		out := make([]Neighbor, len(res))
 		for i, n := range res {
 			out[i] = Neighbor{ID: n.ID, Dist: n.Dist}
@@ -207,6 +284,7 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}
+		s.recordQueries(req.Queries...)
 		batches := make([][]Neighbor, len(res))
 		for i, list := range res {
 			batches[i] = make([]Neighbor, len(list))
@@ -239,6 +317,18 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 	case "stats":
 		st := s.coll.Stats()
 		return &Response{OK: true, Stats: &st}
+	case "reconfigure":
+		if req.Config == nil {
+			return &Response{Error: "reconfigure: missing config"}
+		}
+		gen, err := s.coll.Reconfigure(*req.Config)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Generation: gen}
+	case "config":
+		cfg := s.coll.Config()
+		return &Response{OK: true, Config: &cfg, Generation: s.coll.Stats().ConfigGeneration}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -364,4 +454,26 @@ func (c *Client) Stats() (*vdms.CollectionStats, error) {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// Reconfigure applies cfg to the server's collection online and returns
+// the new config generation. Hot-knob changes swap atomically; cold-knob
+// changes (index type or build parameters, segment sizing, shard count)
+// run a background migration — the call returns when the new shape
+// serves, with reads and writes admitted throughout.
+func (c *Client) Reconfigure(cfg vdms.Config) (uint64, error) {
+	resp, err := c.call(&Request{Op: "reconfigure", Config: &cfg})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Generation, nil
+}
+
+// Config fetches the collection's active configuration and generation.
+func (c *Client) Config() (*vdms.Config, uint64, error) {
+	resp, err := c.call(&Request{Op: "config"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Config, resp.Generation, nil
 }

@@ -419,3 +419,109 @@ func TestCompactOverWire(t *testing.T) {
 		t.Fatalf("post-compact search returned %+v, want top id %d", res, ids[300])
 	}
 }
+
+func TestReconfigureOverWire(t *testing.T) {
+	srv, cl := startServer(t)
+	if _, err := cl.Insert(vecsFor(300, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read back the active configuration; generation starts at 0.
+	cfg, gen, err := cl.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("fresh collection at generation %d", gen)
+	}
+	if cfg.IndexType != index.IVFFlat || cfg.Search.NProbe != 8 {
+		t.Fatalf("config read back wrong: %+v", cfg)
+	}
+
+	// Hot swap over the wire.
+	hot := *cfg
+	hot.Search.NProbe = 2
+	gen, err = cl.Reconfigure(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("hot swap produced generation %d, want 1", gen)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConfigGeneration != 1 || st.IndexType != index.IVFFlat || st.ShardCount != 1 || st.MigrationInProgress {
+		t.Fatalf("stats after hot swap: %+v", st)
+	}
+
+	// Cold change: a reshard plus index-type migration, all over the wire.
+	cold := hot
+	cold.IndexType = index.Flat
+	cold.Build = index.BuildParams{}
+	cold.ShardCount = 3
+	gen, err = cl.Reconfigure(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("migration produced generation %d, want 2", gen)
+	}
+	st, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConfigGeneration != 2 || st.IndexType != index.Flat || st.ShardCount != 3 {
+		t.Fatalf("stats after migration: %+v", st)
+	}
+	if st.Rows != 300 {
+		t.Fatalf("migration lost rows: %d", st.Rows)
+	}
+	// The migrated engine still serves.
+	res, err := cl.Search(vecsFor(1, 10)[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("post-migration search returned %d hits", len(res))
+	}
+
+	// Out-of-range configurations are refused with the shared validator.
+	bad := *cfg
+	bad.Parallelism = 999
+	if _, err := cl.Reconfigure(bad); err == nil {
+		t.Fatal("out-of-range config accepted over the wire")
+	}
+
+	// The query log window records served queries for the tuning loop.
+	srv.EnableQueryLog(8)
+	qs := vecsFor(12, 11)
+	for _, q := range qs[:4] {
+		if _, err := cl.Search(q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.SearchBatch(qs[4:], 3); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.TakeQueries()
+	if len(got) != 8 {
+		t.Fatalf("query window holds %d queries, want capacity 8", len(got))
+	}
+	// Newest-8 of the 12 served: qs[4:12].
+	for i, q := range got {
+		want := qs[4+i]
+		for j := range q {
+			if q[j] != want[j] {
+				t.Fatalf("query window entry %d mismatches served query", i)
+			}
+		}
+	}
+	if srv.TakeQueries() != nil {
+		t.Fatal("drained window not empty")
+	}
+}

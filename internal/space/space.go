@@ -81,6 +81,18 @@ type Def struct {
 	Owners  []index.Type
 }
 
+// sys builds a system-parameter Def whose bounds come from the engine's
+// own validation table (vdms.SystemKnobRanges), so the space the tuner
+// explores and the range Reconfigure accepts can never drift apart: any
+// decoded configuration is valid by construction.
+func sys(p Param, name string, integer bool, def float64) Def {
+	r, ok := vdms.SystemKnobRanges[name]
+	if !ok {
+		panic(fmt.Sprintf("space: no engine range for system knob %q", name))
+	}
+	return Def{p, name, r.Min, r.Max, integer, def, nil}
+}
+
 var defs = [NumParams]Def{
 	NList:          {NList, "nlist", 16, 1024, true, 128, []index.Type{index.IVFFlat, index.IVFSQ8, index.IVFPQ, index.SCANN}},
 	NProbe:         {NProbe, "nprobe", 1, 256, true, 16, []index.Type{index.IVFFlat, index.IVFSQ8, index.IVFPQ, index.SCANN}},
@@ -90,22 +102,22 @@ var defs = [NumParams]Def{
 	EfConstruction: {EfConstruction, "efConstruction", 8, 512, true, 128, []index.Type{index.HNSW}},
 	Ef:             {Ef, "ef", 8, 512, true, 64, []index.Type{index.HNSW}},
 	ReorderK:       {ReorderK, "reorder_k", 10, 500, true, 100, []index.Type{index.SCANN}},
-	SegmentMaxSize: {SegmentMaxSize, "segment_maxSize", 100, 2048, true, 512, nil},
-	SealProportion: {SealProportion, "segment_sealProportion", 0.05, 1, false, 0.25, nil},
-	GracefulTime:   {GracefulTime, "gracefulTime", 0, 5000, false, 1000, nil},
-	InsertBufSize:  {InsertBufSize, "insertBufSize", 64, 2048, true, 256, nil},
-	Parallelism:    {Parallelism, "queryNode_parallelism", 1, 32, true, 4, nil},
-	CacheRatio:     {CacheRatio, "queryNode_cacheRatio", 0.05, 1, false, 0.3, nil},
-	FlushInterval:  {FlushInterval, "flushInterval", 1, 120, false, 10, nil},
+	SegmentMaxSize: sys(SegmentMaxSize, "segment_maxSize", true, 512),
+	SealProportion: sys(SealProportion, "segment_sealProportion", false, 0.25),
+	GracefulTime:   sys(GracefulTime, "gracefulTime", false, 1000),
+	InsertBufSize:  sys(InsertBufSize, "insertBufSize", true, 256),
+	Parallelism:    sys(Parallelism, "queryNode_parallelism", true, 4),
+	CacheRatio:     sys(CacheRatio, "queryNode_cacheRatio", false, 0.3),
+	FlushInterval:  sys(FlushInterval, "flushInterval", false, 10),
 
-	CompactionTriggerRatio: {CompactionTriggerRatio, "compaction_triggerRatio", 0.05, 0.95, false, 0.2, nil},
-	CompactionMergeFanIn:   {CompactionMergeFanIn, "compaction_mergeFanIn", 2, 16, true, 4, nil},
-	CompactionParallelism:  {CompactionParallelism, "compaction_parallelism", 1, 16, true, 2, nil},
+	CompactionTriggerRatio: sys(CompactionTriggerRatio, "compaction_triggerRatio", false, 0.2),
+	CompactionMergeFanIn:   sys(CompactionMergeFanIn, "compaction_mergeFanIn", true, 4),
+	CompactionParallelism:  sys(CompactionParallelism, "compaction_parallelism", true, 2),
 
-	WALFsyncPolicy: {WALFsyncPolicy, "wal_fsyncPolicy", 1, 3, true, 2, nil},
-	WALGroupCommit: {WALGroupCommit, "wal_groupCommit", 1, 1024, true, 64, nil},
+	WALFsyncPolicy: sys(WALFsyncPolicy, "wal_fsyncPolicy", true, 2),
+	WALGroupCommit: sys(WALGroupCommit, "wal_groupCommit", true, 64),
 
-	ShardCount: {ShardCount, "shard_count", 1, 16, true, 1, nil},
+	ShardCount: sys(ShardCount, "shard_count", true, 1),
 }
 
 // Lookup returns the definition of p.

@@ -53,8 +53,9 @@ type compactInput struct {
 // s.mu. The plan depends only on the sealed-segment state (seq-ordered)
 // and the tombstone set, so it is deterministic for a given call sequence.
 func (s *shard) planCompactionLocked() []compactTask {
-	trigger := s.cfg.compactionTriggerRatio()
-	fanIn := s.cfg.compactionMergeFanIn()
+	cfg := s.config()
+	trigger := cfg.compactionTriggerRatio()
+	fanIn := cfg.compactionMergeFanIn()
 	var tasks []compactTask
 	rewriting := make(map[*sealedSegment]bool)
 	// (a) rewrite tombstone-heavy segments.
@@ -175,7 +176,7 @@ func (s *shard) compactPass() {
 			s.mu.Unlock()
 			return
 		}
-		cfg := s.cfg
+		cfg := *s.config()
 		metric, dim := s.metric, s.dim
 		inputs := make([]compactInput, len(plan))
 		seqs := make([]int64, len(plan))
@@ -306,6 +307,8 @@ func (c *Collection) Compact() error {
 	if c.closed.Load() {
 		return fmt.Errorf("vdms: collection closed")
 	}
+	c.router.RLock()
+	defer c.router.RUnlock()
 	for _, s := range c.shards {
 		s.mu.Lock()
 		if s.closed {

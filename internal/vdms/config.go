@@ -140,57 +140,125 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors. Values outside the documented
-// ranges are errors rather than silently clamped: the tuner's encoder is
-// responsible for staying in range, and out-of-range values here indicate
-// a bug.
-func (c *Config) Validate() error {
-	if c.SegmentMaxSize < 100 || c.SegmentMaxSize > 2048 {
-		return fmt.Errorf("vdms: segment_maxSize %v outside [100, 2048]", c.SegmentMaxSize)
+// KnobRange is the documented [Min, Max] range of one system knob.
+type KnobRange struct {
+	Min, Max float64
+	// ZeroDefault marks knobs that accept zero as "use the engine
+	// default" (knobs added after configurations were first recorded).
+	ZeroDefault bool
+}
+
+// SystemKnobRanges is the single source of truth for the system knobs'
+// documented ranges, keyed by their Milvus-style names. ValidateConfig
+// enforces it, the tuner's space definitions (internal/space) derive
+// their bounds from it, and vdmsd validates its flags through it — one
+// table instead of three restatements.
+var SystemKnobRanges = map[string]KnobRange{
+	"segment_maxSize":         {Min: 100, Max: 2048},
+	"segment_sealProportion":  {Min: 0.05, Max: 1},
+	"gracefulTime":            {Min: 0, Max: 5000},
+	"insertBufSize":           {Min: 64, Max: 2048},
+	"queryNode_parallelism":   {Min: 1, Max: 32},
+	"queryNode_cacheRatio":    {Min: 0.05, Max: 1},
+	"flushInterval":           {Min: 1, Max: 120},
+	"compaction_triggerRatio": {Min: 0.05, Max: 0.95, ZeroDefault: true},
+	"compaction_mergeFanIn":   {Min: 2, Max: 16, ZeroDefault: true},
+	"compaction_parallelism":  {Min: 1, Max: 16, ZeroDefault: true},
+	"wal_fsyncPolicy":         {Min: 1, Max: 3, ZeroDefault: true},
+	"wal_groupCommit":         {Min: 1, Max: 1024, ZeroDefault: true},
+	"shard_count":             {Min: 1, Max: 16, ZeroDefault: true},
+}
+
+// checkKnob validates one knob value against the shared range table.
+func checkKnob(name string, v float64) error {
+	r, ok := SystemKnobRanges[name]
+	if !ok {
+		return fmt.Errorf("vdms: unknown knob %q", name)
 	}
-	if c.SealProportion < 0.05 || c.SealProportion > 1 {
-		return fmt.Errorf("vdms: segment_sealProportion %v outside [0.05, 1]", c.SealProportion)
+	if r.ZeroDefault && v == 0 {
+		return nil
 	}
-	if c.GracefulTime < 0 || c.GracefulTime > 5000 {
-		return fmt.Errorf("vdms: gracefulTime %v outside [0, 5000]", c.GracefulTime)
-	}
-	if c.InsertBufSize < 64 || c.InsertBufSize > 2048 {
-		return fmt.Errorf("vdms: insertBufSize %v outside [64, 2048]", c.InsertBufSize)
-	}
-	if c.Parallelism < 1 || c.Parallelism > 32 {
-		return fmt.Errorf("vdms: parallelism %v outside [1, 32]", c.Parallelism)
-	}
-	if c.CacheRatio < 0.05 || c.CacheRatio > 1 {
-		return fmt.Errorf("vdms: cacheRatio %v outside [0.05, 1]", c.CacheRatio)
-	}
-	if c.FlushInterval < 1 || c.FlushInterval > 120 {
-		return fmt.Errorf("vdms: flushInterval %v outside [1, 120]", c.FlushInterval)
-	}
-	// Compaction knobs accept zero ("use default") for compatibility with
-	// configurations recorded before the compactor existed.
-	if c.CompactionTriggerRatio != 0 && (c.CompactionTriggerRatio < 0.05 || c.CompactionTriggerRatio > 0.95) {
-		return fmt.Errorf("vdms: compaction_triggerRatio %v outside [0.05, 0.95]", c.CompactionTriggerRatio)
-	}
-	if c.CompactionMergeFanIn != 0 && (c.CompactionMergeFanIn < 2 || c.CompactionMergeFanIn > 16) {
-		return fmt.Errorf("vdms: compaction_mergeFanIn %v outside [2, 16]", c.CompactionMergeFanIn)
-	}
-	if c.CompactionParallelism != 0 && (c.CompactionParallelism < 1 || c.CompactionParallelism > 16) {
-		return fmt.Errorf("vdms: compaction_parallelism %v outside [1, 16]", c.CompactionParallelism)
-	}
-	// WAL knobs accept zero ("use default") for compatibility with
-	// configurations recorded before durability existed.
-	if c.WALFsyncPolicy != 0 && (c.WALFsyncPolicy < 1 || c.WALFsyncPolicy > 3) {
-		return fmt.Errorf("vdms: wal_fsyncPolicy %v outside [1, 3]", c.WALFsyncPolicy)
-	}
-	if c.WALGroupCommit != 0 && (c.WALGroupCommit < 1 || c.WALGroupCommit > 1024) {
-		return fmt.Errorf("vdms: wal_groupCommit %v outside [1, 1024]", c.WALGroupCommit)
-	}
-	// The shard count accepts zero ("use default") for compatibility with
-	// configurations recorded before the live engine was sharded.
-	if c.ShardCount != 0 && (c.ShardCount < 1 || c.ShardCount > 16) {
-		return fmt.Errorf("vdms: shard_count %v outside [1, 16]", c.ShardCount)
+	if v < r.Min || v > r.Max {
+		return fmt.Errorf("vdms: %s %v outside [%v, %v]", name, v, r.Min, r.Max)
 	}
 	return nil
+}
+
+// ValidateConfig reports configuration errors. Values outside the
+// documented ranges are errors rather than silently clamped: the tuner's
+// encoder is responsible for staying in range, and out-of-range values
+// here indicate a bug. It is the one range check shared by NewCollection,
+// Reconfigure, the tuner, and vdmsd's flag validation.
+func ValidateConfig(c Config) error {
+	for _, k := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"segment_maxSize", c.SegmentMaxSize},
+		{"segment_sealProportion", c.SealProportion},
+		{"gracefulTime", c.GracefulTime},
+		{"insertBufSize", c.InsertBufSize},
+		{"queryNode_parallelism", float64(c.Parallelism)},
+		{"queryNode_cacheRatio", c.CacheRatio},
+		{"flushInterval", c.FlushInterval},
+		// Knobs below accept zero ("use default") for compatibility with
+		// configurations recorded before the corresponding subsystem
+		// (compactor, durability, sharding) existed.
+		{"compaction_triggerRatio", c.CompactionTriggerRatio},
+		{"compaction_mergeFanIn", float64(c.CompactionMergeFanIn)},
+		{"compaction_parallelism", float64(c.CompactionParallelism)},
+		{"wal_fsyncPolicy", float64(c.WALFsyncPolicy)},
+		{"wal_groupCommit", float64(c.WALGroupCommit)},
+		{"shard_count", float64(c.ShardCount)},
+	} {
+		if err := checkKnob(k.name, k.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate reports configuration errors; see ValidateConfig.
+func (c *Config) Validate() error { return ValidateConfig(*c) }
+
+// Hot and cold knobs. A live Collection can change configuration without
+// downtime (Reconfigure); knobs split by what the change costs:
+//
+//   - hot knobs take effect by publishing a new immutable config
+//     generation that shards read at operation start — search parameters
+//     (nprobe/ef/reorder_k), gracefulTime, the WAL fsync policy and
+//     group-commit batch, the compaction trigger/fan-in/parallelism,
+//     queryNode parallelism, cache ratio, flush interval, and insert
+//     buffer size;
+//   - cold knobs define the shape of the data on disk and in memory —
+//     the index type and its build parameters, segment sizing
+//     (segment_maxSize, sealProportion), and the shard count — and take
+//     effect via a background migration that rebuilds the shard set and
+//     cuts over under the router lock.
+//
+// coldEqual reports whether two configurations agree on every cold knob
+// (a pure hot swap suffices when they do). Comparisons resolve
+// zero-means-default knobs first.
+func coldEqual(a, b Config) bool {
+	return a.IndexType == b.IndexType &&
+		a.Build == b.Build &&
+		a.SegmentMaxSize == b.SegmentMaxSize &&
+		a.SealProportion == b.SealProportion &&
+		a.shardCount() == b.shardCount()
+}
+
+// GraftColdKnobs returns cfg with every cold knob replaced by from's, so
+// the result differs from from only in hot knobs and Reconfigure applies
+// it as a pure swap — no migration, no rebuild. The online tuning daemon
+// uses it to confine itself to hot knobs unless cold changes were
+// explicitly allowed.
+func GraftColdKnobs(cfg, from Config) Config {
+	cfg.IndexType = from.IndexType
+	cfg.Build = from.Build
+	cfg.SegmentMaxSize = from.SegmentMaxSize
+	cfg.SealProportion = from.SealProportion
+	cfg.ShardCount = from.ShardCount
+	return cfg
 }
 
 func (c *Config) concurrency() int {

@@ -28,8 +28,28 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 	if c.closed.Load() {
 		return 0, fmt.Errorf("vdms: collection closed")
 	}
+	c.router.RLock()
+	defer c.router.RUnlock()
+	// During a migration each shard reports which ids it actually deleted
+	// (not which were requested): replaying a requested-but-not-applied
+	// delete could kill a row that a concurrent insert creates under that
+	// id later in the migration window.
+	var captured []*[]int64
+	capture := func() *[]int64 {
+		if c.delta == nil {
+			return nil
+		}
+		p := new([]int64)
+		captured = append(captured, p)
+		return p
+	}
+	defer func() {
+		for _, p := range captured {
+			c.delta.addDeletes(*p)
+		}
+	}()
 	if len(c.shards) == 1 {
-		return c.shards[0].delete(ids)
+		return c.shards[0].delete(ids, capture())
 	}
 	parts := make([][]int64, len(c.shards))
 	for _, id := range ids {
@@ -46,8 +66,12 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 	// WAL commits overlap their fsyncs; memory-only deletes stay inline.
 	counts := make([]int, len(touched))
 	errs := make([]error, len(touched))
+	caps := make([]*[]int64, len(touched))
+	for i := range touched {
+		caps[i] = capture()
+	}
 	dispatch := func(i int) {
-		counts[i], errs[i] = c.shards[touched[i]].delete(parts[touched[i]])
+		counts[i], errs[i] = c.shards[touched[i]].delete(parts[touched[i]], caps[i])
 	}
 	if c.dataDir != "" && len(touched) > 1 {
 		parallel.Parallel(len(touched), len(touched), dispatch)
@@ -65,7 +89,7 @@ func (c *Collection) Delete(ids []int64) (int, error) {
 
 // delete applies one routed batch of deletions to this shard: WAL-log,
 // tombstone/prune, maybe trigger compaction, commit.
-func (s *shard) delete(ids []int64) (int, error) {
+func (s *shard) delete(ids []int64, captured *[]int64) (int, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -77,7 +101,7 @@ func (s *shard) delete(ids []int64) (int, error) {
 			return 0, fmt.Errorf("vdms: logging delete: %w", err)
 		}
 	}
-	added := s.deleteLocked(ids)
+	added := s.deleteLocked(ids, captured)
 	if added > 0 {
 		s.maybeCompactLocked()
 	}
@@ -95,9 +119,11 @@ func (s *shard) delete(ids []int64) (int, error) {
 }
 
 // deleteLocked applies one batch of deletions and returns how many ids
-// were newly deleted. It is the shared core of delete and of WAL replay:
-// no logging, no compaction trigger. Callers hold s.mu.
-func (s *shard) deleteLocked(ids []int64) int {
+// were newly deleted; when captured is non-nil the newly deleted ids are
+// appended to it (the migration delta needs exactly those). It is the
+// shared core of delete and of WAL replay: no logging, no compaction
+// trigger. Callers hold s.mu.
+func (s *shard) deleteLocked(ids []int64, captured *[]int64) int {
 	if s.tombstones == nil {
 		s.tombstones = make(map[int64]struct{})
 	}
@@ -132,6 +158,9 @@ func (s *shard) deleteLocked(ids []int64) int {
 		s.tombstones[id] = struct{}{}
 		added++
 		s.rows--
+		if captured != nil {
+			*captured = append(*captured, id)
+		}
 		if seg != nil {
 			seg.dead++
 		}
@@ -162,6 +191,8 @@ func (s *shard) deleteLocked(ids []int64) int {
 // compaction. It is the search over-fetch margin, not the all-time delete
 // count.
 func (c *Collection) Deleted() int {
+	c.router.RLock()
+	defer c.router.RUnlock()
 	c.rlockAll()
 	defer c.runlockAll()
 	total := 0

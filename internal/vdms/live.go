@@ -38,10 +38,42 @@ import (
 // used by the tuner): it is the substrate for wall-clock measurements and
 // for the online-tuning extension.
 type Collection struct {
-	cfg    Config
+	// gen is the published config generation: the active Config plus its
+	// sequence number. Reconfigure swaps it atomically (see reconfig.go);
+	// readers load it once per operation. Each shard mirrors the pointer
+	// so shard-level code never reaches back into the router.
+	gen    atomic.Pointer[configGen]
 	metric linalg.Metric
 	dim    int
+	// expectedRows is the corpus-size hint the collection was opened with;
+	// migrations re-derive per-shard seal thresholds from it exactly the
+	// way NewCollection would at the new configuration.
+	expectedRows int
+
+	// router guards the identity of the shard set. Every public operation
+	// holds it for reading for its whole duration; a migration's capture
+	// and cutover hold it for writing, so after a cutover returns no
+	// operation can still be touching the retired shards, and every
+	// operation that ran during a migration is recorded in its delta.
+	router sync.RWMutex
 	shards []*shard
+	// delta, non-nil only while a migration is in flight, records the
+	// writes that land on the old shards between capture and cutover so
+	// the cutover can replay them onto the new shards. Written under
+	// router.RLock (plus its own mutex); swapped under router.Lock.
+	delta *migrationDelta
+
+	// reconfigMu serializes Reconfigure calls (one hot swap or migration
+	// at a time); diskGen is the durable layout's manifest generation,
+	// only touched under reconfigMu.
+	reconfigMu sync.Mutex
+	diskGen    uint64
+	// hook, when set (SetReconfigureHook), is called at each named
+	// migration step; a non-nil error aborts the migration at that point
+	// without cleanup. Crash-matrix tests use it to kill migrations
+	// mid-flight.
+	hook func(step string) error
+
 	// nextID is the collection-wide id counter. It is advanced atomically
 	// outside any shard lock, so concurrent inserts assign disjoint id
 	// runs without serializing on each other.
@@ -49,6 +81,8 @@ type Collection struct {
 	// closed gates the public API; each shard additionally carries its own
 	// flag (set first by Close) so racing inserts cannot outlive shutdown.
 	closed atomic.Bool
+	// migrating reports an in-flight migration for Stats.
+	migrating atomic.Bool
 	// dataDir is the durable data directory ("" for memory-only).
 	dataDir string
 	// gatherPool recycles scatter-gather working sets (per-worker probe
@@ -87,12 +121,26 @@ func NewCollection(cfg Config, metric linalg.Metric, dim, expectedRows int) (*Co
 	n := cfg.shardCount()
 	perShard := (expectedRows + n - 1) / n
 	sealRows := sealRowsFor(cfg, perShard)
-	c := &Collection{cfg: cfg, metric: metric, dim: dim, shards: make([]*shard, n)}
+	c := &Collection{metric: metric, dim: dim, expectedRows: expectedRows, shards: make([]*shard, n)}
+	g := &configGen{cfg: cfg}
+	c.gen.Store(g)
 	for i := range c.shards {
-		c.shards[i] = newShard(cfg, metric, dim, sealRows)
+		c.shards[i] = newShard(g, metric, dim, sealRows)
 	}
 	return c, nil
 }
+
+// Config returns the collection's active configuration (the newest
+// generation Reconfigure published).
+func (c *Collection) Config() Config {
+	return c.gen.Load().cfg
+}
+
+// Metric returns the distance metric the collection was created with.
+func (c *Collection) Metric() linalg.Metric { return c.metric }
+
+// Dim returns the collection's vector dimensionality.
+func (c *Collection) Dim() int { return c.dim }
 
 // splitmix64 is the id-routing hash: a full-avalanche finalizer, so dense
 // sequential ids spread evenly across shards while the mapping stays a
@@ -151,10 +199,13 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 	for i := range ids {
 		ids[i] = base + int64(i)
 	}
+	c.router.RLock()
+	defer c.router.RUnlock()
 	if len(c.shards) == 1 {
 		if err := c.shards[0].insert(ids, vecs); err != nil {
 			return nil, err
 		}
+		c.recordInsertDelta(ids, vecs)
 		return ids, nil
 	}
 	// Partition the batch: per-shard id/vector sub-slices in batch order
@@ -220,6 +271,7 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.recordInsertDelta(ids, vecs)
 	return ids, nil
 }
 
@@ -229,6 +281,8 @@ func (c *Collection) Insert(vecs [][]float32) ([]int64, error) {
 // of fsync policy, so everything inserted before Flush survives a crash.
 // It returns the first background error, if any.
 func (c *Collection) Flush() error {
+	c.router.RLock()
+	defer c.router.RUnlock()
 	for _, s := range c.shards {
 		s.sealPartial()
 	}
@@ -273,7 +327,7 @@ func (c *Collection) runlockAll() {
 // further clamps to the number of grid cells. Results are identical for
 // any value — determinism comes from fixed-order merging, not scheduling.
 func (c *Collection) readWorkers() int {
-	w := c.cfg.Parallelism
+	w := c.gen.Load().cfg.Parallelism
 	if max := runtime.GOMAXPROCS(0); w > max {
 		w = max
 	}
@@ -356,6 +410,8 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	if c.closed.Load() {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
+	c.router.RLock()
+	defer c.router.RUnlock()
 	c.rlockAll()
 	defer c.runlockAll()
 	return c.searchOneLocked(qq, m, k, st), nil
@@ -398,6 +454,8 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 	if c.closed.Load() {
 		return nil, fmt.Errorf("vdms: collection closed")
 	}
+	c.router.RLock()
+	defer c.router.RUnlock()
 	c.rlockAll()
 	defer c.runlockAll()
 	out := make([][]linalg.Neighbor, len(qs))
@@ -490,6 +548,19 @@ type CollectionStats struct {
 	// recently appended record, maximized over shards like
 	// LastCheckpointLSN. Zero on memory-only collections.
 	WALLastLSN uint64
+	// ConfigGeneration is the active config generation's sequence number:
+	// zero at creation, +1 per successful Reconfigure (hot swap or
+	// migration). Operators compare it against the generation a
+	// reconfigure call reported to confirm the change landed.
+	ConfigGeneration uint64
+	// IndexType and ShardCount echo the active configuration's structural
+	// knobs, so a stats reader can see what shape is serving without a
+	// separate config op.
+	IndexType  index.Type
+	ShardCount int
+	// MigrationInProgress reports an in-flight cold-knob migration
+	// (Reconfigure building the new shape in the background).
+	MigrationInProgress bool
 	// Shards is the per-shard breakdown, in shard order. Its length is the
 	// collection's shard count.
 	Shards []ShardStats
@@ -499,9 +570,18 @@ type CollectionStats struct {
 // per-shard snapshots taken under every shard's read lock (one consistent
 // cut), plus their aggregate.
 func (c *Collection) Stats() CollectionStats {
+	c.router.RLock()
+	defer c.router.RUnlock()
 	c.rlockAll()
 	defer c.runlockAll()
-	out := CollectionStats{Shards: make([]ShardStats, len(c.shards))}
+	g := c.gen.Load()
+	out := CollectionStats{
+		ConfigGeneration:    g.seq,
+		IndexType:           g.cfg.IndexType,
+		ShardCount:          len(c.shards),
+		MigrationInProgress: c.migrating.Load(),
+		Shards:              make([]ShardStats, len(c.shards)),
+	}
 	for i, s := range c.shards {
 		st := s.statsLocked()
 		out.Shards[i] = st
@@ -535,9 +615,57 @@ func (c *Collection) Stats() CollectionStats {
 // checkpoints instead of failing against the already-closed WALs.
 func (c *Collection) Close() error {
 	c.closed.Store(true)
+	// The write lock serializes Close against a migration's cutover: after
+	// it is held, either the cutover already swapped the shard set (and
+	// these are the new shards to close) or it will observe closed and
+	// abort, leaving the old shards for us.
+	c.router.Lock()
+	defer c.router.Unlock()
 	errs := make([]error, len(c.shards))
 	parallel.Parallel(len(c.shards), len(c.shards), func(i int) {
 		errs[i] = c.shards[i].close()
 	})
 	return firstError(errs)
+}
+
+// SampleVectors returns up to n of the collection's live vectors (copies,
+// in routing order), for callers that need a representative sample of the
+// stored distribution — the online tuning daemon builds its evaluation
+// window from it. Angular collections return the normalized rows the
+// engine stores.
+func (c *Collection) SampleVectors(n int) [][]float32 {
+	if n <= 0 {
+		return nil
+	}
+	c.router.RLock()
+	defer c.router.RUnlock()
+	c.rlockAll()
+	defer c.runlockAll()
+	out := make([][]float32, 0, n)
+	for _, s := range c.shards {
+		appendRows := func(store *linalg.Matrix, ids []int64) {
+			for i := range ids {
+				if len(out) >= n {
+					return
+				}
+				if _, dead := s.tombstones[ids[i]]; dead {
+					continue
+				}
+				out = append(out, linalg.Clone(store.Row(i)))
+			}
+		}
+		for _, seg := range s.sealed {
+			appendRows(seg.store, seg.ids)
+		}
+		for _, seg := range s.sealing {
+			appendRows(seg.store, seg.ids)
+		}
+		if s.growingRowsLocked() > 0 {
+			appendRows(s.growing, s.growingIDs)
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
 }

@@ -84,7 +84,7 @@ func OpenDurable(dir string, cfg Config, metric linalg.Metric, dim, expectedRows
 		}
 	}
 	if man.Shards != len(c.shards) {
-		return nil, fmt.Errorf("vdms: configuration says %d shards, directory %s was created with %d (the id routing would change)", len(c.shards), dir, man.Shards)
+		return nil, fmt.Errorf("vdms: configuration says %d shards, directory %s holds %d (the id routing would change); open at %d shards and Reconfigure to reshard online", len(c.shards), dir, man.Shards, man.Shards)
 	}
 	if man.Dim != dim {
 		return nil, fmt.Errorf("vdms: manifest dimension %d, collection opened with %d", man.Dim, dim)
@@ -92,11 +92,16 @@ func OpenDurable(dir string, cfg Config, metric linalg.Metric, dim, expectedRows
 	if man.Metric != metric {
 		return nil, fmt.Errorf("vdms: manifest metric %v, collection opened with %v", man.Metric, metric)
 	}
+	// Generation directories not named by the manifest are the debris of a
+	// migration that crashed before (or just after) its commit rename;
+	// clearing them is best-effort — they cost disk, never correctness.
+	_ = persist.RemoveStaleGenerations(dir, man)
+	c.diskGen = man.Generation
 	// Recover the shards in parallel: each replays only its own snapshot
 	// and log, so recovery wall time is the slowest shard, not the sum.
 	errs := make([]error, len(c.shards))
 	parallel.Parallel(cfg.Parallelism, len(c.shards), func(i int) {
-		errs[i] = c.shards[i].openDurable(persist.ShardDir(dir, i))
+		errs[i] = c.shards[i].openDurable(man.ShardDir(dir, i))
 	})
 	if err := firstError(errs); err != nil {
 		// Abandon whatever the other shards already opened.
@@ -147,10 +152,11 @@ func (s *shard) openDurable(sdir string) error {
 	if err != nil {
 		return err
 	}
+	cfg := s.config()
 	w, err := persist.OpenWAL(persist.Options{
 		Dir:         sdir,
-		Policy:      s.cfg.walFsyncPolicy(),
-		GroupCommit: s.cfg.walGroupCommit(),
+		Policy:      cfg.walFsyncPolicy(),
+		GroupCommit: cfg.walGroupCommit(),
 	}, nextLSN)
 	if err != nil {
 		return err
@@ -171,10 +177,11 @@ func (s *shard) restoreSnapshot(snap *persist.Snapshot) error {
 	if snap.Metric != s.metric {
 		return fmt.Errorf("vdms: snapshot metric %v, collection opened with %v", snap.Metric, s.metric)
 	}
-	if snap.IndexType != s.cfg.IndexType {
-		return fmt.Errorf("vdms: snapshot index type %v, configuration says %v", snap.IndexType, s.cfg.IndexType)
+	cfg := s.config()
+	if snap.IndexType != cfg.IndexType {
+		return fmt.Errorf("vdms: snapshot index type %v, configuration says %v", snap.IndexType, cfg.IndexType)
 	}
-	if a, b := snap.Build, s.cfg.Build; a.NList != b.NList || a.M != b.M || a.NBits != b.NBits ||
+	if a, b := snap.Build, cfg.Build; a.NList != b.NList || a.M != b.M || a.NBits != b.NBits ||
 		a.HNSWM != b.HNSWM || a.EfConstruction != b.EfConstruction || a.Seed != b.Seed {
 		return fmt.Errorf("vdms: snapshot index build parameters differ from the configuration")
 	}
@@ -228,7 +235,7 @@ func (s *shard) applyWALOp(op *persist.WALOp) error {
 			s.applyInsertRowLocked(id, op.Vectors[i*op.Dim:(i+1)*op.Dim])
 		}
 	case persist.RecDelete:
-		s.deleteLocked(op.IDs)
+		s.deleteLocked(op.IDs, nil)
 	case persist.RecFlush:
 		s.replayFlush(op.Seq)
 	case persist.RecCompactCommit:
@@ -249,7 +256,7 @@ func (s *shard) landSegment(store *linalg.Matrix, ids []int64, seq int64) {
 	if m == linalg.Angular {
 		m = linalg.L2 // inputs were normalized on insert
 	}
-	idx, err := newSegmentIndex(s.cfg, m, s.dim, seq)
+	idx, err := newSegmentIndex(*s.config(), m, s.dim, seq)
 	if err == nil {
 		err = idx.Build(store, ids)
 	}
@@ -330,7 +337,7 @@ func (s *shard) replayCompactCommit(op *persist.WALOp) error {
 		return fmt.Errorf("vdms: WAL replay: compaction commit lists %d surviving ids, sources hold %d of them", len(op.LiveIDs), len(in.ids))
 	}
 	index.SortRowsByID(in.store, in.ids)
-	seg, err := buildCompacted(s.cfg, s.metric, s.dim, in, op.Seq)
+	seg, err := buildCompacted(*s.config(), s.metric, s.dim, in, op.Seq)
 	if err != nil {
 		// Mirror the live engine: sources stay, excluded from future plans.
 		s.buildErrOnce.Do(func() { s.buildErr = err })
@@ -360,18 +367,24 @@ func (s *shard) replayCompactCommit(op *persist.WALOp) error {
 // sealing stores are immutable, so the snapshot references them directly;
 // the growing tail is mutable and gets copied. Callers hold s.mu.
 func (s *shard) snapshotLocked() *persist.Snapshot {
+	cfg := s.config()
 	snap := &persist.Snapshot{
-		CheckpointLSN:     s.wal.LastLSN(),
 		Dim:               s.dim,
 		Metric:            s.metric,
-		IndexType:         s.cfg.IndexType,
-		Build:             s.cfg.Build,
+		IndexType:         cfg.IndexType,
+		Build:             cfg.Build,
 		NextID:            s.nextID,
 		SealSeq:           s.sealSeq,
 		Rows:              s.rows,
 		CompactionPasses:  s.compactionPasses,
 		CompactedSegments: s.compactedSegments,
 		ReclaimedRows:     s.reclaimedRows,
+	}
+	// Migration snapshots are taken before the shard has a WAL: their
+	// checkpoint boundary is LSN 0 (the new log starts at 1 and replays
+	// whole).
+	if s.wal != nil {
+		snap.CheckpointLSN = s.wal.LastLSN()
 	}
 	for _, seg := range s.sealed {
 		snap.Segments = append(snap.Segments, persist.SnapSegment{Seq: seg.seq, IDs: seg.ids, Store: seg.store})
@@ -452,6 +465,8 @@ func (s *shard) checkpoint() error {
 // leaving failed shards to their next compactor-driven or explicit
 // checkpoint. On a memory-only collection it is a no-op.
 func (c *Collection) Checkpoint() error {
+	c.router.RLock()
+	defer c.router.RUnlock()
 	errs := make([]error, len(c.shards))
 	parallel.Parallel(len(c.shards), len(c.shards), func(i int) {
 		errs[i] = c.shards[i].checkpoint()
@@ -466,6 +481,8 @@ func (c *Collection) Checkpoint() error {
 // commits included) use this; durability is unaffected — only the
 // recovery replay length grows.
 func (c *Collection) DisableAutoCheckpoint() {
+	c.router.RLock()
+	defer c.router.RUnlock()
 	for _, s := range c.shards {
 		s.mu.Lock()
 		s.noAutoCkpt = true
@@ -480,6 +497,11 @@ func (c *Collection) DisableAutoCheckpoint() {
 // It exists for crash-recovery testing; production shutdown is Close.
 func (c *Collection) Crash() {
 	c.closed.Store(true)
+	// Serialized against a migration cutover the same way Close is: the
+	// cutover either already swapped the shard set or will observe closed
+	// and abort.
+	c.router.Lock()
+	defer c.router.Unlock()
 	for _, s := range c.shards {
 		s.crash()
 	}

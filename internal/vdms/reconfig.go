@@ -1,0 +1,506 @@
+package vdms
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/parallel"
+	"vdtuner/internal/persist"
+)
+
+// Online reconfiguration: applying a new Config to a live Collection
+// without downtime — the engine half of the paper's tuner→engine loop.
+//
+// Hot knobs (see config.go, coldEqual) take effect by publishing a new
+// immutable config generation: a configGen is written atomically to the
+// collection and every shard, operations load it once at their start, and
+// no lock beyond the ones they already hold is involved, so a hot swap
+// costs the search path nothing. Cold knobs — index shape, segment
+// sizing, shard count — change the physical layout, so they take effect
+// via a migration:
+//
+//  1. capture (router write lock): the tombstone-filtered (id, vector)
+//     content of every shard is captured — sealed and sealing arenas by
+//     reference (immutable), the growing tails by copy — and a delta
+//     starts recording every write that lands from here on;
+//  2. build (off every lock): the rows are fed, in ascending id order,
+//     through the new configuration's routing into a freshly built shard
+//     set. Ascending order makes each new shard see exactly the row
+//     sequence a fresh build at the new config would have seen, so seal
+//     boundaries, segment seqs, and the seq-derived index seeds — and
+//     therefore the built indexes — are bit-identical to that fresh
+//     build. Rows are appended raw: they are already canonical (angular
+//     inputs were normalized at original insert), and re-normalizing
+//     would perturb bits;
+//  3. persist (durable collections): each new shard writes a full
+//     snapshot (checkpoint LSN 0) and opens a fresh WAL under the next
+//     generation's sibling directory, gen-<G+1>/shard-<i>, leaving the
+//     live generation untouched;
+//  4. cutover (router write lock): the delta is replayed onto the new
+//     shards through the normal insert/delete paths (WAL-logged like any
+//     write), the new logs are synced, and — the commit point — the new
+//     MANIFEST is atomically renamed into place; then the shard set and
+//     config generation are swapped and the old shards retired.
+//
+// A crash anywhere before the manifest rename recovers the old
+// generation (whose WALs kept receiving every write until cutover); a
+// crash anywhere after it recovers the new one. Directories of
+// generations the manifest does not name are removed at the next open.
+
+// configGen is one immutable published configuration: the Config plus a
+// sequence number that advances on every successful Reconfigure. It is
+// shared via atomic pointers and never modified after publication.
+type configGen struct {
+	seq uint64
+	cfg Config
+}
+
+// migrationDelta records the writes that land on the old shard set
+// between a migration's capture and its cutover, for replay onto the new
+// shards. Appends happen under the collection's router read lock plus mu;
+// the cutover reads it under the router write lock, which excludes every
+// appender.
+type migrationDelta struct {
+	mu      sync.Mutex
+	batches []deltaBatch
+	deletes []int64
+}
+
+type deltaBatch struct {
+	ids  []int64
+	vecs [][]float32
+}
+
+// addInserts records one acknowledged insert batch. Vectors are copied
+// (callers may reuse their slices) in raw, pre-normalization form: the
+// replay goes through the normal insert path, which normalizes exactly
+// the way the original insert did.
+func (d *migrationDelta) addInserts(ids []int64, vecs [][]float32) {
+	cpIDs := append([]int64(nil), ids...)
+	cpVecs := make([][]float32, len(vecs))
+	for i, v := range vecs {
+		cpVecs[i] = linalg.Clone(v)
+	}
+	d.mu.Lock()
+	d.batches = append(d.batches, deltaBatch{ids: cpIDs, vecs: cpVecs})
+	d.mu.Unlock()
+}
+
+// addDeletes records ids that were actually deleted (tombstoned or
+// pruned) on the old shards — never merely requested ones, which could
+// kill a row later created under that id within the migration window.
+func (d *migrationDelta) addDeletes(ids []int64) {
+	if len(ids) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.deletes = append(d.deletes, ids...)
+	d.mu.Unlock()
+}
+
+// recordInsertDelta forwards an acknowledged insert to the in-flight
+// migration's delta, if one exists. Callers hold the router read lock,
+// under which c.delta is stable.
+func (c *Collection) recordInsertDelta(ids []int64, vecs [][]float32) {
+	if d := c.delta; d != nil {
+		d.addInserts(ids, vecs)
+	}
+}
+
+// SetReconfigureHook installs a hook called before each named migration
+// step ("capture", "build", "sealed", "snapshot-<i>", "cutover", "delta",
+// "sync", "manifest") and after the commit ("committed", "cleanup"). A
+// non-nil error aborts the migration at that point with no cleanup,
+// leaving memory and disk exactly as they were — which is what the
+// crash-matrix tests need to simulate a kill at every step. An error at
+// or after "committed" cannot un-commit: the migration has already
+// happened. Testing only; pass nil to remove.
+func (c *Collection) SetReconfigureHook(h func(step string) error) {
+	c.reconfigMu.Lock()
+	c.hook = h
+	c.reconfigMu.Unlock()
+}
+
+// step fires the reconfigure hook. Callers hold reconfigMu.
+func (c *Collection) step(name string) error {
+	if c.hook == nil {
+		return nil
+	}
+	return c.hook(name)
+}
+
+// Reconfigure applies cfg to the live collection and returns the new
+// config generation's sequence number. Hot-knob changes (search
+// parameters, WAL fsync policy and group commit, compaction knobs,
+// parallelism, graceful time, cache ratio, flush interval, insert buffer)
+// publish a new generation atomically — concurrent searches and inserts
+// switch between operations, never inside one, and none fails. Cold-knob
+// changes (index type or build parameters, segment sizing, shard count)
+// run the migration documented at the top of this file: reads and writes
+// keep being served by the old shape while the new one is built in the
+// background, with only the capture and the final cutover excluding them
+// briefly. Reconfigure calls serialize; the collection stays fully
+// usable throughout.
+func (c *Collection) Reconfigure(cfg Config) (uint64, error) {
+	if err := ValidateConfig(cfg); err != nil {
+		return 0, err
+	}
+	if c.closed.Load() {
+		return 0, fmt.Errorf("vdms: collection closed")
+	}
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+	if coldEqual(c.gen.Load().cfg, cfg) {
+		return c.hotSwap(cfg), nil
+	}
+	return c.migrate(cfg)
+}
+
+// hotSwap publishes cfg as a new generation on the collection and every
+// shard, pushes the durability knobs into the open WALs, and re-checks
+// compaction triggers (a lowered trigger ratio may warrant a pass right
+// now). Callers hold reconfigMu.
+func (c *Collection) hotSwap(cfg Config) uint64 {
+	c.router.RLock()
+	defer c.router.RUnlock()
+	g := &configGen{seq: c.gen.Load().seq + 1, cfg: cfg}
+	c.gen.Store(g)
+	for _, s := range c.shards {
+		s.gen.Store(g)
+		if s.wal != nil {
+			s.wal.SetPolicy(cfg.walFsyncPolicy(), cfg.walGroupCommit())
+		}
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if !s.closed {
+			s.maybeCompactLocked()
+		}
+		s.mu.Unlock()
+	}
+	return g.seq
+}
+
+// idRowSorter sorts a captured (id, row) pairing by ascending id.
+type idRowSorter struct {
+	ids  []int64
+	rows [][]float32
+}
+
+func (p *idRowSorter) Len() int           { return len(p.ids) }
+func (p *idRowSorter) Less(i, j int) bool { return p.ids[i] < p.ids[j] }
+func (p *idRowSorter) Swap(i, j int) {
+	p.ids[i], p.ids[j] = p.ids[j], p.ids[i]
+	p.rows[i], p.rows[j] = p.rows[j], p.rows[i]
+}
+
+// captureLocked gathers the collection's live (id, vector) content in
+// ascending id order: sealed/sealing rows by reference (their arenas are
+// immutable), growing rows by copy (those arenas mutate in place).
+// Callers hold the router write lock; each shard's lock is taken for
+// reading against its background builders and compactors.
+func (c *Collection) captureLocked() ([]int64, [][]float32) {
+	var ids []int64
+	var rows [][]float32
+	for _, s := range c.shards {
+		s.mu.RLock()
+		collect := func(store *linalg.Matrix, segIDs []int64, copyRows bool) {
+			for i, id := range segIDs {
+				if _, dead := s.tombstones[id]; dead {
+					continue
+				}
+				r := store.Row(i)
+				if copyRows {
+					r = linalg.Clone(r)
+				}
+				ids = append(ids, id)
+				rows = append(rows, r)
+			}
+		}
+		for _, seg := range s.sealed {
+			collect(seg.store, seg.ids, false)
+		}
+		for _, seg := range s.sealing {
+			collect(seg.store, seg.ids, false)
+		}
+		if s.growingRowsLocked() > 0 {
+			collect(s.growing, s.growingIDs, true)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Sort(&idRowSorter{ids: ids, rows: rows})
+	return ids, rows
+}
+
+// migrateRows feeds captured rows into a new shard in the order given.
+// The rows are canonical engine rows (already normalized for angular
+// metrics) and are appended raw — re-normalizing would perturb bits and
+// break the post-migration ≡ fresh-build contract. Seal thresholds fire
+// exactly as they would during live inserts of the same sequence.
+func (s *shard) migrateRows(ids []int64, rows [][]float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, v := range rows {
+		if s.growing == nil {
+			s.growing = linalg.NewMatrix(s.dim, s.sealRows)
+		}
+		s.growing.AppendRow(v)
+		s.growingIDs = append(s.growingIDs, ids[i])
+		s.rows++
+		if ids[i] >= s.nextID {
+			s.nextID = ids[i] + 1
+		}
+		if s.growing.Rows() >= s.sealRows {
+			s.sealLocked()
+		}
+	}
+}
+
+// abortMigration unwinds a migration that failed before its commit
+// point: the old shards keep serving (they never stopped), the delta is
+// dropped, and the half-built new shards are abandoned crash-style. The
+// on-disk state is deliberately left at the failure point — stale
+// generation directories are removed at the next open — so hook-injected
+// failures model a process kill faithfully.
+func (c *Collection) abortMigration(newShards []*shard) {
+	c.router.Lock()
+	c.delta = nil
+	c.migrating.Store(false)
+	c.router.Unlock()
+	for _, s := range newShards {
+		if s != nil {
+			s.crash()
+		}
+	}
+}
+
+// migrate rebuilds the collection at cfg's cold shape and cuts over; see
+// the file comment for the protocol and crash-safety argument. Callers
+// hold reconfigMu.
+func (c *Collection) migrate(cfg Config) (uint64, error) {
+	durable := c.dataDir != ""
+
+	// Phase 1: capture under the router write lock. Writers are excluded,
+	// so the delta's recording window starts exactly at the captured
+	// state.
+	if err := c.step("capture"); err != nil {
+		return 0, err
+	}
+	c.router.Lock()
+	if c.closed.Load() {
+		c.router.Unlock()
+		return 0, fmt.Errorf("vdms: collection closed")
+	}
+	oldGen := c.gen.Load()
+	capIDs, capRows := c.captureLocked()
+	noAutoCkpt := false
+	if len(c.shards) > 0 {
+		s0 := c.shards[0]
+		s0.mu.RLock()
+		noAutoCkpt = s0.noAutoCkpt
+		s0.mu.RUnlock()
+	}
+	c.delta = &migrationDelta{}
+	c.migrating.Store(true)
+	c.router.Unlock()
+
+	// Phase 2: build the new shape off every lock; old shards keep
+	// serving and the delta records their writes.
+	if err := c.step("build"); err != nil {
+		c.abortMigration(nil)
+		return 0, err
+	}
+	n := cfg.shardCount()
+	perShard := (c.expectedRows + n - 1) / n
+	sealRows := sealRowsFor(cfg, perShard)
+	newGen := &configGen{seq: oldGen.seq + 1, cfg: cfg}
+	newShards := make([]*shard, n)
+	for i := range newShards {
+		newShards[i] = newShard(newGen, c.metric, c.dim, sealRows)
+		newShards[i].noAutoCkpt = noAutoCkpt
+	}
+	route := func(id int64) int {
+		if n == 1 {
+			return 0
+		}
+		return int(splitmix64(uint64(id)) % uint64(n))
+	}
+	partIDs := make([][]int64, n)
+	partRows := make([][][]float32, n)
+	for i, id := range capIDs {
+		si := route(id)
+		partIDs[si] = append(partIDs[si], id)
+		partRows[si] = append(partRows[si], capRows[i])
+	}
+	parallel.Parallel(cfg.Parallelism, n, func(i int) {
+		newShards[i].migrateRows(partIDs[i], partRows[i])
+	})
+
+	// Wait out the index builds so a build failure aborts the migration
+	// here instead of surfacing as a mysterious post-cutover error.
+	if err := c.step("sealed"); err != nil {
+		c.abortMigration(newShards)
+		return 0, err
+	}
+	for _, s := range newShards {
+		s.builds.Wait()
+	}
+	for _, s := range newShards {
+		if err := s.getBuildErr(); err != nil {
+			c.abortMigration(newShards)
+			return 0, fmt.Errorf("vdms: building migrated shards: %w", err)
+		}
+	}
+
+	// Phase 3 (durable): write the new generation's layout into its
+	// sibling directory. The live generation is untouched; nothing here
+	// is visible to recovery until the manifest rename.
+	newDiskGen := c.diskGen + 1
+	newMan := &persist.Manifest{Shards: n, Dim: c.dim, Metric: c.metric, Generation: newDiskGen}
+	if durable {
+		for i, s := range newShards {
+			if err := c.step(fmt.Sprintf("snapshot-%d", i)); err != nil {
+				c.abortMigration(newShards)
+				return 0, err
+			}
+			sdir := newMan.ShardDir(c.dataDir, i)
+			if err := os.MkdirAll(sdir, 0o777); err != nil {
+				c.abortMigration(newShards)
+				return 0, err
+			}
+			// Snapshot and WAL attach in one lock hold: a compaction
+			// commit on the new shard can then never fall between the
+			// captured state and the log that records everything after it.
+			s.mu.Lock()
+			snap := s.snapshotLocked()
+			w, err := persist.OpenWAL(persist.Options{
+				Dir:         sdir,
+				Policy:      cfg.walFsyncPolicy(),
+				GroupCommit: cfg.walGroupCommit(),
+			}, 1)
+			if err == nil {
+				s.wal = w
+				s.dataDir = sdir
+			}
+			s.mu.Unlock()
+			if err == nil {
+				err = persist.WriteSnapshot(sdir, snap)
+			}
+			if err != nil {
+				c.abortMigration(newShards)
+				return 0, fmt.Errorf("vdms: persisting migrated shard %d: %w", i, err)
+			}
+		}
+	}
+
+	// Phase 4: cutover under the router write lock.
+	if err := c.step("cutover"); err != nil {
+		c.abortMigration(newShards)
+		return 0, err
+	}
+	c.router.Lock()
+	abortLocked := func(err error) (uint64, error) {
+		c.delta = nil
+		c.migrating.Store(false)
+		c.router.Unlock()
+		for _, s := range newShards {
+			s.crash()
+		}
+		return 0, err
+	}
+	if c.closed.Load() {
+		return abortLocked(fmt.Errorf("vdms: collection closed"))
+	}
+	delta := c.delta
+
+	// Replay the delta through the normal write paths (WAL-logged like
+	// any write): every insert batch in arrival order, then every actual
+	// delete. Ids are never reused, so inserts-then-deletes yields the
+	// same final state as any interleaving that really happened.
+	if err := c.step("delta"); err != nil {
+		return abortLocked(err)
+	}
+	for _, b := range delta.batches {
+		bp := make([][]int64, n)
+		bv := make([][][]float32, n)
+		for i, id := range b.ids {
+			si := route(id)
+			bp[si] = append(bp[si], id)
+			bv[si] = append(bv[si], b.vecs[i])
+		}
+		for si := range bp {
+			if len(bp[si]) == 0 {
+				continue
+			}
+			if err := newShards[si].insert(bp[si], bv[si]); err != nil {
+				return abortLocked(fmt.Errorf("vdms: replaying migration delta: %w", err))
+			}
+		}
+	}
+	if len(delta.deletes) > 0 {
+		dp := make([][]int64, n)
+		for _, id := range delta.deletes {
+			si := route(id)
+			dp[si] = append(dp[si], id)
+		}
+		for si := range dp {
+			if len(dp[si]) == 0 {
+				continue
+			}
+			if _, err := newShards[si].delete(dp[si], nil); err != nil {
+				return abortLocked(fmt.Errorf("vdms: replaying migration delta: %w", err))
+			}
+		}
+	}
+
+	if durable {
+		// Everything the new generation needs must be on disk before the
+		// rename makes it current.
+		if err := c.step("sync"); err != nil {
+			return abortLocked(err)
+		}
+		for _, s := range newShards {
+			if err := s.wal.Sync(); err != nil {
+				return abortLocked(fmt.Errorf("vdms: syncing migrated WAL: %w", err))
+			}
+		}
+		if err := c.step("manifest"); err != nil {
+			return abortLocked(err)
+		}
+		// The commit point: after this rename, recovery sees the new
+		// generation; before it, the old (whose WALs logged every write
+		// up to this cutover, delta included).
+		if err := persist.WriteManifest(c.dataDir, newMan); err != nil {
+			return abortLocked(fmt.Errorf("vdms: committing migration manifest: %w", err))
+		}
+	}
+
+	oldShards := c.shards
+	c.shards = newShards
+	c.gen.Store(newGen)
+	c.delta = nil
+	c.migrating.Store(false)
+	if durable {
+		c.diskGen = newDiskGen
+	}
+	c.router.Unlock()
+
+	// Retire the old shards crash-style: their directories are stale (the
+	// manifest no longer names them), so no final checkpoint is owed.
+	for _, s := range oldShards {
+		s.crash()
+	}
+	if err := c.step("committed"); err != nil {
+		return newGen.seq, err
+	}
+	if err := c.step("cleanup"); err != nil {
+		return newGen.seq, err
+	}
+	if durable {
+		_ = persist.RemoveStaleGenerations(c.dataDir, newMan)
+	}
+	return newGen.seq, nil
+}

@@ -21,7 +21,13 @@ import (
 // point: an insert, fsync, index build, or compaction pass on one shard
 // proceeds while every other shard keeps serving.
 type shard struct {
-	cfg    Config
+	// gen is the shard's view of the collection's immutable config
+	// generation (see reconfig.go). Operations load it once at the top and
+	// use that snapshot throughout, so a concurrent hot swap switches
+	// between operations, never inside one. Cold knobs (index shape,
+	// segment sizing, shard count) never change on a live shard — they
+	// change by building replacement shards and cutting over.
+	gen    atomic.Pointer[configGen]
 	metric linalg.Metric
 	dim    int
 	// sealRows is the rows-per-segment derived from segment_maxSize ×
@@ -112,9 +118,19 @@ type sealedSegment struct {
 	noCompact bool
 }
 
-// newShard creates an empty shard sealing at sealRows rows per segment.
-func newShard(cfg Config, metric linalg.Metric, dim, sealRows int) *shard {
-	return &shard{cfg: cfg, metric: metric, dim: dim, sealRows: sealRows}
+// newShard creates an empty shard sealing at sealRows rows per segment,
+// reading its knobs from the given config generation.
+func newShard(g *configGen, metric linalg.Metric, dim, sealRows int) *shard {
+	s := &shard{metric: metric, dim: dim, sealRows: sealRows}
+	s.gen.Store(g)
+	return s
+}
+
+// config returns the shard's current configuration. The pointed-to Config
+// is immutable (generations are published whole, never edited), so the
+// pointer may be held for the duration of one operation.
+func (s *shard) config() *Config {
+	return &s.gen.Load().cfg
 }
 
 // insert applies one routed sub-batch: vecs[i] is stored under the
@@ -241,7 +257,7 @@ func (s *shard) sealLocked() {
 		if m == linalg.Angular {
 			m = linalg.L2 // inputs were normalized on insert
 		}
-		idx, err := newSegmentIndex(s.cfg, m, s.dim, seq)
+		idx, err := newSegmentIndex(*s.config(), m, s.dim, seq)
 		if err == nil {
 			err = idx.Build(seg.store, seg.ids)
 		}
@@ -351,9 +367,10 @@ func (s *shard) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Sta
 	// shard's live tombstone count — dead rows still physically present
 	// and awaiting compaction — not the all-time delete count.
 	fetch := k + len(s.tombstones)
+	search := s.config().Search // one generation for the whole probe
 	top := ps.top.Reset(fetch)
 	for _, seg := range s.sealed {
-		seg.idx.SearchInto(qq, fetch, s.cfg.Search, st, top)
+		seg.idx.SearchInto(qq, fetch, search, st, top)
 	}
 	for _, seg := range s.sealing {
 		ps.dists = index.ScanStoreInto(m, qq, seg.store, seg.ids, top, ps.dists, st)

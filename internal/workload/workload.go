@@ -130,6 +130,47 @@ func (d *Dataset) computeTruth() {
 	wg.Wait()
 }
 
+// FromLive builds an evaluation dataset from a live system's state: a
+// sample of its stored vectors and the query window it just served. The
+// online tuning daemon uses it to score candidate configurations against
+// the workload actually hitting the engine instead of a synthetic proxy.
+// Exact ground truth is computed over the sample by brute force, so
+// recall is measured relative to the sampled corpus. Vectors and queries
+// are referenced, not copied; callers must not mutate them afterwards.
+func FromLive(name string, metric linalg.Metric, vectors, queries [][]float32, k int) (*Dataset, error) {
+	if len(vectors) == 0 || len(queries) == 0 {
+		return nil, fmt.Errorf("workload: live dataset needs vectors and queries (have %d, %d)", len(vectors), len(queries))
+	}
+	dim := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("workload: ragged live vectors")
+		}
+	}
+	for _, q := range queries {
+		if len(q) != dim {
+			return nil, fmt.Errorf("workload: live query dim %d, vectors have %d", len(q), dim)
+		}
+	}
+	if k <= 0 {
+		k = 10
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	d := &Dataset{
+		Name:    name,
+		Dim:     dim,
+		Metric:  metric,
+		Vectors: vectors,
+		Queries: queries,
+		K:       k,
+	}
+	d.Store()
+	d.computeTruth()
+	return d, nil
+}
+
 // Spec parameterizes a synthetic dataset generator.
 type Spec struct {
 	Name string

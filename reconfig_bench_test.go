@@ -1,0 +1,130 @@
+// Root-level benchmarks for online reconfiguration: the cost of a
+// hot-knob swap (and its impact on a concurrently running search path,
+// which must be ~zero — shards read the published config generation once
+// per operation, no extra locking), and the cost of a full online reshard
+// migration (capture, rebuild at the new shard count, cutover).
+package vdtuner
+
+import (
+	"testing"
+
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/vdms"
+)
+
+// reconfigCollection builds a FLAT live collection pre-loaded with rows
+// vectors: exact segments keep the measurements free of index-build and
+// recall noise.
+func reconfigCollection(tb testing.TB, shards, rows, dim int) *vdms.Collection {
+	tb.Helper()
+	coll, err := vdms.NewCollection(shardedConfig(shards), linalg.L2, dim, rows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vecs := randomVectors(rows, dim, 1)
+	for lo := 0; lo < len(vecs); lo += 512 {
+		hi := lo + 512
+		if hi > len(vecs) {
+			hi = len(vecs)
+		}
+		if _, err := coll.Insert(vecs[lo:hi]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := coll.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return coll
+}
+
+// BenchmarkReconfigureHot measures hot-knob application. "swap" is the
+// latency of one Reconfigure that only touches hot knobs; "search-static"
+// vs "search-swapping" compare batched-search latency without and with a
+// hot swap before every batch — the two must be near-identical, which is
+// the "hot swaps cost the search path nothing" contract in numbers.
+func BenchmarkReconfigureHot(b *testing.B) {
+	const (
+		dim  = 32
+		rows = 8192
+	)
+	searchBatch := func(b *testing.B, coll *vdms.Collection, swap func(i int)) {
+		b.Helper()
+		queries := randomVectors(64, dim, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if swap != nil {
+				swap(i)
+			}
+			if _, err := coll.SearchBatch(queries, 10, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("swap", func(b *testing.B) {
+		coll := reconfigCollection(b, 2, rows, dim)
+		defer coll.Close()
+		cfgA := coll.Config()
+		cfgB := cfgA
+		cfgB.GracefulTime = cfgA.GracefulTime + 1 // hot knob: no migration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := cfgA
+			if i%2 == 0 {
+				cfg = cfgB
+			}
+			if _, err := coll.Reconfigure(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search=static", func(b *testing.B) {
+		coll := reconfigCollection(b, 2, rows, dim)
+		defer coll.Close()
+		searchBatch(b, coll, nil)
+	})
+	b.Run("search=swapping", func(b *testing.B) {
+		coll := reconfigCollection(b, 2, rows, dim)
+		defer coll.Close()
+		cfgA := coll.Config()
+		cfgB := cfgA
+		cfgB.GracefulTime = cfgA.GracefulTime + 1
+		searchBatch(b, coll, func(i int) {
+			cfg := cfgA
+			if i%2 == 0 {
+				cfg = cfgB
+			}
+			if _, err := coll.Reconfigure(cfg); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+}
+
+// BenchmarkMigrateReshard measures one full online reshard of a loaded
+// collection — capture, parallel rebuild at the new shard count, delta
+// cutover — alternating 1→4→1 so every iteration migrates.
+func BenchmarkMigrateReshard(b *testing.B) {
+	const (
+		dim  = 32
+		rows = 16384
+	)
+	coll := reconfigCollection(b, 1, rows, dim)
+	defer coll.Close()
+	cfg1 := coll.Config()
+	cfg4 := cfg1
+	cfg4.ShardCount = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := cfg4
+		if i%2 == 1 {
+			target = cfg1
+		}
+		if _, err := coll.Reconfigure(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := coll.Stats().Rows; got != rows {
+		b.Fatalf("reshard churn lost rows: %d of %d", got, rows)
+	}
+}
