@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke alloc-gate reconfig-gate fuzz-smoke ci
+.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke bench-compare alloc-gate reconfig-gate fuzz-smoke ci
 
 all: build
 
@@ -57,6 +57,8 @@ bench-json:
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkKernelMultiQuery' -benchmem -benchtime=10x ./internal/linalg >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem -benchtime=2000x ./internal/persist >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -benchtime=3x ./internal/vdms >> "$$tmp" 2>&1; \
@@ -73,6 +75,18 @@ bench-json:
 bench-json-smoke:
 	@$(MAKE) --no-print-directory bench-json BENCH_JSON_OUT="$$(mktemp -u)"
 
+# The performance regression fence: re-measure the query-path suite into a
+# throwaway JSON and diff it against the committed baseline, failing on any
+# >15% ns/op regression. Measurement noise makes this advisory on shared
+# machines, so `make ci` only runs it when BENCH_GATE=1 is set (CI on the
+# baseline machine); run it directly before committing perf-sensitive work.
+BENCH_TOL ?= 15
+
+bench-compare:
+	@set -e; tmp=$$(mktemp); trap 'rm -f '"$$tmp" EXIT; \
+	$(MAKE) --no-print-directory bench-json BENCH_JSON_OUT="$$tmp"; \
+	$(GO) run ./cmd/benchjson -baseline BENCH_query.json -candidate "$$tmp" -tol $(BENCH_TOL)
+
 # The allocation regression fence, run without -race and in strict mode:
 # a skipped or missing gate fails the build instead of passing silently.
 # Covers the zero-allocation index query path and the persistence gate
@@ -81,6 +95,8 @@ bench-json-smoke:
 alloc-gate:
 	@$(GO) test -list 'TestAllocGate' ./internal/index | grep -q TestAllocGateSearch \
 		|| { echo "alloc-gate tests missing from ./internal/index"; exit 1; }
+	@$(GO) test -list 'TestAllocGate' ./internal/index | grep -q TestAllocGateSearchMultiInto \
+		|| { echo "tiled multi-query alloc-gate test missing from ./internal/index"; exit 1; }
 	@$(GO) test -list 'TestAllocGate' ./internal/vdms | grep -q TestAllocGatePersistentSearch \
 		|| { echo "alloc-gate tests missing from ./internal/vdms"; exit 1; }
 	@$(GO) test -list 'TestAllocGate' ./internal/vdms | grep -q TestAllocGateShardedSearch \
@@ -104,4 +120,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 30s ./internal/persist
 	$(GO) test -run '^$$' -fuzz 'FuzzSnapshotDecode' -fuzztime 30s ./internal/persist
 
+# BENCH_GATE=1 additionally runs the bench-compare regression fence (the
+# smoke pass already proves the pipeline itself works).
 ci: vet race bench reconfig-gate alloc-gate fuzz-smoke bench-json-smoke
+ifeq ($(BENCH_GATE),1)
+ci: bench-compare
+endif

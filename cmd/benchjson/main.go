@@ -4,6 +4,10 @@
 // bench-json target pipes the root query-path benchmarks through it into
 // BENCH_query.json, which is committed so future performance PRs have a
 // baseline to diff against.
+//
+// With -baseline and -candidate it instead compares two such documents and
+// fails (exit 1) when any benchmark present in both regressed by more than
+// -tol percent ns/op — the `make bench-compare` regression fence.
 package main
 
 import (
@@ -38,9 +42,74 @@ type Doc struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// readDoc loads one emitted document back.
+func readDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// compare diffs candidate against baseline: benchmarks present in both are
+// checked for ns/op regressions beyond tol percent; benchmarks only in one
+// document are reported but never fail the gate (the suite is allowed to
+// grow). Returns the number of regressions.
+func compare(baseline, candidate *Doc, tol float64) int {
+	base := make(map[string]Entry, len(baseline.Benchmarks))
+	for _, e := range baseline.Benchmarks {
+		base[e.Name] = e
+	}
+	regressions := 0
+	for _, c := range candidate.Benchmarks {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Printf("  new     %-60s %14.0f ns/op\n", c.Name, c.NsPerOp)
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > tol {
+			status = "REGRESS"
+			regressions++
+		}
+		fmt.Printf("  %-7s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, c.Name, b.NsPerOp, c.NsPerOp, delta)
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON; with -candidate, compare instead of convert")
+	candidate := flag.String("candidate", "", "freshly measured JSON to compare against -baseline")
+	tol := flag.Float64("tol", 15, "allowed ns/op regression in percent before the compare fails")
 	flag.Parse()
+
+	if *baseline != "" || *candidate != "" {
+		if *baseline == "" || *candidate == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -baseline and -candidate must be given together")
+			os.Exit(2)
+		}
+		bd, err := readDoc(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cd, err := readDoc(*candidate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if n := compare(bd, cd, *tol); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% ns/op\n", n, *tol)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := Doc{Note: "query-path benchmark trajectory; regenerate with `make bench-json`"}
 	sc := bufio.NewScanner(os.Stdin)

@@ -108,6 +108,40 @@ func TestAllocGateSearchBatch(t *testing.T) {
 	}
 }
 
+// TestAllocGateSearchMultiInto asserts the tiled multi-query path is
+// zero-alloc in steady state: all tile scratch (distance matrices, probe
+// tables, cell inversions) comes from the pooled searchScratch, so a warm
+// SearchMultiInto call allocates nothing regardless of tile width.
+func TestAllocGateSearchMultiInto(t *testing.T) {
+	allocGateSkip(t)
+	vecs, ids, queries, _ := testData(t, 1500, 16, 32, 10, 36)
+	store := linalg.MatrixFromRows(vecs)
+	for _, tc := range allocCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := New(tc.typ, linalg.L2, 32, tc.bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Build(store, ids); err != nil {
+				t.Fatal(err)
+			}
+			tops := make([]*linalg.TopK, len(queries))
+			for i := range tops {
+				tops[i] = linalg.NewTopK(10)
+			}
+			perRun := testing.AllocsPerRun(20, func() {
+				for i := range tops {
+					tops[i].Reset(10)
+				}
+				idx.SearchMultiInto(queries, 10, tc.sp, nil, tops)
+			})
+			if perRun > 0 {
+				t.Fatalf("%s SearchMultiInto allocates %.1f objects/batch, want 0 (pooled scratch)", tc.name, perRun)
+			}
+		})
+	}
+}
+
 // TestScratchReuseIsDeterministic asserts that scratch pooling cannot leak
 // state between queries: repeated Searches of the same query return
 // bit-identical results, interleaved with other queries that dirty the

@@ -39,6 +39,12 @@ func (a *autoIndex) SearchInto(q []float32, k int, _ SearchParams, st *Stats, to
 	a.inner.SearchInto(q, k, SearchParams{Ef: autoEf}, st, top)
 }
 
+// SearchMultiInto pins the beam like SearchInto and delegates to the inner
+// index's multi-query path.
+func (a *autoIndex) SearchMultiInto(queries [][]float32, k int, _ SearchParams, st *Stats, tops []*linalg.TopK) {
+	a.inner.SearchMultiInto(queries, k, SearchParams{Ef: autoEf}, st, tops)
+}
+
 // SearchBatch honors only the batch fan-out width; like Search, the
 // per-query beam is pinned to the AUTOINDEX default.
 func (a *autoIndex) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

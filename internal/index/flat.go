@@ -86,6 +86,22 @@ func (f *flat) SearchInto(q []float32, k int, _ SearchParams, st *Stats, top *li
 	f.scratch.put(s)
 }
 
+// SearchMultiInto is the tiled multi-query scan: the whole arena is walked
+// in cache-resident row tiles, each tile scored against every query by the
+// multi-query blocked kernels (rows stream from memory once per batch, not
+// once per query), and each query's distances are offered to its collector
+// in ascending row order — exactly SearchInto's candidate sequence, so
+// results and tie handling are bit-identical per query.
+func (f *flat) SearchMultiInto(queries [][]float32, k int, _ SearchParams, st *Stats, tops []*linalg.TopK) {
+	qn := len(queries)
+	if f.store == nil || f.store.Rows() == 0 || k < 1 || qn == 0 {
+		return
+	}
+	s := f.scratch.get()
+	scanArenaMulti(f.metric, queries, f.store, f.ids, tops, st, s)
+	f.scratch.put(s)
+}
+
 func (f *flat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
 	return searchBatch(f, queries, k, p, st)
 }
@@ -144,4 +160,56 @@ func ScanStoreInto(m linalg.Metric, q []float32, store *linalg.Matrix, ids []int
 	}
 	accumulate(st, Stats{DistComps: int64(n)})
 	return dists
+}
+
+// ScanStoreMultiInto is the multi-query variant of ScanStoreInto: one
+// tiled pass over the arena scores every query (rows loaded once, reused
+// across the tile of queries) and feeds each query's collector in
+// ascending row order, so per query the offered sequence is bit-identical
+// to ScanStoreInto's. The engine scans growing and sealing segment tails
+// with it; all scratch is pooled, so a steady-state call allocates
+// nothing.
+func ScanStoreMultiInto(m linalg.Metric, queries [][]float32, store *linalg.Matrix, ids []int64, tops []*linalg.TopK, st *Stats) {
+	if store == nil || store.Rows() == 0 || len(queries) == 0 {
+		return
+	}
+	s := scanPool.get()
+	scanArenaMulti(m, queries, store, ids, tops, st, s)
+	scanPool.put(s)
+}
+
+// scanArenaMulti is the shared tiled exhaustive scan: per row tile, the
+// multi-query kernel fills a Q×tile distance matrix in scratch, then each
+// query pushes its tile of distances in ascending row order. The push
+// order over the whole arena is therefore (per query) ascending rows —
+// identical to the single-query scans.
+func scanArenaMulti(m linalg.Metric, queries [][]float32, store *linalg.Matrix, ids []int64, tops []*linalg.TopK, st *Stats, s *searchScratch) {
+	qn := len(queries)
+	n := store.Rows()
+	dim := store.Dim()
+	data := store.Data()
+	tile := linalg.MultiRowTile(dim, qn)
+	if tile > n {
+		tile = n
+	}
+	s.mdists = f32Buf(s.mdists, qn*tile)
+	s.mouts = f32sBuf(s.mouts, qn)
+	for lo := 0; lo < n; lo += tile {
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		tl := hi - lo
+		for qi := 0; qi < qn; qi++ {
+			s.mouts[qi] = s.mdists[qi*tile : qi*tile+tl]
+		}
+		linalg.DistanceMultiScatter(m, queries, data[lo*dim:hi*dim], s.mouts)
+		for qi := 0; qi < qn; qi++ {
+			top := tops[qi]
+			for i, d := range s.mouts[qi] {
+				top.Push(ids[lo+i], d)
+			}
+		}
+	}
+	accumulate(st, Stats{DistComps: int64(qn) * int64(n)})
 }

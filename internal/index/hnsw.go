@@ -481,6 +481,13 @@ func (h *hnsw) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *li
 	searchIntoPooled(h, q, k, p, st, top)
 }
 
+// SearchMultiInto runs the queries serially: graph traversal visits
+// query-dependent neighborhoods, so there is no shared arena tile for the
+// multi-query kernels to amortize.
+func (h *hnsw) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	searchMultiSerial(h, queries, k, p, st, tops)
+}
+
 func (h *hnsw) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {
 	return searchBatch(h, queries, k, p, st)
 }

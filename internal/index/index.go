@@ -188,6 +188,16 @@ type Index interface {
 	// allocation at steady state. The engine's scatter-gather path uses it
 	// to merge per-segment and per-shard probes without per-probe slices.
 	SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK)
+	// SearchMultiInto answers queries[i] into collector tops[i]. For
+	// every i the offered candidate sequence — and therefore the
+	// surviving set, tie handling included — is exactly
+	// SearchInto(queries[i], k, p, st, tops[i])'s, and st accumulates
+	// exactly the sum of the per-query calls. Arena-scanning indexes
+	// (FLAT, the IVF family's posting lists and coarse quantizer) share
+	// one streaming pass over each cache-resident row tile across the
+	// whole query tile (the multi-query blocked kernels in linalg);
+	// graph-traversal paths fall back to per-query probes.
+	SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK)
 	// SearchBatch answers queries[i] into result slot i, fanning the
 	// batch across p.Workers goroutines (built indexes are immutable, so
 	// concurrent probes are safe). Per-query work is accumulated into

@@ -109,10 +109,39 @@ func (c *ivfCoarse) probe(q []float32, nprobe int, st *Stats, s *searchScratch) 
 	s.dists = f32Buf(s.dists, ncells)
 	linalg.DistanceBlock(c.metric, q, c.cents.Data(), s.dists)
 	accumulate(st, Stats{DistComps: int64(ncells)})
+	return c.selectCells(s.dists, nprobe, s)
+}
 
-	// Bounded max-heap of the best nprobe (distance, cell) pairs, worst
-	// at the root; ties order by larger cell id = worse, so the retained
-	// set and the final order are id-deterministic.
+// probeMulti is the batched coarse assignment: every centroid is scored
+// against all queries in one multi-query blocked pass (the centroid arena
+// is itself a small scan), then each query's nprobe nearest cells are
+// selected exactly as probe would. The returned flat table holds query
+// qi's probe order at [qi*nprobe : (qi+1)*nprobe]; it aliases s.mprobe and
+// is valid until the scratch's next multi probe. nprobe must already be
+// clamped to the cell count, so every query selects exactly nprobe cells.
+func (c *ivfCoarse) probeMulti(queries [][]float32, nprobe int, st *Stats, s *searchScratch) []int32 {
+	ncells := c.cents.Rows()
+	qn := len(queries)
+	s.mdists = f32Buf(s.mdists, qn*ncells)
+	s.mouts = f32sBuf(s.mouts, qn)
+	for qi := 0; qi < qn; qi++ {
+		s.mouts[qi] = s.mdists[qi*ncells : (qi+1)*ncells]
+	}
+	linalg.DistanceMultiScatter(c.metric, queries, c.cents.Data(), s.mouts)
+	accumulate(st, Stats{DistComps: int64(qn) * int64(ncells)})
+	s.mprobe = i32Buf(s.mprobe, qn*nprobe)
+	for qi := 0; qi < qn; qi++ {
+		sel := c.selectCells(s.mouts[qi], nprobe, s)
+		copy(s.mprobe[qi*nprobe:(qi+1)*nprobe], sel)
+	}
+	return s.mprobe
+}
+
+// selectCells runs the partial selection over precomputed centroid
+// distances: a bounded max-heap of the best nprobe (distance, cell)
+// pairs, worst at the root; ties order by larger cell id = worse, so the
+// retained set and the final order are id-deterministic.
+func (c *ivfCoarse) selectCells(dists []float32, nprobe int, s *searchScratch) []int32 {
 	heap := i32Buf(s.probe, nprobe)[:0]
 	heapD := f32Buf(s.probeD, nprobe)[:0]
 	worse := func(i, j int) bool {
@@ -139,8 +168,8 @@ func (c *ivfCoarse) probe(q []float32, nprobe int, st *Stats, s *searchScratch) 
 			i = w
 		}
 	}
-	for cell := 0; cell < ncells; cell++ {
-		d := s.dists[cell]
+	for cell := 0; cell < len(dists); cell++ {
+		d := dists[cell]
 		if len(heap) < nprobe {
 			heap = append(heap, int32(cell))
 			heapD = append(heapD, d)
@@ -279,6 +308,118 @@ func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *s
 
 func (x *ivfFlat) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
 	searchIntoPooled(x, q, k, p, st, top)
+}
+
+// SearchMultiInto shares the posting-list streaming across the query
+// tile. Three phases: (1) batched coarse assignment (probeMulti); (2) the
+// probe table is inverted cell→probers with a counting sort, and each
+// probed cell's contiguous row range is scanned once by the multi-query
+// kernel for all of its probers, materializing every (query, probe-slot)
+// distance region in scratch; (3) per query, the regions are replayed in
+// probe order — pushing into a private top-k and offering its sorted
+// results to the caller's collector, exactly the sequence SearchInto
+// produces — so results, ties, and Stats are bit-identical per query
+// while each cell's rows are loaded from memory once per tile instead of
+// once per probing query.
+func (x *ivfFlat) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	qn := len(queries)
+	if x.store == nil || x.store.Rows() == 0 || k < 1 || qn == 0 {
+		return
+	}
+	s := x.scratch.get()
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	probes := x.coarse.probeMulti(queries, nprobe, st, s)
+	ncells := x.coarse.cents.Rows()
+	slots := qn * nprobe
+
+	// Invert: count probers per cell, prefix-sum to starts, then fill the
+	// entry table in ascending (query, slot) order — so within one cell,
+	// probers are gathered in ascending query order, deterministically.
+	s.mcnt = i32Buf(s.mcnt, ncells+1)
+	for i := range s.mcnt {
+		s.mcnt[i] = 0
+	}
+	for _, cell := range probes {
+		s.mcnt[cell+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		s.mcnt[c+1] += s.mcnt[c]
+	}
+	s.mfill = i32Buf(s.mfill, ncells)
+	copy(s.mfill, s.mcnt[:ncells])
+	s.ment = i32Buf(s.ment, slots)
+	for slot, cell := range probes {
+		e := s.mfill[cell]
+		s.mfill[cell] = e + 1
+		s.ment[e] = int32(slot)
+	}
+
+	// Region offsets: walking entries cell-major assigns each (query,
+	// probe-slot) its contiguous region of mbuf, sized by its cell.
+	s.mregion = i32Buf(s.mregion, slots)
+	total := int32(0)
+	for c := 0; c < ncells; c++ {
+		lo, hi := x.coarse.cellRange(int32(c))
+		clen := hi - lo
+		for e := s.mcnt[c]; e < s.mcnt[c+1]; e++ {
+			s.mregion[s.ment[e]] = total
+			total += clen
+		}
+	}
+	s.mbuf = f32Buf(s.mbuf, int(total))
+
+	// Scan each probed cell once for all its probers.
+	data := x.store.Data()
+	dim := x.store.Dim()
+	var scanned int64
+	for c := 0; c < ncells; c++ {
+		elo, ehi := int(s.mcnt[c]), int(s.mcnt[c+1])
+		if elo == ehi {
+			continue
+		}
+		lo, hi := x.coarse.cellRange(int32(c))
+		if lo == hi {
+			continue
+		}
+		nq := ehi - elo
+		s.mqrows = f32sBuf(s.mqrows, nq)
+		s.mouts = f32sBuf(s.mouts, nq)
+		for j := 0; j < nq; j++ {
+			slot := s.ment[elo+j]
+			s.mqrows[j] = queries[slot/int32(nprobe)]
+			o := s.mregion[slot]
+			s.mouts[j] = s.mbuf[o : o+hi-lo]
+		}
+		linalg.DistanceMultiScatter(x.coarse.metric, s.mqrows, data[int(lo)*dim:int(hi)*dim], s.mouts)
+		scanned += int64(nq) * int64(hi-lo)
+	}
+
+	// Replay per query in probe order: same pushes, same sorted offers to
+	// the caller's collector as the single-query path.
+	for qi := 0; qi < qn; qi++ {
+		top := s.top.Reset(k)
+		for pi := 0; pi < nprobe; pi++ {
+			slot := qi*nprobe + pi
+			lo, hi := x.coarse.cellRange(probes[slot])
+			if lo == hi {
+				continue
+			}
+			o := s.mregion[slot]
+			for i := int32(0); i < hi-lo; i++ {
+				top.Push(x.ids[lo+i], s.mbuf[o+i])
+			}
+		}
+		s.res = top.AppendResults(s.res[:0])
+		dst := tops[qi]
+		for _, nb := range s.res {
+			dst.Push(nb.ID, nb.Dist)
+		}
+	}
+	accumulate(st, Stats{DistComps: scanned})
+	for j := range s.mqrows {
+		s.mqrows[j] = nil // don't pin caller query slices in the pool
+	}
+	x.scratch.put(s)
 }
 
 func (x *ivfFlat) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -1,0 +1,105 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"vdtuner/internal/linalg"
+)
+
+// neighborsBitEqual reports whether two result lists are bit-identical:
+// same length, same IDs, and same float bit patterns (so -0 vs +0 or any
+// rounding drift is caught, not masked by tolerance).
+func neighborsBitEqual(a, b []linalg.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Float32bits(a[i].Dist) != math.Float32bits(b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchMultiIntoMatchesSearchInto is the cross-layer contract behind
+// the tiled batch path: for every index type, metric, and tile width
+// (including ragged and quad-remainder widths), SearchMultiInto must
+// produce bit-identical per-query results and exactly-summed stats versus
+// calling SearchInto once per query.
+func TestSearchMultiIntoMatchesSearchInto(t *testing.T) {
+	const k = 10
+	sp := SearchParams{NProbe: 4, Ef: 32, ReorderK: 20}
+	bp := BuildParams{NList: 16, M: 4, NBits: 6, HNSWM: 8, EfConstruction: 50, Seed: 21}
+	vecs, ids, queries, _ := testData(t, 700, 64, 16, k, 21)
+	for _, metric := range []linalg.Metric{linalg.L2, linalg.InnerProduct} {
+		for _, typ := range AllTypes() {
+			idx, err := New(typ, metric, 16, bp)
+			if err != nil {
+				t.Fatalf("New(%v): %v", typ, err)
+			}
+			if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
+				t.Fatalf("Build(%v): %v", typ, err)
+			}
+			for _, qn := range []int{1, 2, 7, 64} {
+				qs := queries[:qn]
+				var stSeq Stats
+				want := make([][]linalg.Neighbor, qn)
+				for i, q := range qs {
+					top := linalg.NewTopK(k)
+					idx.SearchInto(q, k, sp, &stSeq, top)
+					want[i] = top.Results()
+				}
+				var stMulti Stats
+				tops := make([]*linalg.TopK, qn)
+				for i := range tops {
+					tops[i] = linalg.NewTopK(k)
+				}
+				idx.SearchMultiInto(qs, k, sp, &stMulti, tops)
+				if stMulti != stSeq {
+					t.Errorf("%v metric=%v qn=%d: multi stats %+v != sequential %+v", typ, metric, qn, stMulti, stSeq)
+				}
+				for i := range qs {
+					if got := tops[i].Results(); !neighborsBitEqual(got, want[i]) {
+						t.Errorf("%v metric=%v qn=%d query %d: multi results diverge\n got %v\nwant %v", typ, metric, qn, i, got, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanStoreMultiIntoMatchesScanStoreInto covers the growing/sealing
+// tail scan the engine uses outside any index.
+func TestScanStoreMultiIntoMatchesScanStoreInto(t *testing.T) {
+	const k = 5
+	vecs, ids, queries, _ := testData(t, 97, 64, 16, k, 22) // ragged row count
+	store := linalg.MatrixFromRows(vecs)
+	for _, metric := range []linalg.Metric{linalg.L2, linalg.InnerProduct} {
+		for _, qn := range []int{1, 2, 7, 64} {
+			qs := queries[:qn]
+			var stSeq Stats
+			var dists []float32
+			want := make([][]linalg.Neighbor, qn)
+			for i, q := range qs {
+				top := linalg.NewTopK(k)
+				dists = ScanStoreInto(metric, q, store, ids, top, dists, &stSeq)
+				want[i] = top.Results()
+			}
+			var stMulti Stats
+			tops := make([]*linalg.TopK, qn)
+			for i := range tops {
+				tops[i] = linalg.NewTopK(k)
+			}
+			ScanStoreMultiInto(metric, qs, store, ids, tops, &stMulti)
+			if stMulti != stSeq {
+				t.Errorf("metric=%v qn=%d: multi stats %+v != sequential %+v", metric, qn, stMulti, stSeq)
+			}
+			for i := range qs {
+				if got := tops[i].Results(); !neighborsBitEqual(got, want[i]) {
+					t.Errorf("metric=%v qn=%d query %d: tail scan diverges", metric, qn, i)
+				}
+			}
+		}
+	}
+}

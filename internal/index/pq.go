@@ -124,12 +124,17 @@ func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	return x.scanCells(q, cells, k, st, s, dst)
+}
 
+// scanCells builds the per-query ADC table and scans the given cells'
+// codes in probe order, returning the top-k appended to dst.
+func (x *ivfPQ) scanCells(q []float32, cells []int32, k int, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	// Build the flat ADC lookup table: adc[s*ksub+c] is the distance
 	// between the query's subvector s and codeword c, computed with one
 	// blocked kernel call per subspace over the contiguous codeword
-	// arena. Total work is m * ksub subspace distances = ksub
-	// full-dimension equivalents.
+	// arena (the metric epilogue is fused in DistanceBlock). Total work
+	// is m * ksub subspace distances = ksub full-dimension equivalents.
 	ksub := x.ksubN
 	m := x.m
 	adc := f32Buf(s.adc, m*ksub)
@@ -138,14 +143,7 @@ func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 	for sub := 0; sub < m; sub++ {
 		qs := q[sub*x.subDim : (sub+1)*x.subDim]
 		out := adc[sub*ksub : (sub+1)*ksub]
-		if x.coarse.metric == linalg.InnerProduct {
-			linalg.DotBlock(qs, books[sub*rowLen:(sub+1)*rowLen], out)
-			for i := range out {
-				out[i] = -out[i]
-			}
-		} else {
-			linalg.SquaredL2Block(qs, books[sub*rowLen:(sub+1)*rowLen], out)
-		}
+		linalg.DistanceBlock(x.coarse.metric, qs, books[sub*rowLen:(sub+1)*rowLen], out)
 	}
 	s.adc = adc
 	accumulate(st, Stats{DistComps: int64(ksub)})
@@ -173,6 +171,27 @@ func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 
 func (x *ivfPQ) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
 	searchIntoPooled(x, q, k, p, st, top)
+}
+
+// SearchMultiInto batches the coarse centroid assignment across the query
+// tile; the ADC table build and code scans stay per-query (the table is
+// query-specific and the scan is table lookups, not a blocked kernel).
+func (x *ivfPQ) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	qn := len(queries)
+	if len(x.codes) == 0 || k < 1 || qn == 0 {
+		return
+	}
+	s := x.scratch.get()
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	probes := x.coarse.probeMulti(queries, nprobe, st, s)
+	for qi, q := range queries {
+		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, st, s, s.res[:0])
+		dst := tops[qi]
+		for _, nb := range s.res {
+			dst.Push(nb.ID, nb.Dist)
+		}
+	}
+	x.scratch.put(s)
 }
 
 func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

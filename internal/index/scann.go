@@ -62,11 +62,17 @@ func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 	if len(x.codes) == 0 || k < 1 {
 		return dst
 	}
+	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	return x.scanCells(q, cells, k, p, st, s, dst)
+}
+
+// scanCells runs both SCANN stages over the given cells in probe order:
+// quantized stage-1 selection, then exact re-ranking.
+func (x *scann) scanCells(q []float32, cells []int32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	reorder := p.ReorderK
 	if reorder < k {
 		reorder = k
 	}
-	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
 	dim := x.coarse.dim
 
 	// Stage 1: quantized scoring of the probed cells, keeping the best
@@ -98,6 +104,26 @@ func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 
 func (x *scann) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
 	searchIntoPooled(x, q, k, p, st, top)
+}
+
+// SearchMultiInto batches the coarse centroid assignment across the query
+// tile; the quantized stage-1 scans and exact re-ranks stay per-query.
+func (x *scann) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	qn := len(queries)
+	if len(x.codes) == 0 || k < 1 || qn == 0 {
+		return
+	}
+	s := x.scratch.get()
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	probes := x.coarse.probeMulti(queries, nprobe, st, s)
+	for qi, q := range queries {
+		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, p, st, s, s.res[:0])
+		dst := tops[qi]
+		for _, nb := range s.res {
+			dst.Push(nb.ID, nb.Dist)
+		}
+	}
+	x.scratch.put(s)
 }
 
 func (x *scann) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -46,6 +46,23 @@ type searchScratch struct {
 	// lands here before being offered to the caller's collector, so the
 	// scatter-gather path materializes no per-probe slices.
 	res []linalg.Neighbor
+
+	// Multi-query state (SearchMultiInto). mdists is the Q×ncells coarse
+	// distance matrix; mprobe the flat Q×nprobe probe table; mregion maps
+	// each (query, probe-slot) to its offset in mbuf, the materialized
+	// per-slot distance regions of the shared posting-list scans; mcnt and
+	// mfill are the cell→prober counting-sort arrays and ment the inverted
+	// entries (global probe-slot ids, cell-major); mouts and mqrows are the
+	// gathered output/query views handed to the scatter kernel.
+	mdists  []float32
+	mbuf    []float32
+	mouts   [][]float32
+	mqrows  [][]float32
+	mprobe  []int32
+	mregion []int32
+	mcnt    []int32
+	mfill   []int32
+	ment    []int32
 }
 
 // hnswCand is one beam-search candidate: a node and its distance to the
@@ -86,6 +103,15 @@ func f32Buf(buf []float32, n int) []float32 {
 func i32Buf(buf []int32, n int) []int32 {
 	if cap(buf) < n {
 		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// f32sBuf returns a length-n slice-of-slices buffer, growing at the
+// high-water mark (entries are overwritten by the caller).
+func f32sBuf(buf [][]float32, n int) [][]float32 {
+	if cap(buf) < n {
+		return make([][]float32, n)
 	}
 	return buf[:n]
 }
@@ -137,6 +163,16 @@ func searchIntoPooled(x searcher, q []float32, k int, p SearchParams, st *Stats,
 		top.Push(n.ID, n.Dist)
 	}
 	sp.put(s)
+}
+
+// searchMultiSerial is the default SearchMultiInto: per-query probes in
+// query order. Graph-traversal indexes (HNSW, and AUTOINDEX delegating to
+// it) route here — their access pattern is query-dependent, so there is no
+// shared arena streaming to exploit.
+func searchMultiSerial(x Index, queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	for i, q := range queries {
+		x.SearchInto(q, k, p, st, tops[i])
+	}
 }
 
 // searchBatch is the shared SearchBatch implementation: every index type's

@@ -177,6 +177,12 @@ func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *se
 		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
+	return x.scanCells(q, cells, k, st, s, dst)
+}
+
+// scanCells scores the given cells' quantized codes against q in probe
+// order, returning the top-k appended to dst.
+func (x *ivfSQ8) scanCells(q []float32, cells []int32, k int, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	dim := x.coarse.dim
 	top := s.top.Reset(k)
 	var scanned int64
@@ -196,6 +202,28 @@ func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *se
 
 func (x *ivfSQ8) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
 	searchIntoPooled(x, q, k, p, st, top)
+}
+
+// SearchMultiInto batches the coarse centroid assignment (one multi-query
+// blocked pass over the centroid arena) and keeps the quantized
+// posting-list scans per-query: the byte-domain scoring has no blocked
+// kernel to share, so only the coarse stage benefits from the tile.
+func (x *ivfSQ8) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
+	qn := len(queries)
+	if len(x.codes) == 0 || k < 1 || qn == 0 {
+		return
+	}
+	s := x.scratch.get()
+	nprobe := x.coarse.clampProbe(p.NProbe)
+	probes := x.coarse.probeMulti(queries, nprobe, st, s)
+	for qi, q := range queries {
+		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, st, s, s.res[:0])
+		dst := tops[qi]
+		for _, nb := range s.res {
+			dst.Push(nb.ID, nb.Dist)
+		}
+	}
+	x.scratch.put(s)
 }
 
 func (x *ivfSQ8) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stats) [][]linalg.Neighbor {

@@ -1,0 +1,78 @@
+//go:build amd64 && !purego
+
+package linalg
+
+// The SSE2 kernels in kernels_amd64.s mirror the scalar loops exactly:
+// XMM lane l accumulates the elements at indices ≡ l (mod 4) — the same
+// partial sums s0..s3 as the Go code — the scalar tail adds into lane 0,
+// and the horizontal reduce sums ((s0+s1)+s2)+s3 with scalar ADDSS in
+// that order. No FMA, no wider vectors, no re-association: every output
+// is bitwise equal to the portable kernels, which the bit-identity tests
+// in multi_test.go assert. The op epilogue uses exact operations only
+// (sign-flip via XOR, 1-x via SUBSS from the constant 1.0).
+
+//go:noescape
+func dotBlockSSE(q, block, out []float32, op int64)
+
+//go:noescape
+func l2BlockSSE(q, block, out []float32)
+
+//go:noescape
+func dotMulti4SSE(q0, q1, q2, q3, block, o0, o1, o2, o3 []float32, op int64)
+
+//go:noescape
+func l2Multi4SSE(q0, q1, q2, q3, block, o0, o1, o2, o3 []float32)
+
+func dotBlockKernel(q, block []float32, out []float32, op int) {
+	dim := len(q)
+	if len(out) == 0 {
+		return
+	}
+	if dim == 0 {
+		dotBlockGo(q, block, out, op)
+		return
+	}
+	_ = block[len(out)*dim-1] // one bounds check for the whole arena scan
+	dotBlockSSE(q, block, out, int64(op))
+}
+
+func l2BlockKernel(q, block []float32, out []float32) {
+	dim := len(q)
+	if len(out) == 0 {
+		return
+	}
+	if dim == 0 {
+		l2BlockGo(q, block, out)
+		return
+	}
+	_ = block[len(out)*dim-1]
+	l2BlockSSE(q, block, out)
+}
+
+func dotMulti4Kernel(q0, q1, q2, q3, block []float32, o0, o1, o2, o3 []float32, op int) {
+	rows := len(o0)
+	dim := len(q0)
+	if rows == 0 {
+		return
+	}
+	if dim == 0 || len(q1) != dim || len(q2) != dim || len(q3) != dim {
+		dotMulti4Go(q0, q1, q2, q3, block, o0, o1, o2, o3, op)
+		return
+	}
+	_ = block[rows*dim-1]
+	dotMulti4SSE(q0, q1, q2, q3, block, o0, o1[:rows], o2[:rows], o3[:rows], int64(op))
+}
+
+func l2Multi4Kernel(q0, q1, q2, q3, block []float32, o0, o1, o2, o3 []float32) {
+	rows := len(o0)
+	dim := len(q0)
+	if rows == 0 {
+		return
+	}
+	if dim == 0 || len(q1) != dim || len(q2) != dim || len(q3) != dim {
+		l2Multi4Go(q0, q1, q2, q3, block, o0, o1, o2, o3)
+		return
+	}
+	_ = block[rows*dim-1]
+	l2Multi4SSE(q0, q1, q2, q3, block, o0, o1[:rows], o2[:rows], o3[:rows])
+}

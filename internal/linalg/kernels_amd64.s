@@ -1,0 +1,407 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 distance kernels. The bit-identity contract (see kernels.go):
+// XMM lane l holds partial sum s_l (elements at indices ≡ l mod 4), the
+// scalar tail accumulates into lane 0, and the reduce is the scalar
+// chain ((s0+s1)+s2)+s3. MULPS/ADDPS/SUBPS round each lane exactly like
+// the corresponding scalar ops, so every output is bitwise equal to the
+// portable Go kernels. FMA and 8-wide vectors are deliberately not used:
+// fused rounding and a different accumulator split would both break the
+// contract.
+
+DATA signmask32<>+0(SB)/4, $0x80000000
+GLOBL signmask32<>(SB), RODATA|NOPTR, $4
+
+DATA one32<>+0(SB)/4, $0x3F800000
+GLOBL one32<>(SB), RODATA|NOPTR, $4
+
+// func dotBlockSSE(q, block, out []float32, op int64)
+// q: dim floats; block: len(out)*dim floats; op: 0 dot, 1 -dot, 2 1-dot.
+TEXT ·dotBlockSSE(SB), NOSPLIT, $0-80
+	MOVQ  q_base+0(FP), SI
+	MOVQ  q_len+8(FP), BX     // dim
+	MOVQ  block_base+24(FP), DI
+	MOVQ  out_base+48(FP), DX
+	MOVQ  out_len+56(FP), CX  // rows
+	MOVQ  op+72(FP), R9
+
+	TESTQ CX, CX
+	JE    dbdone
+
+	MOVSS signmask32<>(SB), X7
+	MOVSS one32<>(SB), X6
+
+	MOVQ  BX, R10
+	ANDQ  $-4, R10            // vecend = dim &^ 3
+
+dbrow:
+	XORPS X0, X0              // lanes = s0..s3
+	XORQ  R8, R8              // j = 0
+	TESTQ R10, R10
+	JE    dbtail
+
+dbvec:
+	MOVUPS (SI)(R8*4), X1
+	MOVUPS (DI)(R8*4), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   $4, R8
+	CMPQ   R8, R10
+	JL     dbvec
+
+dbtail:
+	CMPQ R8, BX
+	JGE  dbreduce
+
+dbtailloop:
+	MOVSS (SI)(R8*4), X1
+	MOVSS (DI)(R8*4), X2
+	MULSS X2, X1
+	ADDSS X1, X0              // tail adds into lane 0 = s0
+	INCQ  R8
+	CMPQ  R8, BX
+	JL    dbtailloop
+
+dbreduce:
+	// Extract s1..s3 before touching lane 0, then sum ((s0+s1)+s2)+s3.
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	MOVAPS X0, X2
+	SHUFPS $0xAA, X2, X2
+	MOVAPS X0, X3
+	SHUFPS $0xFF, X3, X3
+	ADDSS  X1, X0
+	ADDSS  X2, X0
+	ADDSS  X3, X0
+
+	CMPQ R9, $1
+	JE   dbneg
+	CMPQ R9, $2
+	JE   dboneminus
+	MOVSS X0, (DX)
+	JMP   dbnext
+
+dbneg:
+	XORPS X7, X0              // exact sign flip
+	MOVSS X0, (DX)
+	JMP   dbnext
+
+dboneminus:
+	MOVAPS X6, X5
+	SUBSS  X0, X5             // 1 - dot, exact
+	MOVSS  X5, (DX)
+
+dbnext:
+	ADDQ $4, DX               // out++
+	LEAQ (DI)(BX*4), DI       // block += dim
+	DECQ CX
+	JNZ  dbrow
+
+dbdone:
+	RET
+
+// func l2BlockSSE(q, block, out []float32)
+TEXT ·l2BlockSSE(SB), NOSPLIT, $0-72
+	MOVQ  q_base+0(FP), SI
+	MOVQ  q_len+8(FP), BX
+	MOVQ  block_base+24(FP), DI
+	MOVQ  out_base+48(FP), DX
+	MOVQ  out_len+56(FP), CX
+
+	TESTQ CX, CX
+	JE    l2done
+
+	MOVQ BX, R10
+	ANDQ $-4, R10
+
+l2row:
+	XORPS X0, X0
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    l2tail
+
+l2vec:
+	MOVUPS (SI)(R8*4), X1
+	MOVUPS (DI)(R8*4), X2
+	SUBPS  X2, X1             // d = q - row
+	MULPS  X1, X1
+	ADDPS  X1, X0
+	ADDQ   $4, R8
+	CMPQ   R8, R10
+	JL     l2vec
+
+l2tail:
+	CMPQ R8, BX
+	JGE  l2reduce
+
+l2tailloop:
+	MOVSS (SI)(R8*4), X1
+	MOVSS (DI)(R8*4), X2
+	SUBSS X2, X1
+	MULSS X1, X1
+	ADDSS X1, X0
+	INCQ  R8
+	CMPQ  R8, BX
+	JL    l2tailloop
+
+l2reduce:
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	MOVAPS X0, X2
+	SHUFPS $0xAA, X2, X2
+	MOVAPS X0, X3
+	SHUFPS $0xFF, X3, X3
+	ADDSS  X1, X0
+	ADDSS  X2, X0
+	ADDSS  X3, X0
+	MOVSS  X0, (DX)
+
+	ADDQ $4, DX
+	LEAQ (DI)(BX*4), DI
+	DECQ CX
+	JNZ  l2row
+
+l2done:
+	RET
+
+// HREDUCE reduces one accumulator register to its lane-0 scalar sum
+// ((s0+s1)+s2)+s3, using X12/X13/X14 as scratch. Lanes are extracted
+// before any ADDSS touches lane 0.
+#define HREDUCE(acc) \
+	MOVAPS acc, X12 \
+	SHUFPS $0x55, X12, X12 \
+	MOVAPS acc, X13 \
+	SHUFPS $0xAA, X13, X13 \
+	MOVAPS acc, X14 \
+	SHUFPS $0xFF, X14, X14 \
+	ADDSS  X12, acc \
+	ADDSS  X13, acc \
+	ADDSS  X14, acc
+
+// func dotMulti4SSE(q0, q1, q2, q3, block, o0, o1, o2, o3 []float32, op int64)
+// Four queries share each row load: the row tile is streamed once and
+// reused across the quad. Per query the arithmetic is dotBlockSSE's.
+TEXT ·dotMulti4SSE(SB), NOSPLIT, $0-224
+	MOVQ q0_base+0(FP), SI
+	MOVQ q1_base+24(FP), R14
+	MOVQ q2_base+48(FP), R15
+	MOVQ block_base+96(FP), DI
+	MOVQ o0_base+120(FP), DX
+	MOVQ o0_len+128(FP), CX   // rows
+	MOVQ o1_base+144(FP), R11
+	MOVQ o2_base+168(FP), R12
+	MOVQ o3_base+192(FP), R13
+	MOVQ q0_len+8(FP), BX     // dim
+	MOVQ op+216(FP), R9
+
+	TESTQ CX, CX
+	JE    dm4done
+
+	MOVSS signmask32<>(SB), X7
+	MOVSS one32<>(SB), X6
+
+	MOVQ q3_base+72(FP), AX
+	MOVQ BX, R10
+	ANDQ $-4, R10
+
+dm4row:
+	XORPS X0, X0              // acc q0
+	XORPS X1, X1              // acc q1
+	XORPS X2, X2              // acc q2
+	XORPS X3, X3              // acc q3
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    dm4tail
+
+dm4vec:
+	MOVUPS (DI)(R8*4), X4     // row[j..j+3], loaded once for all 4 queries
+	MOVUPS (SI)(R8*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS (R14)(R8*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X1
+	MOVUPS (R15)(R8*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X2
+	MOVUPS (AX)(R8*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X3
+	ADDQ   $4, R8
+	CMPQ   R8, R10
+	JL     dm4vec
+
+dm4tail:
+	CMPQ R8, BX
+	JGE  dm4reduce
+
+dm4tailloop:
+	MOVSS (DI)(R8*4), X4
+	MOVSS (SI)(R8*4), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (R14)(R8*4), X5
+	MULSS X4, X5
+	ADDSS X5, X1
+	MOVSS (R15)(R8*4), X5
+	MULSS X4, X5
+	ADDSS X5, X2
+	MOVSS (AX)(R8*4), X5
+	MULSS X4, X5
+	ADDSS X5, X3
+	INCQ  R8
+	CMPQ  R8, BX
+	JL    dm4tailloop
+
+dm4reduce:
+	HREDUCE(X0)
+	HREDUCE(X1)
+	HREDUCE(X2)
+	HREDUCE(X3)
+
+	CMPQ R9, $1
+	JE   dm4neg
+	CMPQ R9, $2
+	JE   dm4oneminus
+	MOVSS X0, (DX)
+	MOVSS X1, (R11)
+	MOVSS X2, (R12)
+	MOVSS X3, (R13)
+	JMP   dm4next
+
+dm4neg:
+	XORPS X7, X0
+	XORPS X7, X1
+	XORPS X7, X2
+	XORPS X7, X3
+	MOVSS X0, (DX)
+	MOVSS X1, (R11)
+	MOVSS X2, (R12)
+	MOVSS X3, (R13)
+	JMP   dm4next
+
+dm4oneminus:
+	MOVAPS X6, X5
+	SUBSS  X0, X5
+	MOVSS  X5, (DX)
+	MOVAPS X6, X5
+	SUBSS  X1, X5
+	MOVSS  X5, (R11)
+	MOVAPS X6, X5
+	SUBSS  X2, X5
+	MOVSS  X5, (R12)
+	MOVAPS X6, X5
+	SUBSS  X3, X5
+	MOVSS  X5, (R13)
+
+dm4next:
+	ADDQ $4, DX
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	LEAQ (DI)(BX*4), DI
+	DECQ CX
+	JNZ  dm4row
+
+dm4done:
+	RET
+
+// func l2Multi4SSE(q0, q1, q2, q3, block, o0, o1, o2, o3 []float32)
+TEXT ·l2Multi4SSE(SB), NOSPLIT, $0-216
+	MOVQ q0_base+0(FP), SI
+	MOVQ q1_base+24(FP), R14
+	MOVQ q2_base+48(FP), R15
+	MOVQ q3_base+72(FP), AX
+	MOVQ block_base+96(FP), DI
+	MOVQ o0_base+120(FP), DX
+	MOVQ o0_len+128(FP), CX
+	MOVQ o1_base+144(FP), R11
+	MOVQ o2_base+168(FP), R12
+	MOVQ o3_base+192(FP), R13
+	MOVQ q0_len+8(FP), BX
+
+	TESTQ CX, CX
+	JE    l2m4done
+
+	MOVQ BX, R10
+	ANDQ $-4, R10
+
+l2m4row:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    l2m4tail
+
+l2m4vec:
+	MOVUPS (DI)(R8*4), X4
+	MOVUPS (SI)(R8*4), X5
+	SUBPS  X4, X5
+	MULPS  X5, X5
+	ADDPS  X5, X0
+	MOVUPS (R14)(R8*4), X5
+	SUBPS  X4, X5
+	MULPS  X5, X5
+	ADDPS  X5, X1
+	MOVUPS (R15)(R8*4), X5
+	SUBPS  X4, X5
+	MULPS  X5, X5
+	ADDPS  X5, X2
+	MOVUPS (AX)(R8*4), X5
+	SUBPS  X4, X5
+	MULPS  X5, X5
+	ADDPS  X5, X3
+	ADDQ   $4, R8
+	CMPQ   R8, R10
+	JL     l2m4vec
+
+l2m4tail:
+	CMPQ R8, BX
+	JGE  l2m4reduce
+
+l2m4tailloop:
+	MOVSS (DI)(R8*4), X4
+	MOVSS (SI)(R8*4), X5
+	SUBSS X4, X5
+	MULSS X5, X5
+	ADDSS X5, X0
+	MOVSS (R14)(R8*4), X5
+	SUBSS X4, X5
+	MULSS X5, X5
+	ADDSS X5, X1
+	MOVSS (R15)(R8*4), X5
+	SUBSS X4, X5
+	MULSS X5, X5
+	ADDSS X5, X2
+	MOVSS (AX)(R8*4), X5
+	SUBSS X4, X5
+	MULSS X5, X5
+	ADDSS X5, X3
+	INCQ  R8
+	CMPQ  R8, BX
+	JL    l2m4tailloop
+
+l2m4reduce:
+	HREDUCE(X0)
+	HREDUCE(X1)
+	HREDUCE(X2)
+	HREDUCE(X3)
+	MOVSS X0, (DX)
+	MOVSS X1, (R11)
+	MOVSS X2, (R12)
+	MOVSS X3, (R13)
+
+	ADDQ $4, DX
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	LEAQ (DI)(BX*4), DI
+	DECQ CX
+	JNZ  l2m4row
+
+l2m4done:
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64 || purego
+
+package linalg
+
+// Portable dispatch: the scalar kernels are the implementation. The
+// `purego` build tag forces this path on amd64 too (useful for
+// differential testing and as an escape hatch).
+
+func dotBlockKernel(q, block []float32, out []float32, op int) {
+	dotBlockGo(q, block, out, op)
+}
+
+func l2BlockKernel(q, block []float32, out []float32) {
+	l2BlockGo(q, block, out)
+}
+
+func dotMulti4Kernel(q0, q1, q2, q3, block []float32, o0, o1, o2, o3 []float32, op int) {
+	dotMulti4Go(q0, q1, q2, q3, block, o0, o1, o2, o3, op)
+}
+
+func l2Multi4Kernel(q0, q1, q2, q3, block []float32, o0, o1, o2, o3 []float32) {
+	l2Multi4Go(q0, q1, q2, q3, block, o0, o1, o2, o3)
+}

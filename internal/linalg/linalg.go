@@ -82,70 +82,33 @@ func SquaredL2(a, b []float32) float32 {
 // Matrix), writing row i's product to out[i]. The per-row arithmetic is
 // exactly Dot's (same 4-way unrolled accumulation), so results are
 // bit-identical to calling Dot row by row; the win is streaming contiguous
-// memory instead of chasing per-row pointers.
+// memory instead of chasing per-row pointers. On amd64 the scan runs as an
+// SSE kernel whose lane structure mirrors the scalar accumulators exactly
+// (see kernels_amd64.go), preserving bit-identity.
 func DotBlock(q, block []float32, out []float32) {
-	dim := len(q)
-	for i := range out {
-		row := block[i*dim : i*dim+dim]
-		var s0, s1, s2, s3 float32
-		j := 0
-		for ; j+4 <= dim; j += 4 {
-			s0 += q[j] * row[j]
-			s1 += q[j+1] * row[j+1]
-			s2 += q[j+2] * row[j+2]
-			s3 += q[j+3] * row[j+3]
-		}
-		for ; j < dim; j++ {
-			s0 += q[j] * row[j]
-		}
-		out[i] = s0 + s1 + s2 + s3
-	}
+	dotBlockKernel(q, block, out, opNone)
 }
 
 // SquaredL2Block computes the squared Euclidean distance of q to every row
 // of the packed arena block, writing into out. Bit-identical per row to
 // SquaredL2; see DotBlock.
 func SquaredL2Block(q, block []float32, out []float32) {
-	dim := len(q)
-	for i := range out {
-		row := block[i*dim : i*dim+dim]
-		var s0, s1, s2, s3 float32
-		j := 0
-		for ; j+4 <= dim; j += 4 {
-			d0 := q[j] - row[j]
-			d1 := q[j+1] - row[j+1]
-			d2 := q[j+2] - row[j+2]
-			d3 := q[j+3] - row[j+3]
-			s0 += d0 * d0
-			s1 += d1 * d1
-			s2 += d2 * d2
-			s3 += d3 * d3
-		}
-		for ; j < dim; j++ {
-			d := q[j] - row[j]
-			s0 += d * d
-		}
-		out[i] = s0 + s1 + s2 + s3
-	}
+	l2BlockKernel(q, block, out)
 }
 
 // DistanceBlock computes the distance of q to every row of the packed
 // arena block under metric m, writing into out. Each out[i] is bitwise
-// equal to Distance(m, q, row_i).
+// equal to Distance(m, q, row_i): the InnerProduct/Angular epilogue is
+// fused into the scoring loop (negation and 1-x are exact, so fusing
+// changes no bits), saving the second sweep over out.
 func DistanceBlock(m Metric, q, block []float32, out []float32) {
 	switch m {
 	case L2:
-		SquaredL2Block(q, block, out)
+		l2BlockKernel(q, block, out)
 	case InnerProduct:
-		DotBlock(q, block, out)
-		for i := range out {
-			out[i] = -out[i]
-		}
+		dotBlockKernel(q, block, out, opNeg)
 	case Angular:
-		DotBlock(q, block, out)
-		for i := range out {
-			out[i] = 1 - out[i]
-		}
+		dotBlockKernel(q, block, out, opOneMinus)
 	default:
 		panic("linalg: unknown metric " + m.String())
 	}

@@ -1,0 +1,47 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKernelMultiQuery measures the multi-query scan kernel at
+// Q=1/8/64 on an in-cache arena (fits L2) and an out-of-cache arena
+// (streams from memory), dim 32. ns/op spans one full Q×rows distance
+// matrix; the per-pair rate is what improves as rows are reused across
+// queries.
+func BenchmarkKernelMultiQuery(b *testing.B) {
+	const dim = 32
+	rng := rand.New(rand.NewSource(1))
+	for _, sz := range []struct {
+		name string
+		rows int
+	}{
+		{"incache", 2048},      // 256KB arena: L2-resident
+		{"outofcache", 262144}, // 32MB arena: streams from memory
+	} {
+		block := make([]float32, sz.rows*dim)
+		for i := range block {
+			block[i] = rng.Float32()
+		}
+		for _, qn := range []int{1, 8, 64} {
+			queries := make([][]float32, qn)
+			outs := make([][]float32, qn)
+			for i := range queries {
+				queries[i] = make([]float32, dim)
+				for j := range queries[i] {
+					queries[i][j] = rng.Float32()
+				}
+				outs[i] = make([]float32, sz.rows)
+			}
+			b.Run(fmt.Sprintf("%s/Q=%d", sz.name, qn), func(b *testing.B) {
+				b.SetBytes(int64(sz.rows) * dim * 4)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					DistanceMultiScatter(L2, queries, block, outs)
+				}
+			})
+		}
+	}
+}

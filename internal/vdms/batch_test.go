@@ -134,6 +134,79 @@ func TestSearchBatchMatchesSearch(t *testing.T) {
 	}
 }
 
+// TestSearchBatchMatchesSearchMatrix is the tiled batch path's
+// equivalence gate: across shard counts, worker counts, and a post-crash
+// recovery, SearchBatch (which probes whole query tiles through the
+// multi-query kernels) must return bit-identical results and
+// exactly-summed stats versus issuing each query through Search. The
+// batch is wide enough to span several query tiles with a ragged tail,
+// and the churned workload leaves tombstones so the over-fetch margin is
+// exercised.
+func TestSearchBatchMatchesSearchMatrix(t *testing.T) {
+	const dim, n, k = 8, 500, 6
+	vecs := randVecs(n, dim, 51)
+	qs := randVecs(70, dim, 52)
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 8} {
+			for _, recovered := range []bool{false, true} {
+				name := fmt.Sprintf("shards=%d/workers=%d/recovered=%v", shards, workers, recovered)
+				t.Run(name, func(t *testing.T) {
+					cfg := flatConfig(shards)
+					cfg.Parallelism = workers
+					var coll *Collection
+					if recovered {
+						cfg.WALFsyncPolicy = 3 // always: survive the crash intact
+						dir := t.TempDir()
+						live, err := OpenDurable(dir, cfg, linalg.L2, dim, n)
+						if err != nil {
+							t.Fatal(err)
+						}
+						runChurn(t, live, vecs)
+						live.Crash()
+						coll, err = OpenDurable(dir, cfg, linalg.L2, dim, n)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := coll.Flush(); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						var err error
+						coll, err = NewCollection(cfg, linalg.L2, dim, n)
+						if err != nil {
+							t.Fatal(err)
+						}
+						runChurn(t, coll, vecs)
+					}
+					defer coll.Close()
+					var seqSt index.Stats
+					want := make([][]linalg.Neighbor, len(qs))
+					for qi, q := range qs {
+						res, err := coll.Search(q, k, &seqSt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want[qi] = res
+					}
+					var batchSt index.Stats
+					got, err := coll.SearchBatch(qs, k, &batchSt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi := range qs {
+						if !reflect.DeepEqual(got[qi], want[qi]) {
+							t.Fatalf("query %d: SearchBatch %v, Search %v", qi, got[qi], want[qi])
+						}
+					}
+					if batchSt != seqSt {
+						t.Fatalf("batch stats %+v, sequential %+v", batchSt, seqSt)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestSearchBatchLiveRace hammers a live collection with concurrent
 // batched searches while inserts, deletes, and flushes mutate the segment
 // lifecycle. Run under -race this is the proof that the batch fan-out

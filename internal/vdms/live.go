@@ -360,7 +360,7 @@ func mergeShardRow(g *gatherScratch, mt *linalg.TopK, qi, q, s, k int) []linalg.
 func (c *Collection) searchOneLocked(qq []float32, m linalg.Metric, k int, st *index.Stats) []linalg.Neighbor {
 	s := len(c.shards)
 	if s == 1 {
-		g := c.getGather(1, 1, k, 1)
+		g := c.getGather(1, 1, k, 1, 1)
 		res := c.shards[0].searchLocked(qq, m, k, st, &g.probes[0])
 		out := make([]linalg.Neighbor, len(res))
 		copy(out, res)
@@ -368,7 +368,7 @@ func (c *Collection) searchOneLocked(qq []float32, m linalg.Metric, k int, st *i
 		return out
 	}
 	workers := parallel.WorkerCount(c.readWorkers(), s)
-	g := c.getGather(1, s, k, workers)
+	g := c.getGather(1, s, k, workers, 1)
 	parallel.WorkerParallel(workers, s, func(w, si int) {
 		res := c.shards[si].searchLocked(qq, m, k, &g.stats[si], &g.probes[w])
 		base := si * k
@@ -417,21 +417,52 @@ func (c *Collection) Search(q []float32, k int, st *index.Stats) ([]linalg.Neigh
 	return c.searchOneLocked(qq, m, k, st), nil
 }
 
-// SearchBatch answers queries[i] into result slot i, scattering the
-// (query × shard) probe grid across a worker pool sized by the configured
-// queryNode parallelism — both axes feed the same worker budget, so a
-// single query on many shards and many queries on one shard parallelize
-// equally well. Cells are claimed in shard-major order (every query
-// probes shard 0, then every query shard 1, …), which keeps one shard's
-// smaller segment data cache-resident across the whole batch. The merge
-// pipelines behind the probes: the worker that finishes a query's last
-// shard merges that query's row of the grid immediately, in fixed shard
-// order, so results are bit-identical for any worker count. The whole
-// batch executes under every shard's read lock (acquired in fixed
-// order), so it observes a single consistent snapshot of every shard's
-// segment lifecycle even while concurrent Insert/Delete/Flush calls are
-// queued. Per-probe work is accumulated into private per-cell Stats and
-// merged into st in cell order (exact, since the counts are integers).
+// queryTileSize picks the multi-query tile width for a batch of q queries
+// over s shards: wide enough that one cache-resident row tile amortizes
+// across many queries, small enough that the query block itself stays
+// L1-resident next to the row tile (~8KB of query data), and small enough
+// that the (shard × tile) grid still has at least one cell per worker so
+// the fan-out keeps the pool busy. Tile boundaries never affect results:
+// each query's candidate sequence is tile-invariant, so any width yields
+// bit-identical per-query output.
+func (c *Collection) queryTileSize(q, s int) int {
+	t := 8192 / (4 * c.dim)
+	if t < 4 {
+		t = 4
+	}
+	if t > 64 {
+		t = 64
+	}
+	if w := c.readWorkers(); w > 1 {
+		if maxT := (q*s + w - 1) / w; maxT < t {
+			t = maxT
+		}
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// SearchBatch answers queries[i] into result slot i, scattering a
+// (shard × query-tile) probe grid across a worker pool sized by the
+// configured queryNode parallelism — both axes feed the same worker
+// budget, so a single query on many shards and many queries on one shard
+// parallelize equally well. Each cell probes one shard with a whole tile
+// of queries through the multi-query blocked kernels: segment arenas
+// stream from memory once per tile instead of once per query, turning the
+// batch scan into a small GEMM. Cells are claimed in shard-major order
+// (every tile probes shard 0, then every tile shard 1, …), which keeps one
+// shard's smaller segment data cache-resident across the whole batch. The
+// merge pipelines behind the probes: the worker that finishes a tile's
+// last shard merges that tile's query rows immediately, in fixed shard
+// order, so results are bit-identical for any worker count and any tile
+// width. The whole batch executes under every shard's read lock (acquired
+// in fixed order), so it observes a single consistent snapshot of every
+// shard's segment lifecycle even while concurrent Insert/Delete/Flush
+// calls are queued. Per-probe work is accumulated into private per-cell
+// Stats and merged into st in cell order (exact, since the counts are
+// integers).
 func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([][]linalg.Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vdms: k must be >= 1, got %d", k)
@@ -463,29 +494,43 @@ func (c *Collection) SearchBatch(queries [][]float32, k int, st *index.Stats) ([
 		return out, nil
 	}
 	q, s := len(qs), len(c.shards)
-	cells := q * s
+	tile := c.queryTileSize(q, s)
+	tiles := (q + tile - 1) / tile
+	cells := s * tiles
 	workers := parallel.WorkerCount(c.readWorkers(), cells)
-	g := c.getGather(q, s, k, workers)
+	g := c.getGather(q, s, k, workers, tiles)
 	parallel.WorkerParallel(workers, cells, func(w, cell int) {
-		si, qi := cell/q, cell%q // shard-major: all queries probe si in a run
+		si, ti := cell/tiles, cell%tiles // shard-major: all tiles probe si in a run
+		lo := ti * tile
+		hi := lo + tile
+		if hi > q {
+			hi = q
+		}
 		ps := &g.probes[w]
-		res := c.shards[si].searchLocked(qs[qi], m, k, &g.stats[cell], ps)
+		res := c.shards[si].searchMultiLocked(qs[lo:hi], m, k, &g.stats[cell], ps)
 		if s == 1 {
-			buf := make([]linalg.Neighbor, len(res))
-			copy(buf, res)
-			out[qi] = buf
+			for i, r := range res {
+				buf := make([]linalg.Neighbor, len(r))
+				copy(buf, r)
+				out[lo+i] = buf
+			}
 			return
 		}
-		base := cell * k
-		g.cellLen[cell] = int32(copy(g.cells[base:base+k], res))
-		if g.pending[qi].Add(-1) != 0 {
+		for i, r := range res {
+			gcell := si*q + lo + i
+			base := gcell * k
+			g.cellLen[gcell] = int32(copy(g.cells[base:base+k], r))
+		}
+		if g.pending[ti].Add(-1) != 0 {
 			return
 		}
-		// Last probe in: this query's row is complete, merge it now. The
-		// atomic counter orders the merge after every contributing cell
-		// write, and fixed shard order keeps the result independent of
-		// which worker got here.
-		out[qi] = mergeShardRow(g, &ps.top, qi, q, s, k)
+		// Last probe in: this tile's query rows are complete, merge them
+		// now. The atomic counter orders the merge after every
+		// contributing cell write, and fixed shard order keeps the result
+		// independent of which worker got here.
+		for qi := lo; qi < hi; qi++ {
+			out[qi] = mergeShardRow(g, &ps.top, qi, q, s, k)
+		}
 	})
 	if st != nil {
 		for i := range g.stats {

@@ -18,6 +18,35 @@ type probeScratch struct {
 	top   linalg.TopK
 	dists []float32
 	out   []linalg.Neighbor
+	// Multi-query tile state (searchMultiLocked): per-query shard-level
+	// collectors (mtops values own the warmed heap arrays, mtopPtr is the
+	// view the Index.SearchMultiInto contract wants), the flat arena the
+	// drained results land in, and the per-query views into it. One worker
+	// probes one (shard × query-tile) cell at a time, so the whole tile
+	// shares this one scratch.
+	mtops   []linalg.TopK
+	mtopPtr []*linalg.TopK
+	moutBuf []linalg.Neighbor
+	mouts   [][]linalg.Neighbor
+}
+
+// ensureMulti sizes the multi-query tile state for a qn-query tile at
+// fetch results per query, keeping every warmed buffer.
+func (ps *probeScratch) ensureMulti(qn, fetch int) {
+	if qn > len(ps.mtops) {
+		mtops := make([]linalg.TopK, qn)
+		copy(mtops, ps.mtops) // keep the warmed heap arrays
+		ps.mtops = mtops
+	}
+	if qn > cap(ps.mtopPtr) {
+		ps.mtopPtr = make([]*linalg.TopK, qn)
+		ps.mouts = make([][]linalg.Neighbor, qn)
+	}
+	ps.mtopPtr = ps.mtopPtr[:qn]
+	ps.mouts = ps.mouts[:qn]
+	if cap(ps.moutBuf) < qn*fetch {
+		ps.moutBuf = make([]linalg.Neighbor, qn*fetch)
+	}
 }
 
 // gatherScratch is the working set of one scatter-gather call (Search or
@@ -38,17 +67,20 @@ type gatherScratch struct {
 	// summed in fixed cell order at the end (integer sums are
 	// order-independent, so the accounting equals sequential probing).
 	stats []index.Stats
-	// pending[qi] counts query qi's unfinished shard probes. The worker
-	// that decrements it to zero merges the query's row of the grid; the
-	// atomic ops order that merge after every contributing write.
+	// pending[ti] counts query tile ti's unfinished shard probes. The
+	// worker that decrements it to zero merges every query row in the
+	// tile; the atomic ops order that merge after every contributing
+	// write.
 	pending []atomic.Int32
 }
 
 // getGather checks a gather scratch out of the pool, sized for a q-query ×
-// s-shard grid at k results per cell on the given worker count. Stats
-// slots are zeroed and pending counters armed; the result grid needs no
-// clearing (cellLen gates every read).
-func (c *Collection) getGather(q, s, k, workers int) *gatherScratch {
+// s-shard grid at k results per cell on the given worker count, with the
+// queries grouped into `tiles` probe tiles (tiles == q means one query per
+// work cell, the pre-tiling layout). Stats slots are zeroed and pending
+// counters armed per tile; the result grid needs no clearing (cellLen
+// gates every read).
+func (c *Collection) getGather(q, s, k, workers, tiles int) *gatherScratch {
 	g, _ := c.gatherPool.Get().(*gatherScratch)
 	if g == nil {
 		g = &gatherScratch{}
@@ -74,10 +106,10 @@ func (c *Collection) getGather(q, s, k, workers int) *gatherScratch {
 	for i := range g.stats {
 		g.stats[i] = index.Stats{}
 	}
-	if cap(g.pending) < q {
-		g.pending = make([]atomic.Int32, q)
+	if cap(g.pending) < tiles {
+		g.pending = make([]atomic.Int32, tiles)
 	}
-	g.pending = g.pending[:q]
+	g.pending = g.pending[:tiles]
 	for i := range g.pending {
 		g.pending[i].Store(int32(s))
 	}

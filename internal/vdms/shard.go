@@ -386,6 +386,47 @@ func (s *shard) searchLocked(qq []float32, m linalg.Metric, k int, st *index.Sta
 	return merged
 }
 
+// searchMultiLocked answers a tile of already-normalized queries in one
+// pass over the shard's segment states: each segment is visited once and
+// scored against the whole tile with the multi-query blocked kernels
+// (SearchMultiInto / ScanStoreMultiInto), so sealed arenas and scan tails
+// stream from memory once per tile, not once per query. Per query the
+// offered candidate sequence — segment order, row order, over-fetch margin,
+// tombstone filter — is exactly searchLocked's, so results are
+// bit-identical to probing the queries one at a time. The returned row
+// slices alias ps.moutBuf: consume them before the worker's next probe.
+// Locking contract is searchLocked's.
+func (s *shard) searchMultiLocked(qs [][]float32, m linalg.Metric, k int, st *index.Stats, ps *probeScratch) [][]linalg.Neighbor {
+	qn := len(qs)
+	fetch := k + len(s.tombstones)
+	search := s.config().Search
+	ps.ensureMulti(qn, fetch)
+	for qi := 0; qi < qn; qi++ {
+		ps.mtopPtr[qi] = ps.mtops[qi].Reset(fetch)
+	}
+	for _, seg := range s.sealed {
+		seg.idx.SearchMultiInto(qs, fetch, search, st, ps.mtopPtr)
+	}
+	for _, seg := range s.sealing {
+		index.ScanStoreMultiInto(m, qs, seg.store, seg.ids, ps.mtopPtr, st)
+	}
+	if s.growingRowsLocked() > 0 {
+		index.ScanStoreMultiInto(m, qs, s.growing, s.growingIDs, ps.mtopPtr, st)
+	}
+	for qi := 0; qi < qn; qi++ {
+		// Each query's row gets a capacity-capped region of the flat
+		// buffer (Len <= fetch by construction), filtered in place.
+		off := qi * fetch
+		res := ps.mtops[qi].AppendResults(ps.moutBuf[off:off:off+fetch])
+		merged := s.filterTombstones(res)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		ps.mouts[qi] = merged
+	}
+	return ps.mouts
+}
+
 // statsLocked snapshots this shard's layout and footprint. Callers hold
 // s.mu (read side suffices).
 func (s *shard) statsLocked() ShardStats {
