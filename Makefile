@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-churn bench-json bench-json-smoke bench-compare alloc-gate reconfig-gate fuzz-smoke ci
+.PHONY: all build test race vet bench bench-churn bench-server bench-json bench-json-smoke bench-compare alloc-gate reconfig-gate fuzz-smoke ci
 
 all: build
 
@@ -39,10 +39,19 @@ bench:
 bench-churn:
 	$(GO) test -bench=SearchAfterDeletes -benchtime=1x .
 
+# The end-to-end server benchmark alone: the same engine and query set
+# served over real TCP as SearchBatch calls under each protocol mode
+# (JSON serial, binary serial, binary pipelined), reporting QPS, p50/p99
+# call latency, and recall — which must be identical across modes. The
+# pipelined run fails unless it clearly beats serial JSON.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerWire' -benchtime=3x .
+
 # The query-path benchmark trajectory: the root churn + SearchBatch
-# worker-scaling + sharded insert/search benchmarks and the per-index
-# single-query benchmarks, with allocation stats, written to
-# BENCH_query.json. The file is committed so future performance PRs diff
+# worker-scaling + sharded insert/search benchmarks, the per-index
+# single-query benchmarks, and the end-to-end server wire benchmarks
+# (QPS/latency/recall per protocol mode), with allocation stats, written
+# to BENCH_query.json. The file is committed so future performance PRs diff
 # against a baseline; only regenerate it deliberately, on the baseline
 # machine.
 BENCH_JSON_OUT ?= BENCH_query.json
@@ -66,6 +75,8 @@ bench-json:
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkReconfigureHot' -benchmem -benchtime=20x . >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkMigrateReshard' -benchmem -benchtime=3x . >> "$$tmp" 2>&1; \
+		then cat "$$tmp"; exit 1; fi; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkServerWire' -benchtime=3x . >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT) < "$$tmp"; \
 	echo "wrote $(BENCH_JSON_OUT)"

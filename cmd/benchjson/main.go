@@ -28,6 +28,10 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (qps, p50-ns, recall, …)
+	// keyed by unit name. Informational: the compare fence gates only on
+	// ns/op, but the trajectory records them.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Doc is the emitted document.
@@ -39,8 +43,38 @@ type Doc struct {
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
+// benchLine matches one measurement. The name is non-greedy so a
+// trailing -N GOMAXPROCS suffix is split off even when the benchmark name
+// itself contains hyphens (sub-benchmarks like ServerWire/json-serial);
+// everything after ns/op — B/op, allocs/op, and custom ReportMetric
+// units — is captured for parseMetrics.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op((?:\s+[\d.e+-]+ \S+)*)\s*$`)
+
+// metricPair is one "value unit" pair after ns/op.
+var metricPair = regexp.MustCompile(`([\d.e+-]+) (\S+)`)
+
+// parseMetrics fills the post-ns/op measurements: the standard -benchmem
+// columns land in the fixed fields, custom ReportMetric units in Extra.
+func parseMetrics(e *Entry, rest string) {
+	for _, m := range metricPair.FindAllStringSubmatch(rest, -1) {
+		val, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		switch m[2] {
+		case "B/op":
+			e.BytesPerOp = int64(val)
+		case "allocs/op":
+			e.AllocsPerOp = int64(val)
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[m[2]] = val
+		}
+	}
+}
 
 // readDoc loads one emitted document back.
 func readDoc(path string) (*Doc, error) {
@@ -136,8 +170,7 @@ func main() {
 		e.Procs, _ = strconv.Atoi(m[2])
 		e.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
 		e.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
-		e.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		e.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		parseMetrics(&e, m[5])
 		doc.Benchmarks = append(doc.Benchmarks, e)
 	}
 	if err := sc.Err(); err != nil {

@@ -1,6 +1,11 @@
 // Command vdmsd runs the vector data management engine as a network
 // service (the access layer of the VDMS architecture): a live collection
-// behind the newline-delimited JSON protocol of internal/server.
+// behind internal/server's dual-protocol listener — newline-delimited
+// JSON by default, and the length-prefixed binary pipelined protocol for
+// any connection that opens with the binary preamble (server.DialBinary).
+// Both protocols share one port; the access layer enforces a per-request
+// byte limit (-max-request-bytes) and an idle-connection deadline
+// (-idle-timeout) on every connection.
 //
 // The collection is sharded (-shards): inserts and deletes are routed to
 // independently locked shards by id hash, searches scatter-gather across
@@ -35,16 +40,21 @@
 //	vdmsd [-addr 127.0.0.1:7700] [-dim 128] [-metric angular]
 //	      [-index HNSW] [-expected-rows 100000] [-shards 1]
 //	      [-compact-ratio 0.2] [-compact-fanin 4] [-compact-workers 2]
+//	      [-max-request-bytes 67108864] [-idle-timeout 5m]
 //	      [-data-dir /var/lib/vdms] [-fsync always|batch|never]
 //	      [-wal-group 64]
 //	      [-tune] [-tune-interval 30s] [-tune-window 256]
 //	      [-tune-iters 20] [-tune-cold]
 //
-// Clients: see internal/server.Client, e.g.
+// Clients: see internal/server.Client (JSON) and server.BinClient
+// (binary, pipelined), e.g.
 //
 //	cl, _ := server.Dial("127.0.0.1:7700")
 //	ids, _ := cl.Insert(vectors)
 //	hits, _ := cl.Search(query, 10)
+//
+//	bc, _ := server.DialBinary("127.0.0.1:7700")
+//	hits, _ = bc.Search(query, 10) // concurrent calls pipeline
 package main
 
 import (
@@ -83,6 +93,8 @@ func main() {
 	compactRatio := flag.Float64("compact-ratio", 0, "sealed-segment tombstone ratio that triggers compaction, [0.05, 0.95] (0 = engine default)")
 	compactFanIn := flag.Int("compact-fanin", 0, "max undersized segments merged per compaction, [2, 16] (0 = engine default)")
 	compactWorkers := flag.Int("compact-workers", 0, "compactor worker-pool size, [1, 16] (0 = engine default)")
+	maxRequestBytes := flag.Int("max-request-bytes", 64<<20, "per-request byte limit on both protocols (> 0); oversized requests are refused and the connection dropped")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this (0 disables)")
 	dataDir := flag.String("data-dir", "", "data directory for durable persistence (empty = memory-only)")
 	fsyncName := flag.String("fsync", "", "WAL fsync policy: never, batch, always (empty = engine default, batch)")
 	walGroup := flag.Int("wal-group", 0, "group-commit batch size under the batch policy, [1, 1024] (0 = engine default)")
@@ -116,16 +128,15 @@ func main() {
 	if r := vdms.SystemKnobRanges["shard_count"]; float64(*shards) < r.Min || float64(*shards) > r.Max {
 		usageError("-shards %d outside [%v, %v]", *shards, r.Min, r.Max)
 	}
-	var metric linalg.Metric
-	switch *metricName {
-	case "l2":
-		metric = linalg.L2
-	case "ip":
-		metric = linalg.InnerProduct
-	case "angular":
-		metric = linalg.Angular
-	default:
-		usageError("unknown metric %q (want l2, ip, or angular)", *metricName)
+	if *maxRequestBytes <= 0 {
+		usageError("-max-request-bytes must be positive, got %d", *maxRequestBytes)
+	}
+	if *idleTimeout < 0 {
+		usageError("-idle-timeout must be >= 0, got %s", *idleTimeout)
+	}
+	metric, err := linalg.ParseMetric(*metricName)
+	if err != nil {
+		usageError("%v", err)
 	}
 	typ, err := index.ParseType(*indexName)
 	if err != nil {
@@ -174,7 +185,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv, err := server.New(coll, *addr)
+	srv, err := server.NewWithOptions(coll, *addr, server.Options{
+		MaxRequestBytes: *maxRequestBytes,
+		IdleTimeout:     *idleTimeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -116,6 +116,9 @@ func TestDaemonFlagValidation(t *testing.T) {
 		{"wal-group", []string{"-wal-group", "4096"}},
 		{"metric", []string{"-metric", "cosineish"}},
 		{"index", []string{"-index", "BTREE"}},
+		{"max-request-bytes", []string{"-max-request-bytes", "0"}},
+		{"negative-max-request-bytes", []string{"-max-request-bytes", "-1"}},
+		{"idle-timeout", []string{"-idle-timeout", "-5s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -132,6 +135,64 @@ func TestDaemonFlagValidation(t *testing.T) {
 				t.Fatalf("usage error output missing diagnostic or usage text: %q", out)
 			}
 		})
+	}
+}
+
+// TestDaemonBinaryProtocol: a real vdmsd process serves the binary
+// pipelined protocol on the same port as JSON, and enforces
+// -max-request-bytes on both.
+func TestDaemonBinaryProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real daemon")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, "-index", "FLAT", "-metric", "l2", "-dim", "4",
+		"-expected-rows", "1000", "-max-request-bytes", "4096")
+	defer func() {
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		waitExit(t, d)
+	}()
+
+	jcl := dialDaemon(t, d.addr)
+	defer jcl.Close()
+	bcl, err := server.DialBinary(d.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bcl.Close()
+
+	// Insert over binary, read back over JSON — one engine, two wires.
+	ids, err := bcl.Insert([][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := jcl.Search([]float32{5, 6, 7, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].ID != ids[1] || hits[0].Dist != 0 {
+		t.Fatalf("binary insert not visible over JSON: %+v", hits)
+	}
+
+	// The daemon's request cap holds on the binary wire: ~4KB limit,
+	// ~16KB insert.
+	var big [][]float32
+	for i := 0; i < 1000; i++ {
+		big = append(big, []float32{float32(i), 0, 0, 1})
+	}
+	if _, err := bcl.Insert(big); err == nil {
+		t.Fatal("oversized binary insert accepted by daemon")
+	} else if !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversize error does not name the limit: %v", err)
+	}
+	// And on the JSON wire, without killing the daemon for other clients.
+	if _, err := jcl.Insert(big); err == nil {
+		t.Fatal("oversized JSON insert accepted by daemon")
+	}
+	jcl2 := dialDaemon(t, d.addr)
+	defer jcl2.Close()
+	if err := jcl2.Ping(); err != nil {
+		t.Fatalf("daemon dead after oversized requests: %v", err)
 	}
 }
 

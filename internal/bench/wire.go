@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"vdtuner/internal/index"
+	"vdtuner/internal/server"
+	"vdtuner/internal/vdms"
+	"vdtuner/internal/workload"
+)
+
+// The wire experiment: the end-to-end access layer measured through real
+// TCP connections, not in-process calls. The same engine and query set
+// are replayed as SearchBatch calls under three client modes — the
+// newline-delimited JSON protocol serially, the binary protocol serially
+// (framing and raw-float encoding without pipelining), and the binary
+// protocol with concurrent pipelined callers on one connection — so the
+// protocol overhead and the pipelining win are isolated from everything
+// below the socket. SearchBatch is the hot production op: the engine
+// answers a batch through the tiled multi-query kernels, so per-query
+// engine time is small and what separates the modes is what each wire
+// costs — ASCII floats decoded and encoded per call versus raw little-
+// endian payloads, and serial round-trip waits versus overlapped frames.
+// Recall is measured against exact ground truth and must be identical
+// across modes: the wire must never change what the engine answers.
+
+// WireProtocol names one measured client mode.
+const (
+	WireJSONSerial      = "json-serial"
+	WireBinarySerial    = "binary-serial"
+	WireBinaryPipelined = "binary-pipelined"
+)
+
+// WireResult is the measured performance of one protocol mode.
+type WireResult struct {
+	// Protocol is one of the Wire* mode names.
+	Protocol string
+	// Queries is how many individual queries the mode served (calls are
+	// batches).
+	Queries int
+	// QPS is served queries per wall-clock second.
+	QPS float64
+	// P50 and P99 are per-call (batch) latency percentiles.
+	P50 time.Duration
+	P99 time.Duration
+	// Recall is mean recall@K against exact ground truth.
+	Recall float64
+}
+
+// WireOptions scales the wire experiment.
+type WireOptions struct {
+	// Scale shrinks or grows the GloVe-like corpus (0 = 0.25).
+	Scale workload.Scale
+	// K is the search depth (0 = the dataset's K).
+	K int
+	// Rounds replays the dataset's query set this many times per mode
+	// (0 = 4); more rounds stabilize the percentiles.
+	Rounds int
+	// Batch is how many queries each SearchBatch call carries (0 = 12).
+	Batch int
+	// Pipeline is how many concurrent callers share the pipelined binary
+	// connection (0 = 4).
+	Pipeline int
+	// Protocols selects which modes to run, in order (nil = all three).
+	Protocols []string
+}
+
+func (o WireOptions) scale() workload.Scale {
+	if o.Scale == 0 {
+		return 0.25
+	}
+	return o.Scale
+}
+
+func (o WireOptions) rounds() int {
+	if o.Rounds <= 0 {
+		return 4
+	}
+	return o.Rounds
+}
+
+func (o WireOptions) batch() int {
+	if o.Batch <= 0 {
+		return 12
+	}
+	return o.Batch
+}
+
+func (o WireOptions) pipeline() int {
+	if o.Pipeline <= 0 {
+		return 4
+	}
+	return o.Pipeline
+}
+
+func (o WireOptions) protocols() []string {
+	if len(o.Protocols) == 0 {
+		return []string{WireJSONSerial, WireBinarySerial, WireBinaryPipelined}
+	}
+	return o.Protocols
+}
+
+// wireSearcher is the one method all three client modes share.
+type wireSearcher interface {
+	SearchBatch(queries [][]float32, k int) ([][]server.Neighbor, error)
+}
+
+// wireCall is one pre-sliced SearchBatch request: queries[first:first+n]
+// of the dataset's query set.
+type wireCall struct {
+	queries [][]float32
+	first   int
+}
+
+// sliceCalls cuts the dataset's query set into SearchBatch calls.
+func sliceCalls(ds *workload.Dataset, batch int) []wireCall {
+	var calls []wireCall
+	for i := 0; i < len(ds.Queries); i += batch {
+		end := i + batch
+		if end > len(ds.Queries) {
+			end = len(ds.Queries)
+		}
+		calls = append(calls, wireCall{queries: ds.Queries[i:end], first: i})
+	}
+	return calls
+}
+
+// Wire runs the wire experiment: load a corpus into a live collection,
+// serve it over a real TCP server, and measure QPS, latency percentiles,
+// and recall for each protocol mode. Deterministic corpus and queries for
+// a given Scale; timings are whatever the machine gives.
+func Wire(w io.Writer, o WireOptions) ([]WireResult, error) {
+	ds, err := workload.Load(workload.GloVeLike(o.scale()))
+	if err != nil {
+		return nil, err
+	}
+	k := o.K
+	if k <= 0 {
+		k = ds.K
+	}
+	// NProbe < NList: recall is a real, non-trivial number that must come
+	// out identical across protocols, and per-query engine time is small
+	// enough that the wire itself is what the modes are measuring.
+	cfg := vdms.DefaultConfig()
+	cfg.IndexType = index.IVFFlat
+	cfg.Build.NList = 32
+	cfg.Search.NProbe = 8
+	coll, err := vdms.NewCollection(cfg, ds.Metric, ds.Dim, len(ds.Vectors))
+	if err != nil {
+		return nil, err
+	}
+	defer coll.Close()
+	ids, err := coll.Insert(ds.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	if err := coll.Flush(); err != nil {
+		return nil, err
+	}
+	// Ground truth speaks vector positions; the engine speaks assigned
+	// ids. Map back before scoring recall.
+	pos := make(map[int64]int64, len(ids))
+	for p, id := range ids {
+		pos[id] = int64(p)
+	}
+
+	srv, err := server.New(coll, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	calls := sliceCalls(ds, o.batch())
+	var out []WireResult
+	for _, proto := range o.protocols() {
+		var res *WireResult
+		switch proto {
+		case WireJSONSerial:
+			jcl, derr := server.Dial(srv.Addr())
+			if derr != nil {
+				return nil, derr
+			}
+			res, err = wireSerial(WireJSONSerial, jcl, ds, calls, pos, k, o.rounds())
+			jcl.Close()
+		case WireBinarySerial:
+			bcl, derr := server.DialBinary(srv.Addr())
+			if derr != nil {
+				return nil, derr
+			}
+			res, err = wireSerial(WireBinarySerial, bcl, ds, calls, pos, k, o.rounds())
+			bcl.Close()
+		case WireBinaryPipelined:
+			bcl, derr := server.DialBinary(srv.Addr())
+			if derr != nil {
+				return nil, derr
+			}
+			res, err = wirePipelined(bcl, ds, calls, pos, k, o.rounds(), o.pipeline())
+			bcl.Close()
+		default:
+			return nil, fmt.Errorf("bench: unknown wire protocol %q", proto)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+
+	fprintf(w, "Wire: end-to-end server protocols on %s (%d rows, %d queries x %d rounds, batch=%d, k=%d, pipeline=%d)\n",
+		ds.Name, len(ds.Vectors), len(ds.Queries), o.rounds(), o.batch(), k, o.pipeline())
+	fprintf(w, "%18s %10s %12s %12s %8s\n", "protocol", "qps", "p50", "p99", "recall")
+	for _, r := range out {
+		fprintf(w, "%18s %10.0f %12s %12s %8.3f\n", r.Protocol, r.QPS, r.P50, r.P99, r.Recall)
+	}
+	return out, nil
+}
+
+// wireSerial replays the call list one SearchBatch at a time on one
+// client.
+func wireSerial(name string, cl wireSearcher, ds *workload.Dataset, calls []wireCall, pos map[int64]int64, k, rounds int) (*WireResult, error) {
+	lat := make([]time.Duration, 0, rounds*len(calls))
+	recalls := make([]float64, len(ds.Queries))
+	queries := 0
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, call := range calls {
+			t0 := time.Now()
+			batches, err := cl.SearchBatch(call.queries, k)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s searchBatch: %w", name, err)
+			}
+			lat = append(lat, time.Since(t0))
+			queries += len(call.queries)
+			if r == 0 {
+				scoreCall(ds, pos, call, batches, recalls)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	res := summarizeWire(name, lat, queries, elapsed)
+	res.Recall = meanRecall(recalls)
+	return res, nil
+}
+
+// wirePipelined replays the call list with `pipeline` goroutines sharing
+// one binary connection; each in-flight SearchBatch is a pipelined frame.
+func wirePipelined(cl *server.BinClient, ds *workload.Dataset, calls []wireCall, pos map[int64]int64, k, rounds, pipeline int) (*WireResult, error) {
+	total := rounds * len(calls)
+	lat := make([]time.Duration, total)
+	recalls := make([]float64, len(ds.Queries))
+	var recallMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, pipeline)
+	next := make(chan int, total)
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	queries := 0
+	for _, c := range calls {
+		queries += rounds * len(c.queries)
+	}
+	start := time.Now()
+	for wkr := 0; wkr < pipeline; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				call := calls[i%len(calls)]
+				t0 := time.Now()
+				batches, err := cl.SearchBatch(call.queries, k)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("bench: pipelined searchBatch: %w", err):
+					default:
+					}
+					return
+				}
+				lat[i] = time.Since(t0)
+				if i < len(calls) {
+					recallMu.Lock()
+					scoreCall(ds, pos, call, batches, recalls)
+					recallMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res := summarizeWire(WireBinaryPipelined, lat, queries, elapsed)
+	res.Recall = meanRecall(recalls)
+	return res, nil
+}
+
+// scoreCall fills recalls[qi] for every query the call carried.
+func scoreCall(ds *workload.Dataset, pos map[int64]int64, call wireCall, batches [][]server.Neighbor, recalls []float64) {
+	for j, hits := range batches {
+		qi := call.first + j
+		truth := ds.Truth[qi]
+		want := make(map[int64]struct{}, len(truth))
+		for _, id := range truth {
+			want[id] = struct{}{}
+		}
+		hit := 0
+		for _, h := range hits {
+			if _, ok := want[pos[h.ID]]; ok {
+				hit++
+			}
+		}
+		recalls[qi] = float64(hit) / float64(len(truth))
+	}
+}
+
+func meanRecall(recalls []float64) float64 {
+	var sum float64
+	for _, r := range recalls {
+		sum += r
+	}
+	return sum / float64(len(recalls))
+}
+
+func summarizeWire(name string, lat []time.Duration, queries int, elapsed time.Duration) *WireResult {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return &WireResult{
+		Protocol: name,
+		Queries:  queries,
+		QPS:      float64(queries) / elapsed.Seconds(),
+		P50:      pct(0.50),
+		P99:      pct(0.99),
+	}
+}

@@ -38,6 +38,22 @@ func (m Metric) String() string {
 	}
 }
 
+// ParseMetric maps a metric name — the String form ("L2", "IP",
+// "Angular") or the lowercase CLI spelling ("l2", "ip", "angular") — to
+// its value.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "L2", "l2":
+		return L2, nil
+	case "IP", "ip":
+		return InnerProduct, nil
+	case "Angular", "angular":
+		return Angular, nil
+	default:
+		return 0, fmt.Errorf("linalg: unknown metric %q (want l2, ip, or angular)", s)
+	}
+}
+
 // Dot returns the dot product of a and b. The slices must have equal length.
 func Dot(a, b []float32) float32 {
 	var s0, s1, s2, s3 float32

@@ -17,10 +17,14 @@ import (
 // the live corpus, so candidate configurations are measured on a replica
 // of the real data, never by degrading live traffic.
 //
+// The engine under tuning is abstracted behind the Engine interface: an
+// in-process Collection (NewDaemon) and a remote vdmsd reached through a
+// server client (NewRemoteDaemon) are tuned identically.
+//
 // Daemon is not safe for concurrent use; drive it from one goroutine
 // (the serving path it observes can be arbitrarily concurrent).
 type Daemon struct {
-	coll *vdms.Collection
+	eng  Engine
 	mgr  *Manager
 	opts DaemonOptions
 }
@@ -72,9 +76,15 @@ type DaemonReport struct {
 	Generation uint64
 }
 
-// NewDaemon creates a tuning daemon bound to a live collection.
+// NewDaemon creates a tuning daemon bound to a live in-process
+// collection.
 func NewDaemon(coll *vdms.Collection, opts DaemonOptions) *Daemon {
-	return &Daemon{coll: coll, mgr: NewManager(opts.Manager), opts: opts}
+	return NewEngineDaemon(collectionEngine{coll: coll}, opts)
+}
+
+// NewEngineDaemon creates a tuning daemon bound to any Engine.
+func NewEngineDaemon(eng Engine, opts DaemonOptions) *Daemon {
+	return &Daemon{eng: eng, mgr: NewManager(opts.Manager), opts: opts}
 }
 
 // ObserveWindow processes one served query window: build an evaluation
@@ -82,11 +92,18 @@ func NewDaemon(coll *vdms.Collection, opts DaemonOptions) *Daemon {
 // cold-start or drift-retune on it, and push any new winner into the
 // engine via Reconfigure.
 func (d *Daemon) ObserveWindow(queries [][]float32) (*DaemonReport, error) {
-	sample := d.coll.SampleVectors(d.opts.sampleSize())
-	if len(sample) == 0 {
-		return nil, fmt.Errorf("online: collection holds no vectors to evaluate against")
+	sample, err := d.eng.SampleVectors(d.opts.sampleSize())
+	if err != nil {
+		return nil, fmt.Errorf("online: sampling the live corpus: %w", err)
 	}
-	ds, err := workload.FromLive("live-window", d.coll.Metric(), sample, queries, d.opts.k())
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("online: engine holds no vectors to evaluate against")
+	}
+	metric, err := d.eng.Metric()
+	if err != nil {
+		return nil, fmt.Errorf("online: reading the engine metric: %w", err)
+	}
+	ds, err := workload.FromLive("live-window", metric, sample, queries, d.opts.k())
 	if err != nil {
 		return nil, err
 	}
@@ -95,19 +112,26 @@ func (d *Daemon) ObserveWindow(queries [][]float32) (*DaemonReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &DaemonReport{Window: *rep, Generation: d.coll.Stats().ConfigGeneration}
+	gen, err := d.eng.Generation()
+	if err != nil {
+		return nil, fmt.Errorf("online: reading the engine generation: %w", err)
+	}
+	out := &DaemonReport{Window: *rep, Generation: gen}
 	best, _ := d.mgr.Best()
 	if hadBest && best == prevBest {
 		return out, nil // nothing new to apply
 	}
 
-	active := d.coll.Config()
+	active, err := d.eng.Config()
+	if err != nil {
+		return out, fmt.Errorf("online: reading the active configuration: %w", err)
+	}
 	apply := best
 	if !d.opts.ApplyColdChanges {
 		apply = vdms.GraftColdKnobs(best, active)
 	}
 	out.Migrated = vdms.GraftColdKnobs(apply, active) != apply
-	gen, err := d.coll.Reconfigure(apply)
+	gen, err = d.eng.Reconfigure(apply)
 	if err != nil {
 		return out, fmt.Errorf("online: applying tuned configuration: %w", err)
 	}

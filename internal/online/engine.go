@@ -1,0 +1,52 @@
+package online
+
+import (
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/vdms"
+)
+
+// Engine is what the tuning daemon needs from the system it tunes: a way
+// to sample the live corpus for evaluation datasets, read the active
+// configuration and its generation, and push a winner back. A live
+// in-process Collection satisfies it directly (see NewDaemon); a vdmsd
+// process across the network satisfies it through a server client (see
+// NewRemoteDaemon). Every method returns an error because for the remote
+// engine every call is a network round trip.
+type Engine interface {
+	// SampleVectors returns up to n vectors sampled from the live corpus.
+	SampleVectors(n int) ([][]float32, error)
+	// Metric returns the engine's distance metric.
+	Metric() (linalg.Metric, error)
+	// Config returns the active configuration.
+	Config() (vdms.Config, error)
+	// Generation returns the current configuration generation.
+	Generation() (uint64, error)
+	// Reconfigure applies cfg and returns the new generation.
+	Reconfigure(cfg vdms.Config) (uint64, error)
+}
+
+// collectionEngine adapts an in-process Collection to the Engine
+// interface; its reads cannot fail.
+type collectionEngine struct {
+	coll *vdms.Collection
+}
+
+func (e collectionEngine) SampleVectors(n int) ([][]float32, error) {
+	return e.coll.SampleVectors(n), nil
+}
+
+func (e collectionEngine) Metric() (linalg.Metric, error) {
+	return e.coll.Metric(), nil
+}
+
+func (e collectionEngine) Config() (vdms.Config, error) {
+	return e.coll.Config(), nil
+}
+
+func (e collectionEngine) Generation() (uint64, error) {
+	return e.coll.Stats().ConfigGeneration, nil
+}
+
+func (e collectionEngine) Reconfigure(cfg vdms.Config) (uint64, error) {
+	return e.coll.Reconfigure(cfg)
+}

@@ -1,0 +1,50 @@
+package online
+
+import (
+	"vdtuner/internal/linalg"
+	"vdtuner/internal/server"
+	"vdtuner/internal/vdms"
+)
+
+// remoteEngine drives a vdmsd process over the wire: corpus samples come
+// back through the "sample" op, the metric through "config", and winners
+// are applied through "reconfigure" — the same path any administrative
+// client would use. The tuner therefore needs no access to the server's
+// process or data directory; it can run on a different machine.
+type remoteEngine struct {
+	cl *server.Client
+}
+
+func (e remoteEngine) SampleVectors(n int) ([][]float32, error) {
+	return e.cl.SampleVectors(n)
+}
+
+func (e remoteEngine) Metric() (linalg.Metric, error) {
+	m, _, err := e.cl.Info()
+	return m, err
+}
+
+func (e remoteEngine) Config() (vdms.Config, error) {
+	cfg, _, err := e.cl.Config()
+	if err != nil {
+		return vdms.Config{}, err
+	}
+	return *cfg, nil
+}
+
+func (e remoteEngine) Generation() (uint64, error) {
+	_, gen, err := e.cl.Config()
+	return gen, err
+}
+
+func (e remoteEngine) Reconfigure(cfg vdms.Config) (uint64, error) {
+	return e.cl.Reconfigure(cfg)
+}
+
+// NewRemoteDaemon creates a tuning daemon that tunes a remote engine
+// through a server client instead of an in-process collection. The
+// client must stay open for the daemon's lifetime; the caller still owns
+// and closes it.
+func NewRemoteDaemon(cl *server.Client, opts DaemonOptions) *Daemon {
+	return NewEngineDaemon(remoteEngine{cl: cl}, opts)
+}

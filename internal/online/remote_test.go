@@ -1,0 +1,104 @@
+package online
+
+import (
+	"testing"
+
+	"vdtuner/internal/core"
+	"vdtuner/internal/server"
+)
+
+// TestRemoteDaemonClosesTheLoop drives the same tuner→engine loop as
+// TestDaemonClosesTheLoop, but over the wire: the daemon sees only a
+// server client — corpus samples, the metric, and Reconfigure all travel
+// through the access layer — and the engine ends up at the tuned
+// configuration anyway.
+func TestRemoteDaemonClosesTheLoop(t *testing.T) {
+	coll, base := liveCollection(t)
+	defer coll.Close()
+	srv, err := server.New(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	d := NewRemoteDaemon(cl, DaemonOptions{
+		Manager: ManagerOptions{
+			Tuning:       core.Options{Seed: 9, Candidates: 32, MCSamples: 8},
+			InitialIters: 10,
+			RetuneIters:  6,
+		},
+		SampleSize: 400,
+		K:          5,
+	})
+
+	w1 := window(t, "remote-w1", 8, 0.4, 42)
+	rep, err := d.ObserveWindow(w1.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Applied {
+		t.Fatal("remote cold start did not apply a configuration")
+	}
+	if rep.Migrated {
+		t.Fatal("cold-knob migration applied with ApplyColdChanges=false")
+	}
+
+	// The application went through the wire into the real engine.
+	active := coll.Config()
+	if active.IndexType != base.IndexType || active.ShardCount != base.ShardCount {
+		t.Fatalf("remote hot application changed cold knobs: %+v", active)
+	}
+	best, ok := d.Best()
+	if !ok {
+		t.Fatal("no deployed configuration after remote cold start")
+	}
+	if active.Search != best.Search {
+		t.Fatalf("engine search knobs %+v, tuner deployed %+v", active.Search, best.Search)
+	}
+	gen := coll.Stats().ConfigGeneration
+	if gen == 0 || rep.Generation != gen {
+		t.Fatalf("generation after remote apply: stats %d, report %d", gen, rep.Generation)
+	}
+
+	// A second identical window is stable remotely too: no re-tune, no
+	// new application.
+	w2 := window(t, "remote-w2", 8, 0.4, 42)
+	rep2, err := d.ObserveWindow(w2.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Applied || rep2.Window.Retuned {
+		t.Fatalf("stable remote window re-applied: %+v", rep2)
+	}
+	if rep2.Generation != gen {
+		t.Fatalf("stable window moved the generation: %d -> %d", gen, rep2.Generation)
+	}
+}
+
+// TestRemoteDaemonSurfacesTransportErrors: when the connection dies, the
+// daemon reports the failure instead of tuning against garbage.
+func TestRemoteDaemonSurfacesTransportErrors(t *testing.T) {
+	coll, _ := liveCollection(t)
+	defer coll.Close()
+	srv, err := server.New(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close() // sever the transport before the daemon touches it
+
+	d := NewRemoteDaemon(cl, DaemonOptions{SampleSize: 100, K: 5})
+	w := window(t, "remote-dead", 8, 0.4, 43)
+	if _, err := d.ObserveWindow(w.Queries); err == nil {
+		t.Fatal("daemon tuned over a dead connection")
+	}
+}

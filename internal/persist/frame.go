@@ -1,0 +1,72 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The record framing used by every durable file in this package —
+//
+//	u32 length | u32 CRC32-C(body) | body
+//
+// is also the engine's wire framing: the access layer's binary protocol
+// frames each request and response exactly like a WAL record (with the
+// body's leading u64 carrying a request id instead of an LSN). These
+// exported helpers let other packages speak the idiom without duplicating
+// the checksum or bounds discipline.
+
+// FrameHeaderLen is the fixed prefix of every framed record: a u32
+// little-endian body length followed by the body's CRC32-C checksum.
+const FrameHeaderLen = frameHeaderLen
+
+// AppendFrame frames body onto dst — u32 length | u32 CRC32-C | body —
+// and returns the extended slice. It is the exact framing the WAL and
+// snapshot writers use for their records.
+func AppendFrame(dst, body []byte) []byte { return appendFrame(dst, body) }
+
+// FrameTooLargeError reports a frame whose declared body length exceeds
+// the reader's limit. Readers surface it before allocating or reading the
+// body, so a hostile length field cannot force pathological allocations —
+// the same discipline the WAL reader applies via maxRecordLen.
+type FrameTooLargeError struct {
+	// Declared is the length the frame header claims.
+	Declared int
+	// Limit is the reader's configured maximum body length.
+	Limit int
+}
+
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("persist: frame declares %d-byte body, limit is %d", e.Declared, e.Limit)
+}
+
+// ReadFrame reads one framed record from r and returns its body. buf is
+// an optional reuse buffer: the returned body aliases it (grown as
+// needed), so a caller looping over a stream passes the previous return
+// value back in and reads allocate nothing at steady state.
+//
+// Errors: io.EOF at a clean end of stream (zero bytes before the header),
+// io.ErrUnexpectedEOF for a torn header or body, *FrameTooLargeError for
+// a declared length beyond limit (returned before the body is read), and
+// *CorruptError for a checksum mismatch.
+func ReadFrame(r io.Reader, limit int, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n > limit {
+		return nil, &FrameTooLargeError{Declared: n, Limit: limit}
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32c(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, corruptf("", 0, "frame CRC mismatch over %d-byte body", n)
+	}
+	return body, nil
+}

@@ -1,0 +1,134 @@
+package server
+
+// The binary protocol's connection handler: pipelined, out-of-order, and
+// bounded. One goroutine reads frames; each decoded request is dispatched
+// on its own goroutine (so a slow search never blocks a ping behind it —
+// no head-of-line blocking); completed responses are enqueued on a
+// bounded channel drained by one writer goroutine. Two bounds give
+// backpressure instead of unbounded buffering: a semaphore caps requests
+// in flight (the reader blocks acquiring a slot, i.e. stops reading), and
+// the response queue's capacity caps completed-but-unwritten responses
+// (workers block enqueueing, holding their slots). A client that outruns
+// the server is therefore throttled by TCP flow control while server
+// memory stays O(PipelineDepth × request size).
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"vdtuner/internal/persist"
+)
+
+// handleBinary serves one connection that completed the binary preamble.
+func (s *Server) handleBinary(conn net.Conn, cr *connReader, br *bufio.Reader) {
+	maxReq := s.opts.maxRequestBytes()
+	depth := s.opts.pipelineDepth()
+
+	bw := bufio.NewWriter(conn)
+	respCh := make(chan []byte, depth)
+	writerDone := make(chan struct{})
+	go func() {
+		// The writer: drain completed response frames, flushing when the
+		// queue momentarily empties (batching consecutive writes). After a
+		// write error it keeps draining so no worker blocks forever.
+		defer close(writerDone)
+		var werr error
+		for frame := range respCh {
+			if werr != nil {
+				continue
+			}
+			if _, err := bw.Write(frame); err != nil {
+				werr = err
+				continue
+			}
+			if len(respCh) == 0 {
+				werr = bw.Flush()
+			}
+		}
+		if werr == nil {
+			bw.Flush()
+		}
+	}()
+
+	sem := make(chan struct{}, depth)
+	var workers sync.WaitGroup
+	var frame []byte
+	for {
+		cr.reset(maxReq + persist.FrameHeaderLen)
+		body, err := persist.ReadFrame(br, maxReq, frame)
+		if err != nil {
+			// Framing violations end the stream: past a torn or corrupt
+			// frame there is no resynchronization point. An oversized
+			// declared length is answered first (frame id 0: connection-
+			// fatal, attributable to no single request since the body was
+			// never read) so the client learns why it was dropped.
+			var tooBig *persist.FrameTooLargeError
+			if errors.As(err, &tooBig) {
+				enqueueBestEffort(respCh, frameResponse(0, 0, &Response{
+					Error: fmt.Sprintf("request frame of %d bytes exceeds the server's %d-byte limit", tooBig.Declared, tooBig.Limit)}))
+			}
+			break
+		}
+		frame = body // retain the (possibly grown) buffer for reuse
+		id, kind, req, derr := decodeBinRequest(body)
+		if id == 0 {
+			// Reserved id (or a body too short to carry one): nothing to
+			// attribute a reply to — answer fatally and drop.
+			msg := "request id 0 is reserved for connection-fatal errors"
+			if derr != nil {
+				msg = derr.Error()
+			}
+			enqueueBestEffort(respCh, frameResponse(0, 0, &Response{Error: msg}))
+			break
+		}
+		if derr != nil {
+			// A malformed payload (or unknown kind) inside a checksummed
+			// frame: the stream itself is still in sync, so answer that
+			// request and go on — under the same backpressure as real
+			// work.
+			sem <- struct{}{}
+			respCh <- frameResponse(id, 0, &Response{Error: derr.Error()})
+			<-sem
+			continue
+		}
+		sem <- struct{}{} // backpressure: stop reading at depth in-flight
+		workers.Add(1)
+		go func(id uint64, kind byte, req *Request) {
+			defer workers.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// dispatch recovers its own panics; this guards the
+					// encoder. Losing a response would wedge the client's
+					// pipelined call forever, so answer something.
+					enqueueBestEffort(respCh, frameResponse(id, 0, &Response{
+						Error: fmt.Sprintf("internal error encoding response: %v", r)}))
+				}
+				<-sem
+			}()
+			resp := s.dispatch(req)
+			respCh <- frameResponse(id, kind, resp)
+		}(id, kind, req)
+	}
+	workers.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// frameResponse encodes a response body and wraps it in a wire frame
+// ready for the writer goroutine.
+func frameResponse(id uint64, reqKind byte, resp *Response) []byte {
+	return persist.AppendFrame(nil, encodeBinResponse(nil, id, reqKind, resp))
+}
+
+// enqueueBestEffort offers a final frame without blocking: on a teardown
+// path the writer may already be saturated, and the connection is being
+// dropped either way.
+func enqueueBestEffort(ch chan []byte, frame []byte) {
+	select {
+	case ch <- frame:
+	default:
+	}
+}

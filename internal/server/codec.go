@@ -1,0 +1,412 @@
+package server
+
+// The binary wire codec. Every message — request or response — is one
+// frame in internal/persist's record framing:
+//
+//	u32 length | u32 CRC32-C(body) | body
+//	body = u64 requestID | u8 kind | payload
+//
+// exactly a WAL record with the LSN slot carrying the request id. All
+// integers are little-endian; float32 payloads are raw IEEE-754 bit
+// patterns (math.Float32bits), never ASCII. Every field is fixed-width,
+// so zero values (a Deleted count of 0, a generation 0) are encoded and
+// decoded like any other — nothing "vanishes" the way an omitempty JSON
+// field can.
+//
+// A connection opts into the binary protocol by sending the 8-byte
+// preamble "VDMSBIN1" immediately after connecting; its first byte 'V'
+// can never begin a JSON value, which is how one listening port serves
+// both protocols. Request ids are chosen by the client (any nonzero
+// value; the pipelined client uses a counter) and echoed verbatim on the
+// matching response, which may arrive out of order. The id 0 is reserved
+// for connection-fatal server errors that cannot be attributed to one
+// request (an oversized frame whose body was never read).
+//
+// Request kinds and payloads (the hot ops only — everything else stays on
+// the JSON protocol):
+//
+//	binPing        (none)
+//	binInsert      u32 count | u32 dim | count*dim raw f32
+//	binSearch      u32 k | u32 dim | dim raw f32
+//	binSearchBatch u32 k | u32 count | u32 dim | count*dim raw f32
+//	binDelete      u32 n | n * u64 id
+//
+// Response kinds and payloads:
+//
+//	binErr             UTF-8 message (request failed; conn stays up for id != 0)
+//	binPong            (none)
+//	binInsertResp      u32 n | n * u64 id
+//	binSearchResp      u32 n | n * (u64 id | u32 f32bits dist)
+//	binSearchBatchResp u32 batches | per batch: u32 n | n * (id | dist)
+//	binDeleteResp      u32 deleted
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// binPreamble is the magic a client sends to negotiate the binary
+// protocol; any other first byte on a fresh connection selects JSON.
+const binPreamble = "VDMSBIN1"
+
+// Binary message kinds. Requests and responses share the body layout;
+// the kind byte disambiguates them.
+const (
+	binPing        byte = 1
+	binInsert      byte = 2
+	binSearch      byte = 3
+	binSearchBatch byte = 4
+	binDelete      byte = 5
+
+	binErr             byte = 100
+	binPong            byte = 101
+	binInsertResp      byte = 102
+	binSearchResp      byte = 103
+	binSearchBatchResp byte = 104
+	binDeleteResp      byte = 105
+)
+
+// wireBodyHeaderLen is the fixed body prefix: request id + kind.
+const wireBodyHeaderLen = 9
+
+// beginWireBody appends the body header (request id + kind) onto dst.
+func beginWireBody(dst []byte, id uint64, kind byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	return append(dst, kind)
+}
+
+func appendU32(dst []byte, v int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(v))
+}
+
+func appendRawFloat32s(dst []byte, xs []float32) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
+	}
+	return dst
+}
+
+// encodeBinRequest builds the body of one request. Vector arguments must
+// be rectangular (every row of the declared dimension); the caller
+// validates before encoding.
+func encodeBinRequest(dst []byte, id uint64, req *Request) ([]byte, error) {
+	switch req.Op {
+	case "ping":
+		return beginWireBody(dst, id, binPing), nil
+	case "insert":
+		dim := 0
+		if len(req.Vectors) > 0 {
+			dim = len(req.Vectors[0])
+		}
+		dst = beginWireBody(dst, id, binInsert)
+		dst = appendU32(dst, len(req.Vectors))
+		dst = appendU32(dst, dim)
+		for _, v := range req.Vectors {
+			if len(v) != dim {
+				return nil, fmt.Errorf("server: ragged insert batch (row of %d floats in a dim-%d batch) cannot be binary-encoded", len(v), dim)
+			}
+			dst = appendRawFloat32s(dst, v)
+		}
+		return dst, nil
+	case "search":
+		dst = beginWireBody(dst, id, binSearch)
+		dst = appendU32(dst, req.K)
+		dst = appendU32(dst, len(req.Query))
+		return appendRawFloat32s(dst, req.Query), nil
+	case "searchBatch":
+		dim := 0
+		if len(req.Queries) > 0 {
+			dim = len(req.Queries[0])
+		}
+		dst = beginWireBody(dst, id, binSearchBatch)
+		dst = appendU32(dst, req.K)
+		dst = appendU32(dst, len(req.Queries))
+		dst = appendU32(dst, dim)
+		for _, q := range req.Queries {
+			if len(q) != dim {
+				return nil, fmt.Errorf("server: ragged query batch (row of %d floats in a dim-%d batch) cannot be binary-encoded", len(q), dim)
+			}
+			dst = appendRawFloat32s(dst, q)
+		}
+		return dst, nil
+	case "delete":
+		dst = beginWireBody(dst, id, binDelete)
+		dst = appendU32(dst, len(req.IDs))
+		for _, v := range req.IDs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("server: op %q has no binary encoding (use the JSON protocol)", req.Op)
+	}
+}
+
+// encodeBinResponse builds the body answering one dispatched request.
+// The response kind derives from the request kind so a client can sanity-
+// check the pairing; any error collapses to binErr.
+func encodeBinResponse(dst []byte, id uint64, reqKind byte, resp *Response) []byte {
+	if !resp.OK {
+		dst = beginWireBody(dst, id, binErr)
+		return append(dst, resp.Error...)
+	}
+	switch reqKind {
+	case binPing:
+		return beginWireBody(dst, id, binPong)
+	case binInsert:
+		dst = beginWireBody(dst, id, binInsertResp)
+		dst = appendU32(dst, len(resp.IDs))
+		for _, v := range resp.IDs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+		return dst
+	case binSearch:
+		dst = beginWireBody(dst, id, binSearchResp)
+		return appendNeighbors(dst, resp.Neighbors)
+	case binSearchBatch:
+		dst = beginWireBody(dst, id, binSearchBatchResp)
+		dst = appendU32(dst, len(resp.Batches))
+		for _, list := range resp.Batches {
+			dst = appendNeighbors(dst, list)
+		}
+		return dst
+	case binDelete:
+		dst = beginWireBody(dst, id, binDeleteResp)
+		return appendU32(dst, resp.Deleted)
+	default:
+		dst = beginWireBody(dst, id, binErr)
+		return append(dst, fmt.Sprintf("unknown binary request kind %d", reqKind)...)
+	}
+}
+
+func appendNeighbors(dst []byte, ns []Neighbor) []byte {
+	dst = appendU32(dst, len(ns))
+	for _, n := range ns {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(n.ID))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(n.Dist))
+	}
+	return dst
+}
+
+// wireReader decodes one message body with bounds checking on every read.
+// The frame CRC already matched, so a shortfall means the peer and we
+// disagree about the schema — a per-message error, not stream corruption.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("server: malformed binary payload at offset %d: %s", r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("need %d bytes, have %d", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) u32() int {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(b))
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a u32 element count and sanity-checks it against the bytes
+// actually present (elemBytes per element), so a hostile count cannot
+// force an allocation beyond the frame's real size.
+func (r *wireReader) count(elemBytes int) int {
+	n := r.u32()
+	if r.err == nil && n*elemBytes > len(r.buf)-r.off {
+		r.fail("declared %d elements (%dB each), only %d bytes remain", n, elemBytes, len(r.buf)-r.off)
+		return 0
+	}
+	return n
+}
+
+// checkRect validates that exactly count rows of dim raw floats remain —
+// by division, so hostile count/dim pairs cannot overflow a product into
+// a bogus match and force a giant allocation downstream.
+func (r *wireReader) checkRect(count, dim int) {
+	if r.err != nil {
+		return
+	}
+	rem := len(r.buf) - r.off
+	if count == 0 {
+		if dim != 0 || rem != 0 {
+			r.fail("empty batch with dim %d and %d payload bytes", dim, rem)
+		}
+		return
+	}
+	if dim <= 0 || rem%4 != 0 || (rem/4)%dim != 0 || (rem/4)/dim != count {
+		r.fail("batch declares %d x %d floats, %d payload bytes", count, dim, rem)
+	}
+}
+
+// float32s reads n raw floats into a fresh slice (never aliasing the
+// reusable frame buffer).
+func (r *wireReader) float32s(n int) []float32 {
+	b := r.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// rows reads count rows of dim raw floats each as a slice-of-slices over
+// one flat backing array (two allocations total).
+func (r *wireReader) rows(count, dim int) [][]float32 {
+	flat := r.float32s(count * dim)
+	if r.err != nil {
+		return nil
+	}
+	out := make([][]float32, count)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return out
+}
+
+func (r *wireReader) int64s(n int) []int64 {
+	b := r.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (r *wireReader) done() error {
+	if r.err == nil && r.off != len(r.buf) {
+		r.fail("%d trailing bytes", len(r.buf)-r.off)
+	}
+	return r.err
+}
+
+// decodeBinRequest decodes a request body into the shared Request shape
+// (so the binary path reuses the same dispatch as JSON). Decoded slices
+// are fresh copies; the frame buffer is reusable immediately.
+func decodeBinRequest(body []byte) (id uint64, kind byte, req *Request, err error) {
+	r := &wireReader{buf: body}
+	id = r.u64()
+	kb := r.take(1)
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	kind = kb[0]
+	req = &Request{}
+	switch kind {
+	case binPing:
+		req.Op = "ping"
+	case binInsert:
+		req.Op = "insert"
+		count := r.u32()
+		dim := r.u32()
+		r.checkRect(count, dim)
+		req.Vectors = r.rows(count, dim)
+	case binSearch:
+		req.Op = "search"
+		req.K = r.u32()
+		dim := r.count(4)
+		req.Query = r.float32s(dim)
+	case binSearchBatch:
+		req.Op = "searchBatch"
+		req.K = r.u32()
+		count := r.u32()
+		dim := r.u32()
+		r.checkRect(count, dim)
+		req.Queries = r.rows(count, dim)
+	case binDelete:
+		req.Op = "delete"
+		n := r.count(8)
+		req.IDs = r.int64s(n)
+	default:
+		return id, kind, nil, fmt.Errorf("server: unknown binary request kind %d", kind)
+	}
+	if err := r.done(); err != nil {
+		return id, kind, nil, err
+	}
+	return id, kind, req, nil
+}
+
+// decodeBinResponse decodes a response body into the shared Response
+// shape. Fixed-width fields mean a zero Deleted count round-trips
+// faithfully — there is no omitted-field ambiguity on this codec.
+func decodeBinResponse(body []byte) (id uint64, resp *Response, err error) {
+	r := &wireReader{buf: body}
+	id = r.u64()
+	kb := r.take(1)
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	resp = &Response{}
+	switch kb[0] {
+	case binErr:
+		resp.Error = string(r.buf[r.off:])
+		r.off = len(r.buf)
+	case binPong:
+		resp.OK = true
+	case binInsertResp:
+		resp.OK = true
+		resp.IDs = r.int64s(r.count(8))
+	case binSearchResp:
+		resp.OK = true
+		resp.Neighbors = r.neighbors()
+	case binSearchBatchResp:
+		resp.OK = true
+		nb := r.count(4)
+		resp.Batches = make([][]Neighbor, 0, nb)
+		for i := 0; i < nb && r.err == nil; i++ {
+			resp.Batches = append(resp.Batches, r.neighbors())
+		}
+	case binDeleteResp:
+		resp.OK = true
+		resp.Deleted = r.u32()
+	default:
+		return id, nil, fmt.Errorf("server: unknown binary response kind %d", kb[0])
+	}
+	if err := r.done(); err != nil {
+		return id, nil, err
+	}
+	return id, resp, nil
+}
+
+func (r *wireReader) neighbors() []Neighbor {
+	n := r.count(12)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]Neighbor, n)
+	for i := range out {
+		out[i].ID = int64(r.u64())
+		out[i].Dist = math.Float32frombits(uint32(r.u32()))
+	}
+	return out
+}

@@ -1,32 +1,63 @@
 // Package server provides the engine's access layer: a TCP front end over
-// a live vdms.Collection speaking newline-delimited JSON, plus a matching
-// client. It mirrors the access/worker split of the paper's VDMS
-// architecture (§II-A, "Multiple Components") so that the engine can be
-// exercised over a real network path.
+// a live vdms.Collection speaking two protocols on one port, plus
+// matching clients. It mirrors the access/worker split of the paper's
+// VDMS architecture (§II-A, "Multiple Components") so that the engine can
+// be exercised over a real network path.
 //
-// Ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
-// "compact", "persist", "stats", "reconfigure", "config". The
+// # Protocols
+//
+// Every connection starts in newline-delimited JSON — one Request object
+// per message, one Response per reply, strictly in order. A client that
+// instead opens with the 8-byte preamble "VDMSBIN1" switches the
+// connection to the binary protocol: the hot ops (ping, insert, search,
+// searchBatch, delete) framed as length-prefixed CRC32-C-checksummed
+// records (internal/persist's framing idiom) with raw little-endian
+// float32 payloads, and request pipelining — every frame carries a
+// request id, a client may keep many requests in flight on one
+// connection, and the server answers each as soon as it completes,
+// possibly out of order. In-flight binary requests per connection are
+// bounded (Options.PipelineDepth): when the bound is reached the server
+// simply stops reading the connection, so a client that outruns the
+// server is backpressured by TCP instead of ballooning server memory. See
+// codec.go for the exact frame layout, and the README's "Wire protocol"
+// section for the negotiation and pipelining semantics.
+//
+// Both protocols are hardened against misbehaving peers: a single request
+// may not exceed Options.MaxRequestBytes on the wire (an oversized
+// request gets an error response and the connection is dropped — never an
+// unbounded allocation), and with Options.IdleTimeout set, a connection
+// that stays silent longer than the timeout is closed, so dead clients
+// cannot leak a handler goroutine and file descriptor forever.
+//
+// # Ops
+//
+// JSON ops: "ping", "insert", "search", "searchBatch", "delete", "flush",
+// "compact", "persist", "stats", "reconfigure", "config", "sample". The
 // "reconfigure" op applies a full vdms.Config to the live collection
 // through its online reconfiguration path — hot-knob changes swap
 // atomically, cold-knob changes run a background migration — and answers
 // with the new config generation; "config" reads back the active
-// configuration and generation. The "searchBatch" op answers a whole
-// query batch in one round trip; the server fans it across the
-// collection's configured queryNode parallelism under every shard's read
-// lock (acquired in fixed order), so the batch observes one consistent
-// snapshot of the whole segment lifecycle. The "compact" op runs segment
-// compaction to quiescence on every shard (deletes trigger it in the
-// background anyway; the explicit op exists for operational control). The
-// "persist" op checkpoints a durable collection — per-shard snapshots to
-// disk, per-shard WALs truncated — and is a no-op on a memory-only one;
-// the "stats" reply reports the aggregate durability position (WALBytes,
+// configuration, generation, metric, and dimensionality; "sample" returns
+// a deterministic sample of live vectors (the remote tuning daemon's
+// evaluation corpus). The "searchBatch" op answers a whole query batch in
+// one round trip; the server fans it across the collection's configured
+// queryNode parallelism under every shard's read lock (acquired in fixed
+// order), so the batch observes one consistent snapshot of the whole
+// segment lifecycle. The "compact" op runs segment compaction to
+// quiescence on every shard (deletes trigger it in the background anyway;
+// the explicit op exists for operational control). The "persist" op
+// checkpoints a durable collection — per-shard snapshots to disk,
+// per-shard WALs truncated — and is a no-op on a memory-only one; the
+// "stats" reply reports the aggregate durability position (WALBytes,
 // LastCheckpointLSN, WALLastLSN) plus a per-shard breakdown (Shards:
 // rows, segment states, tombstones, WAL position of every shard, in
-// shard order). Connections
-// are handled on one goroutine each, and the underlying collection is
+// shard order).
+//
+// Connections are handled on one goroutine each (plus a bounded worker
+// pool per pipelined binary connection), and the underlying collection is
 // safe for concurrent use, so any number of clients may mix reads and
-// writes. A panicking request handler answers that request with an error
-// response instead of taking down the process.
+// writes across both protocols. A panicking request handler answers that
+// request with an error response instead of taking down the process.
 package server
 
 import (
@@ -34,21 +65,26 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vdtuner/internal/index"
+	"vdtuner/internal/linalg"
 	"vdtuner/internal/vdms"
 )
 
 // Request is one client command.
 type Request struct {
 	// Op is one of "ping", "insert", "search", "searchBatch", "delete",
-	// "flush", "compact", "persist", "stats".
+	// "flush", "compact", "persist", "stats", "reconfigure", "config",
+	// "sample".
 	Op string `json:"op"`
 	// Vectors carries the rows for "insert".
 	Vectors [][]float32 `json:"vectors,omitempty"`
-	// Query and K parameterize "search"; K is shared with "searchBatch".
+	// Query and K parameterize "search"; K is shared with "searchBatch"
+	// and doubles as the sample size for "sample".
 	Query []float32 `json:"query,omitempty"`
 	K     int       `json:"k,omitempty"`
 	// Queries carries the batch for "searchBatch". The server fans the
@@ -76,19 +112,70 @@ type Response struct {
 	// Batches[i] answers Queries[i] of a "searchBatch" request.
 	Batches [][]Neighbor          `json:"batches,omitempty"`
 	Stats   *vdms.CollectionStats `json:"stats,omitempty"`
-	// Deleted is the number of ids newly tombstoned by "delete".
-	Deleted int `json:"deleted,omitempty"`
+	// Deleted is the number of ids newly tombstoned by "delete". Never
+	// omitempty: a delete that tombstoned nothing legitimately answers 0,
+	// and the zero must be on the wire, not inferred from absence.
+	Deleted int `json:"deleted"`
 	// Config answers a "config" request with the active configuration.
 	Config *vdms.Config `json:"config,omitempty"`
 	// Generation is the config generation after "reconfigure" (or the
-	// active one for "config").
-	Generation uint64 `json:"generation,omitempty"`
+	// active one for "config"). Never omitempty: generation 0 is the
+	// legitimate state of every fresh collection.
+	Generation uint64 `json:"generation"`
+	// Metric and Dim describe the collection on a "config" reply (the
+	// metric in its String form: "L2", "IP", "Angular").
+	Metric string `json:"metric,omitempty"`
+	Dim    int    `json:"dim,omitempty"`
+	// Vectors answers a "sample" request with live corpus rows.
+	Vectors [][]float32 `json:"vectors,omitempty"`
+}
+
+// Options hardens and tunes the access layer. The zero value is the
+// library default: a generous request cap, no idle timeout (so in-process
+// tests and trusted links behave exactly as before), and a pipeline depth
+// of 64. vdmsd turns the idle timeout on.
+type Options struct {
+	// MaxRequestBytes caps the wire size of one request on both
+	// protocols: the declared frame length on the binary protocol, and
+	// the bytes a single JSON message may pull off the socket. An
+	// oversized request gets an error response and the connection is
+	// dropped — never an unbounded allocation. 0 means 64 MiB.
+	MaxRequestBytes int
+	// IdleTimeout closes a connection when no request data arrives for
+	// this long, so dead clients cannot leak a handler goroutine and file
+	// descriptor forever. 0 means no timeout.
+	IdleTimeout time.Duration
+	// PipelineDepth bounds the in-flight binary requests per connection
+	// (being served or queued for writing). When the bound is hit the
+	// server stops reading that connection until responses drain —
+	// backpressure instead of unbounded buffering. 0 means 64.
+	PipelineDepth int
+}
+
+const (
+	defaultMaxRequestBytes = 64 << 20
+	defaultPipelineDepth   = 64
+)
+
+func (o Options) maxRequestBytes() int {
+	if o.MaxRequestBytes <= 0 {
+		return defaultMaxRequestBytes
+	}
+	return o.MaxRequestBytes
+}
+
+func (o Options) pipelineDepth() int {
+	if o.PipelineDepth <= 0 {
+		return defaultPipelineDepth
+	}
+	return o.PipelineDepth
 }
 
 // Server exposes one collection over TCP.
 type Server struct {
 	coll *vdms.Collection
 	ln   net.Listener
+	opts Options
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -160,13 +247,19 @@ func (s *Server) TakeQueries() [][]float32 {
 	return out
 }
 
-// New starts a server for coll listening on addr (e.g. "127.0.0.1:0").
+// New starts a server for coll listening on addr (e.g. "127.0.0.1:0")
+// with default Options.
 func New(coll *vdms.Collection, addr string) (*Server, error) {
+	return NewWithOptions(coll, addr, Options{})
+}
+
+// NewWithOptions starts a server with explicit access-layer limits.
+func NewWithOptions(coll *vdms.Collection, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{coll: coll, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{coll: coll, ln: ln, opts: opts, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -209,6 +302,41 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// errRequestTooLarge is the sentinel a connReader returns when one
+// message exhausts its byte budget. It surfaces from json.Decoder (which
+// returns reader errors verbatim) and marks the connection for an
+// apologetic error response before the drop.
+var errRequestTooLarge = errors.New("server: request exceeds the per-request byte limit")
+
+// connReader is the read side of one connection: it arms the idle
+// deadline before every read from the socket and enforces the
+// per-message byte budget, which the protocol loops reset before each
+// message. Bytes already buffered upstream (bufio read-ahead) were
+// counted when they were read, so the budget bounds what any single
+// message can pull into memory, not exact message length.
+type connReader struct {
+	conn   net.Conn
+	idle   time.Duration
+	budget int64
+}
+
+func (r *connReader) reset(budget int) { r.budget = int64(budget) }
+
+func (r *connReader) Read(p []byte) (int, error) {
+	if r.budget <= 0 {
+		return 0, errRequestTooLarge
+	}
+	if int64(len(p)) > r.budget {
+		p = p[:r.budget]
+	}
+	if r.idle > 0 {
+		r.conn.SetReadDeadline(time.Now().Add(r.idle))
+	}
+	n, err := r.conn.Read(p)
+	r.budget -= int64(n)
+	return n, err
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -220,14 +348,46 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReader(conn)
+	cr := &connReader{conn: conn, idle: s.opts.IdleTimeout}
+	cr.reset(s.opts.maxRequestBytes())
+	br := bufio.NewReader(cr)
+	// Negotiate the protocol on the first byte: the binary preamble's 'V'
+	// can never begin a JSON value. A preamble that starts like binary but
+	// doesn't match is garbage from something speaking neither protocol —
+	// drop it without guessing at a reply encoding.
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == binPreamble[0] {
+		var pre [len(binPreamble)]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil || string(pre[:]) != binPreamble {
+			return
+		}
+		s.handleBinary(conn, cr, br)
+		return
+	}
+	s.handleJSON(conn, cr, br)
+}
+
+// handleJSON serves the newline-delimited JSON protocol: strictly ordered
+// request/response pairs, exactly as every pre-binary client expects.
+func (s *Server) handleJSON(conn net.Conn, cr *connReader, br *bufio.Reader) {
 	w := bufio.NewWriter(conn)
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(w)
 	for {
+		cr.reset(s.opts.maxRequestBytes())
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken stream: drop the connection
+			if errors.Is(err, errRequestTooLarge) {
+				// Tell the client why before dropping: the stream is mid-
+				// message and cannot be resynchronized.
+				enc.Encode(&Response{Error: fmt.Sprintf(
+					"request exceeds the server's %d-byte limit", s.opts.maxRequestBytes())})
+				w.Flush()
+			}
+			return // EOF, timeout, or broken stream: drop the connection
 		}
 		resp := s.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
@@ -328,7 +488,17 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 		return &Response{OK: true, Generation: gen}
 	case "config":
 		cfg := s.coll.Config()
-		return &Response{OK: true, Config: &cfg, Generation: s.coll.Stats().ConfigGeneration}
+		return &Response{
+			OK: true, Config: &cfg,
+			Generation: s.coll.Stats().ConfigGeneration,
+			Metric:     s.coll.Metric().String(),
+			Dim:        s.coll.Dim(),
+		}
+	case "sample":
+		if req.K < 1 {
+			return &Response{Error: "sample: count must be >= 1"}
+		}
+		return &Response{OK: true, Vectors: s.coll.SampleVectors(req.K)}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -476,4 +646,27 @@ func (c *Client) Config() (*vdms.Config, uint64, error) {
 		return nil, 0, err
 	}
 	return resp.Config, resp.Generation, nil
+}
+
+// Info fetches the collection's distance metric and dimensionality.
+func (c *Client) Info() (linalg.Metric, int, error) {
+	resp, err := c.call(&Request{Op: "config"})
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := linalg.ParseMetric(resp.Metric)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m, resp.Dim, nil
+}
+
+// SampleVectors fetches a deterministic sample of up to n live corpus
+// vectors — the evaluation corpus of a remote tuning daemon.
+func (c *Client) SampleVectors(n int) ([][]float32, error) {
+	resp, err := c.call(&Request{Op: "sample", K: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vectors, nil
 }

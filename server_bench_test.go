@@ -1,0 +1,61 @@
+package vdtuner
+
+import (
+	"io"
+	"testing"
+
+	"vdtuner/internal/bench"
+)
+
+// BenchmarkServerWire is the end-to-end access-layer benchmark: the same
+// engine and query set served over real TCP under each protocol mode.
+// Each sub-benchmark reports served QPS, p50/p99 call latency, and mean
+// recall@K against exact ground truth — recall must match across modes
+// (the wire never changes what the engine answers), so the QPS column is
+// a throughput comparison at fixed recall. The pipelined sub-benchmark
+// additionally measures its speedup over serial JSON on the same corpus
+// and fails if pipelined binary does not clearly beat it — the headline
+// claim of the binary protocol, recorded in BENCH_query.json.
+func BenchmarkServerWire(b *testing.B) {
+	serial := []string{bench.WireJSONSerial, bench.WireBinarySerial}
+	for _, proto := range serial {
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Wire(io.Discard, bench.WireOptions{Protocols: []string{proto}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := res[0]
+				b.ReportMetric(r.QPS, "qps")
+				b.ReportMetric(float64(r.P50), "p50-ns")
+				b.ReportMetric(float64(r.P99), "p99-ns")
+				b.ReportMetric(r.Recall, "recall")
+			}
+		})
+	}
+	b.Run(bench.WireBinaryPipelined, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.Wire(io.Discard, bench.WireOptions{
+				Protocols: []string{bench.WireJSONSerial, bench.WireBinaryPipelined},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jsonSerial, pipelined := res[0], res[1]
+			if pipelined.Recall != jsonSerial.Recall {
+				b.Fatalf("recall diverged across protocols: json %.4f, pipelined %.4f",
+					jsonSerial.Recall, pipelined.Recall)
+			}
+			speedup := pipelined.QPS / jsonSerial.QPS
+			if speedup < 1.5 {
+				b.Fatalf("pipelined binary only %.2fx serial JSON (%0.f vs %.0f qps)",
+					speedup, pipelined.QPS, jsonSerial.QPS)
+			}
+			b.ReportMetric(pipelined.QPS, "qps")
+			b.ReportMetric(float64(pipelined.P50), "p50-ns")
+			b.ReportMetric(float64(pipelined.P99), "p99-ns")
+			b.ReportMetric(pipelined.Recall, "recall")
+			b.ReportMetric(speedup, "x-vs-json")
+		}
+	})
+}
