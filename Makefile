@@ -66,7 +66,7 @@ bench-json:
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkHNSWSearch|BenchmarkIVFFlatSearch' -benchmem -benchtime=2000x ./internal/index >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
-	if ! $(GO) test -run '^$$' -bench 'BenchmarkKernelMultiQuery' -benchmem -benchtime=10x ./internal/linalg >> "$$tmp" 2>&1; \
+	if ! $(GO) test -run '^$$' -bench 'BenchmarkKernelMultiQuery|BenchmarkKernelQuantized' -benchmem -benchtime=10x ./internal/linalg >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \
 	if ! $(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem -benchtime=2000x ./internal/persist >> "$$tmp" 2>&1; \
 		then cat "$$tmp"; exit 1; fi; \

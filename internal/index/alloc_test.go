@@ -39,6 +39,7 @@ var allocCases = []struct {
 	{"HNSW", HNSW, BuildParams{HNSWM: 12, EfConstruction: 80, Seed: 31}, SearchParams{Ef: 48}},
 	{"IVF_FLAT", IVFFlat, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8}},
 	{"IVF_PQ", IVFPQ, BuildParams{NList: 16, M: 8, NBits: 6, Seed: 31}, SearchParams{NProbe: 8}},
+	{"IVF_PQ_wide", IVFPQ, BuildParams{NList: 16, M: 8, NBits: 9, Seed: 31}, SearchParams{NProbe: 8}},
 	{"IVF_SQ8", IVFSQ8, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8}},
 	{"FLAT", Flat, BuildParams{}, SearchParams{}},
 	{"SCANN", SCANN, BuildParams{NList: 32, Seed: 31}, SearchParams{NProbe: 8, ReorderK: 30}},

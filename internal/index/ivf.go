@@ -201,6 +201,75 @@ func (c *ivfCoarse) selectCells(dists []float32, nprobe int, s *searchScratch) [
 	return heap
 }
 
+// invertProbes inverts a flat Q×nprobe probe table cell→probers with a
+// counting sort: s.mcnt[c]..s.mcnt[c+1] bound cell c's entries in s.ment
+// (global probe-slot ids, gathered in ascending slot = ascending query
+// order, deterministically), and s.mregion assigns each (query,
+// probe-slot) its contiguous region of s.mbuf, sized by its cell. The
+// total region length is returned and s.mbuf is sized to it. This is the
+// shared phase-2 skeleton of every IVF-family SearchMultiInto: after it,
+// the owner scans each probed cell once for all of its probers into the
+// regions, then replays per query.
+func (c *ivfCoarse) invertProbes(probes []int32, s *searchScratch) int {
+	ncells := c.cents.Rows()
+	slots := len(probes)
+	s.mcnt = i32Buf(s.mcnt, ncells+1)
+	for i := range s.mcnt {
+		s.mcnt[i] = 0
+	}
+	for _, cell := range probes {
+		s.mcnt[cell+1]++
+	}
+	for cell := 0; cell < ncells; cell++ {
+		s.mcnt[cell+1] += s.mcnt[cell]
+	}
+	s.mfill = i32Buf(s.mfill, ncells)
+	copy(s.mfill, s.mcnt[:ncells])
+	s.ment = i32Buf(s.ment, slots)
+	for slot, cell := range probes {
+		e := s.mfill[cell]
+		s.mfill[cell] = e + 1
+		s.ment[e] = int32(slot)
+	}
+	s.mregion = i32Buf(s.mregion, slots)
+	total := int32(0)
+	for cell := 0; cell < ncells; cell++ {
+		lo, hi := c.cellRange(int32(cell))
+		clen := hi - lo
+		for e := s.mcnt[cell]; e < s.mcnt[cell+1]; e++ {
+			s.mregion[s.ment[e]] = total
+			total += clen
+		}
+	}
+	s.mbuf = f32Buf(s.mbuf, int(total))
+	return int(total)
+}
+
+// replayRegions replays each query's materialized probe-slot regions in
+// probe order: push (ids[row], dist) into a private top-k, then offer its
+// sorted results to the caller's collector — exactly the candidate
+// sequence the single-query scan produces, so results and ties are
+// bit-identical per query.
+func (c *ivfCoarse) replayRegions(probes []int32, nprobe, k int, ids []int64, s *searchScratch, tops []*linalg.TopK) {
+	for qi := range tops {
+		top := s.top.Reset(k)
+		for pi := 0; pi < nprobe; pi++ {
+			slot := qi*nprobe + pi
+			lo, hi := c.cellRange(probes[slot])
+			if lo == hi {
+				continue
+			}
+			o := s.mregion[slot]
+			top.PushBlock(ids[lo:hi], s.mbuf[o:o+hi-lo])
+		}
+		s.res = top.AppendResults(s.res[:0])
+		dst := tops[qi]
+		for _, nb := range s.res {
+			dst.Push(nb.ID, nb.Dist)
+		}
+	}
+}
+
 func (c *ivfCoarse) clampProbe(nprobe int) int {
 	if nprobe < 1 {
 		nprobe = 1
@@ -294,9 +363,7 @@ func (x *ivfFlat) searchWith(q []float32, k int, p SearchParams, st *Stats, s *s
 		}
 		s.dists = f32Buf(s.dists, int(hi-lo))
 		linalg.DistanceBlock(x.coarse.metric, q, data[int(lo)*dim:int(hi)*dim], s.dists)
-		for i, d := range s.dists {
-			top.Push(x.ids[int(lo)+i], d)
-		}
+		top.PushBlock(x.ids[lo:hi], s.dists)
 		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{DistComps: scanned})
@@ -329,48 +396,12 @@ func (x *ivfFlat) SearchMultiInto(queries [][]float32, k int, p SearchParams, st
 	s := x.scratch.get()
 	nprobe := x.coarse.clampProbe(p.NProbe)
 	probes := x.coarse.probeMulti(queries, nprobe, st, s)
-	ncells := x.coarse.cents.Rows()
-	slots := qn * nprobe
-
-	// Invert: count probers per cell, prefix-sum to starts, then fill the
-	// entry table in ascending (query, slot) order — so within one cell,
-	// probers are gathered in ascending query order, deterministically.
-	s.mcnt = i32Buf(s.mcnt, ncells+1)
-	for i := range s.mcnt {
-		s.mcnt[i] = 0
-	}
-	for _, cell := range probes {
-		s.mcnt[cell+1]++
-	}
-	for c := 0; c < ncells; c++ {
-		s.mcnt[c+1] += s.mcnt[c]
-	}
-	s.mfill = i32Buf(s.mfill, ncells)
-	copy(s.mfill, s.mcnt[:ncells])
-	s.ment = i32Buf(s.ment, slots)
-	for slot, cell := range probes {
-		e := s.mfill[cell]
-		s.mfill[cell] = e + 1
-		s.ment[e] = int32(slot)
-	}
-
-	// Region offsets: walking entries cell-major assigns each (query,
-	// probe-slot) its contiguous region of mbuf, sized by its cell.
-	s.mregion = i32Buf(s.mregion, slots)
-	total := int32(0)
-	for c := 0; c < ncells; c++ {
-		lo, hi := x.coarse.cellRange(int32(c))
-		clen := hi - lo
-		for e := s.mcnt[c]; e < s.mcnt[c+1]; e++ {
-			s.mregion[s.ment[e]] = total
-			total += clen
-		}
-	}
-	s.mbuf = f32Buf(s.mbuf, int(total))
+	x.coarse.invertProbes(probes, s)
 
 	// Scan each probed cell once for all its probers.
 	data := x.store.Data()
 	dim := x.store.Dim()
+	ncells := x.coarse.cents.Rows()
 	var scanned int64
 	for c := 0; c < ncells; c++ {
 		elo, ehi := int(s.mcnt[c]), int(s.mcnt[c+1])
@@ -394,27 +425,7 @@ func (x *ivfFlat) SearchMultiInto(queries [][]float32, k int, p SearchParams, st
 		scanned += int64(nq) * int64(hi-lo)
 	}
 
-	// Replay per query in probe order: same pushes, same sorted offers to
-	// the caller's collector as the single-query path.
-	for qi := 0; qi < qn; qi++ {
-		top := s.top.Reset(k)
-		for pi := 0; pi < nprobe; pi++ {
-			slot := qi*nprobe + pi
-			lo, hi := x.coarse.cellRange(probes[slot])
-			if lo == hi {
-				continue
-			}
-			o := s.mregion[slot]
-			for i := int32(0); i < hi-lo; i++ {
-				top.Push(x.ids[lo+i], s.mbuf[o+i])
-			}
-		}
-		s.res = top.AppendResults(s.res[:0])
-		dst := tops[qi]
-		for _, nb := range s.res {
-			dst.Push(nb.ID, nb.Dist)
-		}
-	}
+	x.coarse.replayRegions(probes, nprobe, k, x.ids, s, tops)
 	accumulate(st, Stats{DistComps: scanned})
 	for j := range s.mqrows {
 		s.mqrows[j] = nil // don't pin caller query slices in the pool

@@ -14,11 +14,14 @@ import (
 // shrinks or nbits shrinks, which is exactly the trade-off the tuner must
 // learn.
 //
-// Layout: codes are one flat []uint16 arena grouped cell-major (m entries
-// per row); codebooks are one (m*ksub) x subDim arena whose subspace-s
-// codeword c is row s*ksub+c, so the per-query ADC table build is m blocked
-// kernel calls over contiguous codeword ranges; the table itself is one
-// flat m*ksub []float32 drawn from the query scratch.
+// Layout: codes are one flat arena grouped cell-major (m entries per
+// row), packed at the narrowest width the trained codebook allows —
+// codes8 when ksubN ≤ 256 (the default nbits=8 and below), codes16
+// otherwise; exactly one of the two is non-nil. Codebooks are one
+// (m*ksub) x subDim arena whose subspace-s codeword c is row s*ksub+c, so
+// the per-query ADC table build is m blocked kernel calls over contiguous
+// codeword ranges; the table itself is one flat m*ksub []float32 drawn
+// from the query scratch and scanned by the linalg PQScan kernels.
 type ivfPQ struct {
 	coarse *ivfCoarse
 	m      int // subquantizers; divides dim
@@ -30,7 +33,8 @@ type ivfPQ struct {
 	// ksubN is the actual per-subspace codebook size: 1<<nbits, clamped
 	// down by the trainer when the corpus is smaller.
 	ksubN   int
-	codes   []uint16 // grouped, m per row
+	codes8  []uint8  // grouped, m per row; nil when ksubN > 256
+	codes16 []uint16 // grouped, m per row; nil when ksubN ≤ 256
 	ids     []int64  // grouped
 	scratch scratchPool
 }
@@ -83,7 +87,7 @@ func (x *ivfPQ) Build(store *linalg.Matrix, ids []int64) error {
 	n := store.Rows()
 	ksub := 1 << x.nbits
 	x.books = linalg.NewMatrix(x.subDim, x.m*ksub)
-	x.codes = make([]uint16, n*x.m)
+	assigns := make([][]int, x.m)
 	for s := 0; s < x.m; s++ {
 		lo, hi := s*x.subDim, (s+1)*x.subDim
 		// The subspace view is strided (stride = dim), clustered without
@@ -101,18 +105,44 @@ func (x *ivfPQ) Build(store *linalg.Matrix, ids []int64) error {
 		for _, cw := range res.Centroids {
 			x.books.AppendRow(cw)
 		}
-		for g, o := range order {
-			x.codes[g*x.m+s] = uint16(res.Assign[o])
+		assigns[s] = res.Assign
+	}
+	// Pack at the narrowest width the trained codebook allows: one byte
+	// per entry when every codeword index fits, halving code-arena
+	// traffic on every scan at the default nbits=8.
+	if x.ksubN <= 256 {
+		x.codes8 = make([]uint8, n*x.m)
+		for s, as := range assigns {
+			for g, o := range order {
+				x.codes8[g*x.m+s] = uint8(as[o])
+			}
+		}
+	} else {
+		x.codes16 = make([]uint16, n*x.m)
+		for s, as := range assigns {
+			for g, o := range order {
+				x.codes16[g*x.m+s] = uint16(as[o])
+			}
 		}
 	}
 	x.ids = gatherIDs(ids, order)
-	// Codebook training cost, scaled to full-dimension units: each
-	// subspace comparison touches subDim of dim dimensions.
+	// Codebook training cost in full-dimension units: the final assign
+	// pass compares every row to every codeword in each of the m
+	// subspaces, and each subspace comparison touches subDim = dim/m
+	// dimensions — m * (n*ksubN) * (1/m) = n*ksubN full-dim equivalents.
 	x.coarse.buildWork.Add(Stats{
-		DistComps: int64(n) * int64(ksub) / int64(maxInt(1, x.m)) * int64(x.m) / int64(maxInt(1, x.m)),
+		DistComps: int64(n) * int64(x.ksubN),
 		CodeComps: int64(n),
 	})
 	return nil
+}
+
+// codeLen reports the number of packed code entries (rows × m).
+func (x *ivfPQ) codeLen() int {
+	if x.codes8 != nil {
+		return len(x.codes8)
+	}
+	return len(x.codes16)
 }
 
 func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.Neighbor {
@@ -120,7 +150,7 @@ func (x *ivfPQ) Search(q []float32, k int, p SearchParams, st *Stats) []linalg.N
 }
 
 func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
-	if len(x.codes) == 0 || k < 1 {
+	if x.codeLen() == 0 || k < 1 {
 		return dst
 	}
 	cells := x.coarse.probe(q, x.coarse.clampProbe(p.NProbe), st, s)
@@ -128,7 +158,8 @@ func (x *ivfPQ) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 }
 
 // scanCells builds the per-query ADC table and scans the given cells'
-// codes in probe order, returning the top-k appended to dst.
+// codes in probe order with the unrolled PQScan kernels (four independent
+// gather chains per code row), returning the top-k appended to dst.
 func (x *ivfPQ) scanCells(q []float32, cells []int32, k int, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	// Build the flat ADC lookup table: adc[s*ksub+c] is the distance
 	// between the query's subvector s and codeword c, computed with one
@@ -152,14 +183,16 @@ func (x *ivfPQ) scanCells(q []float32, cells []int32, k int, st *Stats, s *searc
 	var candidates int64
 	for _, cell := range cells {
 		lo, hi := x.coarse.cellRange(cell)
-		for g := int(lo); g < int(hi); g++ {
-			code := x.codes[g*m : (g+1)*m]
-			var d float32
-			for sub := 0; sub < m; sub++ {
-				d += adc[sub*ksub+int(code[sub])]
-			}
-			top.Push(x.ids[g], d)
+		if lo == hi {
+			continue
 		}
+		s.dists = f32Buf(s.dists, int(hi-lo))
+		if x.codes8 != nil {
+			linalg.PQScan8(adc, x.codes8[int(lo)*m:int(hi)*m], m, ksub, s.dists)
+		} else {
+			linalg.PQScan16(adc, x.codes16[int(lo)*m:int(hi)*m], m, ksub, s.dists)
+		}
+		top.PushBlock(x.ids[lo:hi], s.dists)
 		candidates += int64(hi - lo)
 	}
 	accumulate(st, Stats{Lookups: candidates * int64(m)})
@@ -173,23 +206,75 @@ func (x *ivfPQ) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *l
 	searchIntoPooled(x, q, k, p, st, top)
 }
 
-// SearchMultiInto batches the coarse centroid assignment across the query
-// tile; the ADC table build and code scans stay per-query (the table is
-// query-specific and the scan is table lookups, not a blocked kernel).
+// SearchMultiInto shares the code-arena streaming across the query tile:
+// batched coarse assignment, all Q ADC tables built into one flat arena
+// (one DistanceMultiScatter per subspace over the contiguous codeword
+// range — bit-identical to Q per-query DistanceBlock builds), then the
+// probe table is inverted cell→probers and each probed cell's code range
+// is walked once for all of its probers (each code row's entries load
+// once per tile, not once per query), and a per-query replay reproduces
+// the single-query candidate sequence exactly.
 func (x *ivfPQ) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
 	qn := len(queries)
-	if len(x.codes) == 0 || k < 1 || qn == 0 {
+	if x.codeLen() == 0 || k < 1 || qn == 0 {
 		return
 	}
 	s := x.scratch.get()
 	nprobe := x.coarse.clampProbe(p.NProbe)
 	probes := x.coarse.probeMulti(queries, nprobe, st, s)
-	for qi, q := range queries {
-		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, st, s, s.res[:0])
-		dst := tops[qi]
-		for _, nb := range s.res {
-			dst.Push(nb.ID, nb.Dist)
+
+	// Phase 1b: all Q ADC tables, one blocked multi-query kernel call per
+	// subspace over the contiguous codeword arena.
+	ksub := x.ksubN
+	m := x.m
+	tab := m * ksub
+	s.madc = f32Buf(s.madc, qn*tab)
+	books := x.books.Data()
+	rowLen := ksub * x.subDim
+	s.mqrows = f32sBuf(s.mqrows, qn)
+	s.mouts = f32sBuf(s.mouts, qn)
+	for sub := 0; sub < m; sub++ {
+		for qi, q := range queries {
+			s.mqrows[qi] = q[sub*x.subDim : (sub+1)*x.subDim]
+			s.mouts[qi] = s.madc[qi*tab+sub*ksub : qi*tab+(sub+1)*ksub]
 		}
+		linalg.DistanceMultiScatter(x.coarse.metric, s.mqrows, books[sub*rowLen:(sub+1)*rowLen], s.mouts)
+	}
+	accumulate(st, Stats{DistComps: int64(qn) * int64(ksub)})
+
+	// Phase 2: invert and scan each probed cell once for all its probers.
+	total := x.coarse.invertProbes(probes, s)
+	ncells := x.coarse.cents.Rows()
+	for c := 0; c < ncells; c++ {
+		elo, ehi := int(s.mcnt[c]), int(s.mcnt[c+1])
+		if elo == ehi {
+			continue
+		}
+		lo, hi := x.coarse.cellRange(int32(c))
+		if lo == hi {
+			continue
+		}
+		nq := ehi - elo
+		s.mqrows = f32sBuf(s.mqrows, nq)
+		s.mouts = f32sBuf(s.mouts, nq)
+		for j := 0; j < nq; j++ {
+			slot := s.ment[elo+j]
+			qi := int(slot) / nprobe
+			s.mqrows[j] = s.madc[qi*tab : (qi+1)*tab]
+			o := s.mregion[slot]
+			s.mouts[j] = s.mbuf[o : o+hi-lo]
+		}
+		if x.codes8 != nil {
+			linalg.PQScan8Multi(s.mqrows[:nq], x.codes8[int(lo)*m:int(hi)*m], m, ksub, s.mouts[:nq])
+		} else {
+			linalg.PQScan16Multi(s.mqrows[:nq], x.codes16[int(lo)*m:int(hi)*m], m, ksub, s.mouts[:nq])
+		}
+	}
+
+	x.coarse.replayRegions(probes, nprobe, k, x.ids, s, tops)
+	accumulate(st, Stats{Lookups: int64(total) * int64(m)})
+	for j := range s.mqrows {
+		s.mqrows[j] = nil // don't pin caller query slices in the pool
 	}
 	x.scratch.put(s)
 }
@@ -199,15 +284,13 @@ func (x *ivfPQ) SearchBatch(queries [][]float32, k int, p SearchParams, st *Stat
 }
 
 func (x *ivfPQ) MemoryBytes() int64 {
-	codeBytes := int64(1)
-	if x.nbits > 8 {
-		codeBytes = 2
-	}
 	var bookBytes int64
 	if x.books != nil {
 		bookBytes = x.books.Bytes() // exact: m*ksubN rows (ksub may be clamped)
 	}
-	return int64(len(x.ids))*int64(x.m)*codeBytes +
+	// Codes at their actual packed width: 1 byte per entry in codes8,
+	// 2 in codes16 (exactly one of the two is populated).
+	return int64(len(x.codes8)) + 2*int64(len(x.codes16)) +
 		bookBytes +
 		x.coarse.centroidBytes() +
 		int64(len(x.ids))*4 // grouped row ids

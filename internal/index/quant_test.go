@@ -202,10 +202,14 @@ func TestPQCodeWidth(t *testing.T) {
 		t.Fatal(err)
 	}
 	pq := idx.(*ivfPQ)
+	if pq.codes8 == nil || pq.codes16 != nil {
+		t.Fatalf("ksubN=%d should pack 1-byte codes (codes8=%v codes16=%v)",
+			pq.ksubN, pq.codes8 != nil, pq.codes16 != nil)
+	}
 	limit := uint16(1) << pq.nbits
 	for i := range pq.ids {
-		for s, c := range pq.codes[i*pq.m : (i+1)*pq.m] {
-			if c >= limit {
+		for s, c := range pq.codes8[i*pq.m : (i+1)*pq.m] {
+			if uint16(c) >= limit {
 				t.Fatalf("vector %d subspace %d code %d >= %d", i, s, c, limit)
 			}
 		}
@@ -241,5 +245,94 @@ func TestTopKQuickProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPQBuildDistCompsFormula pins the codebook-training cost charged by
+// ivfPQ.Build: the full-dimension-equivalent comparisons on top of the
+// shared coarse training are exactly n*ksubN (m subspace passes of n*ksubN
+// comparisons, each touching subDim = dim/m of the dimensions), and
+// encoding charges one code-domain pass over the corpus.
+func TestPQBuildDistCompsFormula(t *testing.T) {
+	vecs, ids, _, _ := testData(t, 900, 1, 16, 1, 41)
+	store := linalg.MatrixFromRows(vecs)
+	bp := BuildParams{NList: 16, M: 4, NBits: 6, Seed: 41}
+
+	flat, err := New(IVFFlat, linalg.L2, 16, BuildParams{NList: bp.NList, Seed: bp.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Build(store, ids); err != nil {
+		t.Fatal(err)
+	}
+	coarse := flat.BuildStats() // identical nlist/seed/workers → identical coarse cost
+
+	idx, err := New(IVFPQ, linalg.L2, 16, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(store, ids); err != nil {
+		t.Fatal(err)
+	}
+	pq := idx.(*ivfPQ)
+	st := idx.BuildStats()
+
+	n := int64(len(vecs))
+	wantDist := coarse.DistComps + n*int64(pq.ksubN)
+	if st.DistComps != wantDist {
+		t.Errorf("Build DistComps = %d, want coarse %d + n*ksubN %d = %d",
+			st.DistComps, coarse.DistComps, n*int64(pq.ksubN), wantDist)
+	}
+	if st.CodeComps != coarse.CodeComps+n {
+		t.Errorf("Build CodeComps = %d, want %d (one encode pass)", st.CodeComps, coarse.CodeComps+n)
+	}
+}
+
+// TestPQWideCodesMultiMatchesSingle drives the 2-byte code path (nbits > 8
+// trains ksubN > 256 codewords, so codes cannot pack to one byte) through
+// the same multi≡single contract as the narrow path, and pins the width
+// choice itself.
+func TestPQWideCodesMultiMatchesSingle(t *testing.T) {
+	const k = 10
+	sp := SearchParams{NProbe: 4}
+	vecs, ids, queries, _ := testData(t, 700, 64, 16, k, 42)
+	idx, err := New(IVFPQ, linalg.L2, 16, BuildParams{NList: 16, M: 4, NBits: 9, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Build(linalg.MatrixFromRows(vecs), ids); err != nil {
+		t.Fatal(err)
+	}
+	pq := idx.(*ivfPQ)
+	if pq.ksubN <= 256 {
+		t.Fatalf("nbits=9 trained only %d codewords; test needs ksubN > 256", pq.ksubN)
+	}
+	if pq.codes16 == nil || pq.codes8 != nil {
+		t.Fatalf("ksubN=%d must pack 2-byte codes (codes8=%v codes16=%v)",
+			pq.ksubN, pq.codes8 != nil, pq.codes16 != nil)
+	}
+	for _, qn := range []int{1, 7, 64} {
+		qs := queries[:qn]
+		var stSeq Stats
+		want := make([][]linalg.Neighbor, qn)
+		for i, q := range qs {
+			top := linalg.NewTopK(k)
+			idx.SearchInto(q, k, sp, &stSeq, top)
+			want[i] = top.Results()
+		}
+		var stMulti Stats
+		tops := make([]*linalg.TopK, qn)
+		for i := range tops {
+			tops[i] = linalg.NewTopK(k)
+		}
+		idx.SearchMultiInto(qs, k, sp, &stMulti, tops)
+		if stMulti != stSeq {
+			t.Errorf("qn=%d: multi stats %+v != sequential %+v", qn, stMulti, stSeq)
+		}
+		for i := range qs {
+			if got := tops[i].Results(); !neighborsBitEqual(got, want[i]) {
+				t.Errorf("qn=%d query %d: wide-code multi results diverge", qn, i)
+			}
+		}
 	}
 }

@@ -67,7 +67,9 @@ func (x *scann) searchWith(q []float32, k int, p SearchParams, st *Stats, s *sea
 }
 
 // scanCells runs both SCANN stages over the given cells in probe order:
-// quantized stage-1 selection, then exact re-ranking.
+// blocked quantized stage-1 selection (the SQ8 decode kernels stream each
+// cell's contiguous byte range), then exact re-ranking of the survivors
+// through the blocked float kernel over a gathered candidate arena.
 func (x *scann) scanCells(q []float32, cells []int32, k int, p SearchParams, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	reorder := p.ReorderK
 	if reorder < k {
@@ -77,12 +79,18 @@ func (x *scann) scanCells(q []float32, cells []int32, k int, p SearchParams, st 
 
 	// Stage 1: quantized scoring of the probed cells, keeping the best
 	// reorder_k candidates by grouped row.
+	sm, qa := x.codec.scanArg(x.coarse.metric, q, s)
 	stage1 := s.stage1.Reset(reorder)
 	var scanned int64
 	for _, cell := range cells {
 		lo, hi := x.coarse.cellRange(cell)
-		for g := int(lo); g < int(hi); g++ {
-			stage1.Push(int64(g), x.codec.dist(x.coarse.metric, q, x.codes[g*dim:(g+1)*dim]))
+		if lo == hi {
+			continue
+		}
+		s.dists = f32Buf(s.dists, int(hi-lo))
+		linalg.DistanceSQ8Block(sm, qa, x.codec.min, x.codec.scale, x.codes[int(lo)*dim:int(hi)*dim], s.dists)
+		for i, d := range s.dists {
+			stage1.Push(int64(int(lo)+i), d)
 		}
 		scanned += int64(hi - lo)
 	}
@@ -91,9 +99,9 @@ func (x *scann) scanCells(q []float32, cells []int32, k int, p SearchParams, st 
 	// Stage 2: exact re-ranking of the survivors.
 	s.neighbors = stage1.AppendResults(s.neighbors[:0])
 	top := s.top.Reset(k)
-	for _, c := range s.neighbors {
-		g := int(c.ID)
-		top.Push(x.ids[g], linalg.Distance(x.coarse.metric, q, x.store.Row(g)))
+	x.rerank(q, s)
+	for ci, c := range s.neighbors {
+		top.Push(x.ids[int(c.ID)], s.dists[ci])
 	}
 	accumulate(st, Stats{DistComps: int64(len(s.neighbors))})
 	if dst == nil {
@@ -102,26 +110,113 @@ func (x *scann) scanCells(q []float32, cells []int32, k int, p SearchParams, st 
 	return top.AppendResults(dst)
 }
 
+// rerank gathers the stage-1 survivors in s.neighbors into the contiguous
+// s.gath arena and scores them exactly with one blocked kernel call,
+// leaving candidate ci's distance in s.dists[ci]. Gathered rows are exact
+// copies, so each output is bitwise equal to a per-row linalg.Distance.
+func (x *scann) rerank(q []float32, s *searchScratch) {
+	dim := x.coarse.dim
+	n := len(s.neighbors)
+	s.gath = f32Buf(s.gath, n*dim)
+	for ci, c := range s.neighbors {
+		copy(s.gath[ci*dim:(ci+1)*dim], x.store.Row(int(c.ID)))
+	}
+	s.dists = f32Buf(s.dists, n)
+	linalg.DistanceBlock(x.coarse.metric, q, s.gath[:n*dim], s.dists)
+}
+
 func (x *scann) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *linalg.TopK) {
 	searchIntoPooled(x, q, k, p, st, top)
 }
 
-// SearchMultiInto batches the coarse centroid assignment across the query
-// tile; the quantized stage-1 scans and exact re-ranks stay per-query.
+// SearchMultiInto shares the quantized stage-1 streaming across the query
+// tile: batched coarse assignment, cell→prober inversion with each probed
+// cell's code range decoded once per quad of probers by the multi-query
+// SQ8 kernels, then a per-query replay that selects each query's reorder_k
+// survivors in the single-query candidate order and re-ranks them exactly
+// through the blocked float kernel — results are bit-identical per query.
 func (x *scann) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
 	qn := len(queries)
 	if len(x.codes) == 0 || k < 1 || qn == 0 {
 		return
 	}
+	reorder := p.ReorderK
+	if reorder < k {
+		reorder = k
+	}
 	s := x.scratch.get()
 	nprobe := x.coarse.clampProbe(p.NProbe)
 	probes := x.coarse.probeMulti(queries, nprobe, st, s)
+	total := x.coarse.invertProbes(probes, s)
+
+	dim := x.coarse.dim
+	sm := x.codec.scanMetric(x.coarse.metric)
+	l2 := sm == linalg.L2
+	if l2 {
+		s.mres = f32Buf(s.mres, qn*dim)
+		for qi, q := range queries {
+			linalg.SQ8Residual(q, x.codec.min, s.mres[qi*dim:(qi+1)*dim])
+		}
+	}
+
+	ncells := x.coarse.cents.Rows()
+	for c := 0; c < ncells; c++ {
+		elo, ehi := int(s.mcnt[c]), int(s.mcnt[c+1])
+		if elo == ehi {
+			continue
+		}
+		lo, hi := x.coarse.cellRange(int32(c))
+		if lo == hi {
+			continue
+		}
+		nq := ehi - elo
+		s.mqrows = f32sBuf(s.mqrows, nq)
+		s.mouts = f32sBuf(s.mouts, nq)
+		for j := 0; j < nq; j++ {
+			slot := s.ment[elo+j]
+			qi := int(slot) / nprobe
+			if l2 {
+				s.mqrows[j] = s.mres[qi*dim : (qi+1)*dim]
+			} else {
+				s.mqrows[j] = queries[qi]
+			}
+			o := s.mregion[slot]
+			s.mouts[j] = s.mbuf[o : o+hi-lo]
+		}
+		linalg.DistanceSQ8MultiScatter(sm, s.mqrows, x.codec.min, x.codec.scale,
+			x.codes[int(lo)*dim:int(hi)*dim], s.mouts)
+	}
+
+	var reranked int64
 	for qi, q := range queries {
-		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, p, st, s, s.res[:0])
+		stage1 := s.stage1.Reset(reorder)
+		for pi := 0; pi < nprobe; pi++ {
+			slot := qi*nprobe + pi
+			lo, hi := x.coarse.cellRange(probes[slot])
+			if lo == hi {
+				continue
+			}
+			o := s.mregion[slot]
+			for i := int32(0); i < hi-lo; i++ {
+				stage1.Push(int64(lo+i), s.mbuf[o+i])
+			}
+		}
+		s.neighbors = stage1.AppendResults(s.neighbors[:0])
+		x.rerank(q, s)
+		top := s.top.Reset(k)
+		for ci, c := range s.neighbors {
+			top.Push(x.ids[int(c.ID)], s.dists[ci])
+		}
+		reranked += int64(len(s.neighbors))
+		s.res = top.AppendResults(s.res[:0])
 		dst := tops[qi]
 		for _, nb := range s.res {
 			dst.Push(nb.ID, nb.Dist)
 		}
+	}
+	accumulate(st, Stats{CodeComps: int64(total), DistComps: reranked})
+	for j := range s.mqrows {
+		s.mqrows[j] = nil // don't pin caller query slices in the pool
 	}
 	x.scratch.put(s)
 }

@@ -99,24 +99,21 @@ func (c *sq8Codec) encode(v []float32, dst []byte) {
 	}
 }
 
-// dist computes the approximate distance between query q and code under the
-// metric, reconstructing each dimension on the fly.
-func (c *sq8Codec) dist(m linalg.Metric, q []float32, code []byte) float32 {
-	switch m {
-	case linalg.InnerProduct:
-		var dot float32
-		for j, b := range code {
-			dot += q[j] * (c.min[j] + float32(b)*c.scale[j])
-		}
-		return -dot
-	default: // L2 and Angular-normalized-as-L2
-		var s float32
-		for j, b := range code {
-			d := q[j] - (c.min[j] + float32(b)*c.scale[j])
-			s += d * d
-		}
-		return s
+// scanMetric maps the index metric onto the SQ8 kernel family: negative
+// dot for InnerProduct, reconstruction L2 for everything else (Angular
+// inputs are normalized upstream, so squared L2 ranks identically).
+func (c *sq8Codec) scanMetric(m linalg.Metric) linalg.Metric {
+	if m == linalg.InnerProduct {
+		return linalg.InnerProduct
 	}
+	return linalg.L2
+}
+
+// dist computes the approximate distance between query q and one code row:
+// the scalar form of the blocked kernel contract, bit-identical to a
+// one-row DistanceSQ8Block call.
+func (c *sq8Codec) dist(m linalg.Metric, q []float32, code []byte) float32 {
+	return linalg.SQ8Distance(c.scanMetric(m), q, c.min, c.scale, code)
 }
 
 func (c *sq8Codec) bytes() int64 {
@@ -180,17 +177,37 @@ func (x *ivfSQ8) searchWith(q []float32, k int, p SearchParams, st *Stats, s *se
 	return x.scanCells(q, cells, k, st, s, dst)
 }
 
+// scanArg hoists the per-query affine constant of a blocked SQ8 scan: the
+// L2 kernels take the residual q - min (computed once into s.resid), the
+// dot kernels the raw query. Returns the kernel metric and the query
+// argument to pass.
+func (c *sq8Codec) scanArg(m linalg.Metric, q []float32, s *searchScratch) (linalg.Metric, []float32) {
+	sm := c.scanMetric(m)
+	if sm == linalg.L2 {
+		s.resid = f32Buf(s.resid, c.dim)
+		linalg.SQ8Residual(q, c.min, s.resid)
+		return sm, s.resid
+	}
+	return sm, q
+}
+
 // scanCells scores the given cells' quantized codes against q in probe
-// order, returning the top-k appended to dst.
+// order with the blocked decode kernels — each cell's contiguous byte
+// range streams through DistanceSQ8Block — returning the top-k appended
+// to dst.
 func (x *ivfSQ8) scanCells(q []float32, cells []int32, k int, st *Stats, s *searchScratch, dst []linalg.Neighbor) []linalg.Neighbor {
 	dim := x.coarse.dim
+	sm, qa := x.codec.scanArg(x.coarse.metric, q, s)
 	top := s.top.Reset(k)
 	var scanned int64
 	for _, cell := range cells {
 		lo, hi := x.coarse.cellRange(cell)
-		for g := int(lo); g < int(hi); g++ {
-			top.Push(x.ids[g], x.codec.dist(x.coarse.metric, q, x.codes[g*dim:(g+1)*dim]))
+		if lo == hi {
+			continue
 		}
+		s.dists = f32Buf(s.dists, int(hi-lo))
+		linalg.DistanceSQ8Block(sm, qa, x.codec.min, x.codec.scale, x.codes[int(lo)*dim:int(hi)*dim], s.dists)
+		top.PushBlock(x.ids[lo:hi], s.dists)
 		scanned += int64(hi - lo)
 	}
 	accumulate(st, Stats{CodeComps: scanned})
@@ -204,10 +221,12 @@ func (x *ivfSQ8) SearchInto(q []float32, k int, p SearchParams, st *Stats, top *
 	searchIntoPooled(x, q, k, p, st, top)
 }
 
-// SearchMultiInto batches the coarse centroid assignment (one multi-query
-// blocked pass over the centroid arena) and keeps the quantized
-// posting-list scans per-query: the byte-domain scoring has no blocked
-// kernel to share, so only the coarse stage benefits from the tile.
+// SearchMultiInto shares the byte-domain posting-list streaming across
+// the query tile, the same three phases as IVF_FLAT's: batched coarse
+// assignment, cell→prober inversion with each probed cell's code range
+// decoded once per quad of probers by the multi-query SQ8 kernels
+// (residuals hoisted per query up front under L2), and a per-query replay
+// that reproduces the single-query candidate sequence exactly.
 func (x *ivfSQ8) SearchMultiInto(queries [][]float32, k int, p SearchParams, st *Stats, tops []*linalg.TopK) {
 	qn := len(queries)
 	if len(x.codes) == 0 || k < 1 || qn == 0 {
@@ -216,12 +235,51 @@ func (x *ivfSQ8) SearchMultiInto(queries [][]float32, k int, p SearchParams, st 
 	s := x.scratch.get()
 	nprobe := x.coarse.clampProbe(p.NProbe)
 	probes := x.coarse.probeMulti(queries, nprobe, st, s)
-	for qi, q := range queries {
-		s.res = x.scanCells(q, probes[qi*nprobe:(qi+1)*nprobe], k, st, s, s.res[:0])
-		dst := tops[qi]
-		for _, nb := range s.res {
-			dst.Push(nb.ID, nb.Dist)
+	total := x.coarse.invertProbes(probes, s)
+
+	dim := x.coarse.dim
+	sm := x.codec.scanMetric(x.coarse.metric)
+	l2 := sm == linalg.L2
+	if l2 {
+		// Hoist every query's residual into the flat arena once.
+		s.mres = f32Buf(s.mres, qn*dim)
+		for qi, q := range queries {
+			linalg.SQ8Residual(q, x.codec.min, s.mres[qi*dim:(qi+1)*dim])
 		}
+	}
+
+	ncells := x.coarse.cents.Rows()
+	for c := 0; c < ncells; c++ {
+		elo, ehi := int(s.mcnt[c]), int(s.mcnt[c+1])
+		if elo == ehi {
+			continue
+		}
+		lo, hi := x.coarse.cellRange(int32(c))
+		if lo == hi {
+			continue
+		}
+		nq := ehi - elo
+		s.mqrows = f32sBuf(s.mqrows, nq)
+		s.mouts = f32sBuf(s.mouts, nq)
+		for j := 0; j < nq; j++ {
+			slot := s.ment[elo+j]
+			qi := int(slot) / nprobe
+			if l2 {
+				s.mqrows[j] = s.mres[qi*dim : (qi+1)*dim]
+			} else {
+				s.mqrows[j] = queries[qi]
+			}
+			o := s.mregion[slot]
+			s.mouts[j] = s.mbuf[o : o+hi-lo]
+		}
+		linalg.DistanceSQ8MultiScatter(sm, s.mqrows, x.codec.min, x.codec.scale,
+			x.codes[int(lo)*dim:int(hi)*dim], s.mouts)
+	}
+
+	x.coarse.replayRegions(probes, nprobe, k, x.ids, s, tops)
+	accumulate(st, Stats{CodeComps: int64(total)})
+	for j := range s.mqrows {
+		s.mqrows[j] = nil // don't pin caller query slices in the pool
 	}
 	x.scratch.put(s)
 }

@@ -76,3 +76,94 @@ func l2Multi4Kernel(q0, q1, q2, q3, block []float32, o0, o1, o2, o3 []float32) {
 	_ = block[rows*dim-1]
 	l2Multi4SSE(q0, q1, q2, q3, block, o0, o1[:rows], o2[:rows], o3[:rows])
 }
+
+// SQ8 byte-domain kernels: same lane contract, with the u8 code row
+// widened in-register (PUNPCKLBW/PUNPCKLWL + CVTPL2PS) — four bytes decode
+// to four float32 lanes per step, so lane l still accumulates indices
+// ≡ l mod 4 and outputs stay bitwise equal to the portable kernels.
+
+//go:noescape
+func sq8L2BlockSSE(r, scale []float32, codes []byte, out []float32)
+
+//go:noescape
+func sq8DotBlockSSE(q, min, scale []float32, codes []byte, out []float32, op int64)
+
+//go:noescape
+func sq8L2Multi4SSE(r0, r1, r2, r3, scale []float32, codes []byte, o0, o1, o2, o3 []float32)
+
+//go:noescape
+func sq8DotMulti4SSE(q0, q1, q2, q3, min, scale []float32, codes []byte, o0, o1, o2, o3 []float32, op int64)
+
+func sq8L2BlockKernel(r, scale []float32, codes []byte, out []float32) {
+	dim := len(r)
+	if len(out) == 0 {
+		return
+	}
+	if dim == 0 || len(scale) != dim {
+		sq8L2BlockGo(r, scale, codes, out)
+		return
+	}
+	_ = codes[len(out)*dim-1] // one bounds check for the whole arena scan
+	sq8L2BlockSSE(r, scale, codes, out)
+}
+
+func sq8DotBlockKernel(q, min, scale []float32, codes []byte, out []float32, op int) {
+	dim := len(q)
+	if len(out) == 0 {
+		return
+	}
+	if dim == 0 || len(min) != dim || len(scale) != dim {
+		sq8DotBlockGo(q, min, scale, codes, out, op)
+		return
+	}
+	_ = codes[len(out)*dim-1]
+	sq8DotBlockSSE(q, min, scale, codes, out, int64(op))
+}
+
+func sq8L2Multi4Kernel(r0, r1, r2, r3, scale []float32, codes []byte, o0, o1, o2, o3 []float32) {
+	rows := len(o0)
+	dim := len(r0)
+	if rows == 0 {
+		return
+	}
+	if dim == 0 || len(r1) != dim || len(r2) != dim || len(r3) != dim || len(scale) != dim {
+		sq8L2Multi4Go(r0, r1, r2, r3, scale, codes, o0, o1, o2, o3)
+		return
+	}
+	_ = codes[rows*dim-1]
+	sq8L2Multi4SSE(r0, r1, r2, r3, scale, codes, o0, o1[:rows], o2[:rows], o3[:rows])
+}
+
+func sq8DotMulti4Kernel(q0, q1, q2, q3, min, scale []float32, codes []byte, o0, o1, o2, o3 []float32, op int) {
+	rows := len(o0)
+	dim := len(q0)
+	if rows == 0 {
+		return
+	}
+	if dim == 0 || len(q1) != dim || len(q2) != dim || len(q3) != dim || len(min) != dim || len(scale) != dim {
+		sq8DotMulti4Go(q0, q1, q2, q3, min, scale, codes, o0, o1, o2, o3, op)
+		return
+	}
+	_ = codes[rows*dim-1]
+	sq8DotMulti4SSE(q0, q1, q2, q3, min, scale, codes, o0, o1[:rows], o2[:rows], o3[:rows], int64(op))
+}
+
+//go:noescape
+func pqScan8SSE(table []float32, codes []byte, m, ksub int64, out []float32)
+
+// pqScan8Kernel dispatches the narrow ADC scan. The asm path gathers
+// table[j*ksub+code] without per-element bounds checks, so it requires
+// the table to cover the worst representable code ((m-1)*ksub + 255 —
+// exactly m*ksub entries at the common ksub=256) and one m-byte code row
+// per output; anything short falls back to the bounds-checked Go loop.
+func pqScan8Kernel(table []float32, codes []byte, m, ksub int, out []float32) {
+	rows := len(out)
+	if rows == 0 {
+		return
+	}
+	if m <= 0 || ksub <= 0 || len(table) < (m-1)*ksub+256 || len(codes) < rows*m {
+		pqScan8Go(table, codes, m, ksub, out)
+		return
+	}
+	pqScan8SSE(table, codes, int64(m), int64(ksub), out)
+}

@@ -405,3 +405,514 @@ l2m4reduce:
 
 l2m4done:
 	RET
+
+// SQ8 byte-domain kernels. The decode runs in-register: four code bytes
+// load with one MOVL, widen u8→s32 (PUNPCKLBW/PUNPCKLWL against zero),
+// convert with CVTPL2PS, and scale with one MULPS — so lane l holds the
+// decoded element at index ≡ l mod 4, the same split as the float
+// kernels, and every downstream op (SUBPS/MULPS/ADDPS, scalar tail into
+// lane 0, ((s0+s1)+s2)+s3 reduce) matches the portable contract in
+// kernels_sq8.go bitwise. X6 stays zero throughout for the unpacks.
+
+// func sq8L2BlockSSE(r, scale []float32, codes []byte, out []float32)
+// r is the hoisted residual q - min; out[i] = Σ (r[j] - b[j]*scale[j])².
+TEXT ·sq8L2BlockSSE(SB), NOSPLIT, $0-96
+	MOVQ  r_base+0(FP), SI
+	MOVQ  r_len+8(FP), BX     // dim
+	MOVQ  scale_base+24(FP), R15
+	MOVQ  codes_base+48(FP), DI
+	MOVQ  out_base+72(FP), DX
+	MOVQ  out_len+80(FP), CX  // rows
+
+	TESTQ CX, CX
+	JE    sq8l2done
+
+	PXOR X6, X6               // zero lanes for the byte unpack
+
+	MOVQ BX, R10
+	ANDQ $-4, R10             // vecend = dim &^ 3
+
+sq8l2row:
+	XORPS X0, X0
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    sq8l2tail
+
+sq8l2vec:
+	MOVL      (DI)(R8*1), AX
+	MOVQ      AX, X1
+	PUNPCKLBW X6, X1
+	PUNPCKLWL X6, X1
+	CVTPL2PS  X1, X1          // f32(b[j..j+3])
+	MOVUPS    (R15)(R8*4), X2
+	MULPS     X2, X1          // t = b*scale
+	MOVUPS    (SI)(R8*4), X2
+	SUBPS     X1, X2          // d = r - t
+	MULPS     X2, X2
+	ADDPS     X2, X0
+	ADDQ      $4, R8
+	CMPQ      R8, R10
+	JL        sq8l2vec
+
+sq8l2tail:
+	CMPQ R8, BX
+	JGE  sq8l2reduce
+
+sq8l2tailloop:
+	MOVBLZX  (DI)(R8*1), AX
+	CVTSL2SS AX, X1
+	MOVSS    (R15)(R8*4), X2
+	MULSS    X2, X1
+	MOVSS    (SI)(R8*4), X2
+	SUBSS    X1, X2
+	MULSS    X2, X2
+	ADDSS    X2, X0
+	INCQ     R8
+	CMPQ     R8, BX
+	JL       sq8l2tailloop
+
+sq8l2reduce:
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	MOVAPS X0, X2
+	SHUFPS $0xAA, X2, X2
+	MOVAPS X0, X3
+	SHUFPS $0xFF, X3, X3
+	ADDSS  X1, X0
+	ADDSS  X2, X0
+	ADDSS  X3, X0
+	MOVSS  X0, (DX)
+
+	ADDQ $4, DX
+	LEAQ (DI)(BX*1), DI       // codes += dim bytes
+	DECQ CX
+	JNZ  sq8l2row
+
+sq8l2done:
+	RET
+
+// func sq8DotBlockSSE(q, min, scale []float32, codes []byte, out []float32, op int64)
+// out[i] = op(Σ q[j] * (min[j] + b[j]*scale[j])).
+TEXT ·sq8DotBlockSSE(SB), NOSPLIT, $0-128
+	MOVQ  q_base+0(FP), SI
+	MOVQ  q_len+8(FP), BX     // dim
+	MOVQ  min_base+24(FP), R14
+	MOVQ  scale_base+48(FP), R15
+	MOVQ  codes_base+72(FP), DI
+	MOVQ  out_base+96(FP), DX
+	MOVQ  out_len+104(FP), CX // rows
+	MOVQ  op+120(FP), R9
+
+	TESTQ CX, CX
+	JE    sq8dbdone
+
+	PXOR  X6, X6
+	MOVSS signmask32<>(SB), X7
+
+	MOVQ BX, R10
+	ANDQ $-4, R10
+
+sq8dbrow:
+	XORPS X0, X0
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    sq8dbtail
+
+sq8dbvec:
+	MOVL      (DI)(R8*1), AX
+	MOVQ      AX, X1
+	PUNPCKLBW X6, X1
+	PUNPCKLWL X6, X1
+	CVTPL2PS  X1, X1
+	MOVUPS    (R15)(R8*4), X2
+	MULPS     X2, X1          // t = b*scale
+	MOVUPS    (R14)(R8*4), X2
+	ADDPS     X2, X1          // rec = min + t
+	MOVUPS    (SI)(R8*4), X2
+	MULPS     X2, X1          // q*rec
+	ADDPS     X1, X0
+	ADDQ      $4, R8
+	CMPQ      R8, R10
+	JL        sq8dbvec
+
+sq8dbtail:
+	CMPQ R8, BX
+	JGE  sq8dbreduce
+
+sq8dbtailloop:
+	MOVBLZX  (DI)(R8*1), AX
+	CVTSL2SS AX, X1
+	MOVSS    (R15)(R8*4), X2
+	MULSS    X2, X1
+	MOVSS    (R14)(R8*4), X2
+	ADDSS    X2, X1
+	MOVSS    (SI)(R8*4), X2
+	MULSS    X2, X1
+	ADDSS    X1, X0
+	INCQ     R8
+	CMPQ     R8, BX
+	JL       sq8dbtailloop
+
+sq8dbreduce:
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	MOVAPS X0, X2
+	SHUFPS $0xAA, X2, X2
+	MOVAPS X0, X3
+	SHUFPS $0xFF, X3, X3
+	ADDSS  X1, X0
+	ADDSS  X2, X0
+	ADDSS  X3, X0
+
+	CMPQ R9, $1
+	JE   sq8dbneg
+	CMPQ R9, $2
+	JE   sq8dboneminus
+	MOVSS X0, (DX)
+	JMP   sq8dbnext
+
+sq8dbneg:
+	XORPS X7, X0
+	MOVSS X0, (DX)
+	JMP   sq8dbnext
+
+sq8dboneminus:
+	MOVSS one32<>(SB), X5
+	SUBSS X0, X5
+	MOVSS X5, (DX)
+
+sq8dbnext:
+	ADDQ $4, DX
+	LEAQ (DI)(BX*1), DI
+	DECQ CX
+	JNZ  sq8dbrow
+
+sq8dbdone:
+	RET
+
+// func sq8L2Multi4SSE(r0, r1, r2, r3, scale []float32, codes []byte, o0, o1, o2, o3 []float32)
+// Four residuals share each decoded row: the u8→f32 widen + scale
+// multiply — the dominant per-element cost of a byte scan — is paid once
+// per row instead of once per (query, row). Out pointers are reloaded
+// from the frame in the per-row epilogue to stay within the 14 free GPs.
+TEXT ·sq8L2Multi4SSE(SB), NOSPLIT, $0-240
+	MOVQ  r0_base+0(FP), SI
+	MOVQ  r0_len+8(FP), BX    // dim
+	MOVQ  r1_base+24(FP), R14
+	MOVQ  r2_base+48(FP), R15
+	MOVQ  r3_base+72(FP), R13
+	MOVQ  scale_base+96(FP), DX
+	MOVQ  codes_base+120(FP), DI
+	MOVQ  o0_len+152(FP), CX  // rows
+
+	TESTQ CX, CX
+	JE    sq8l2m4done
+
+	PXOR X6, X6
+
+	MOVQ BX, R10
+	ANDQ $-4, R10
+	XORQ R11, R11             // out byte offset
+
+sq8l2m4row:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    sq8l2m4tail
+
+sq8l2m4vec:
+	MOVL      (DI)(R8*1), AX
+	MOVQ      AX, X4
+	PUNPCKLBW X6, X4
+	PUNPCKLWL X6, X4
+	CVTPL2PS  X4, X4
+	MOVUPS    (DX)(R8*4), X5
+	MULPS     X5, X4          // t, shared by the quad
+	MOVUPS    (SI)(R8*4), X5
+	SUBPS     X4, X5
+	MULPS     X5, X5
+	ADDPS     X5, X0
+	MOVUPS    (R14)(R8*4), X5
+	SUBPS     X4, X5
+	MULPS     X5, X5
+	ADDPS     X5, X1
+	MOVUPS    (R15)(R8*4), X5
+	SUBPS     X4, X5
+	MULPS     X5, X5
+	ADDPS     X5, X2
+	MOVUPS    (R13)(R8*4), X5
+	SUBPS     X4, X5
+	MULPS     X5, X5
+	ADDPS     X5, X3
+	ADDQ      $4, R8
+	CMPQ      R8, R10
+	JL        sq8l2m4vec
+
+sq8l2m4tail:
+	CMPQ R8, BX
+	JGE  sq8l2m4reduce
+
+sq8l2m4tailloop:
+	MOVBLZX  (DI)(R8*1), AX
+	CVTSL2SS AX, X4
+	MOVSS    (DX)(R8*4), X5
+	MULSS    X5, X4
+	MOVSS    (SI)(R8*4), X5
+	SUBSS    X4, X5
+	MULSS    X5, X5
+	ADDSS    X5, X0
+	MOVSS    (R14)(R8*4), X5
+	SUBSS    X4, X5
+	MULSS    X5, X5
+	ADDSS    X5, X1
+	MOVSS    (R15)(R8*4), X5
+	SUBSS    X4, X5
+	MULSS    X5, X5
+	ADDSS    X5, X2
+	MOVSS    (R13)(R8*4), X5
+	SUBSS    X4, X5
+	MULSS    X5, X5
+	ADDSS    X5, X3
+	INCQ     R8
+	CMPQ     R8, BX
+	JL       sq8l2m4tailloop
+
+sq8l2m4reduce:
+	HREDUCE(X0)
+	HREDUCE(X1)
+	HREDUCE(X2)
+	HREDUCE(X3)
+	MOVQ  o0_base+144(FP), R12
+	MOVSS X0, (R12)(R11*1)
+	MOVQ  o1_base+168(FP), R12
+	MOVSS X1, (R12)(R11*1)
+	MOVQ  o2_base+192(FP), R12
+	MOVSS X2, (R12)(R11*1)
+	MOVQ  o3_base+216(FP), R12
+	MOVSS X3, (R12)(R11*1)
+
+	ADDQ $4, R11
+	LEAQ (DI)(BX*1), DI
+	DECQ CX
+	JNZ  sq8l2m4row
+
+sq8l2m4done:
+	RET
+
+// func sq8DotMulti4SSE(q0, q1, q2, q3, min, scale []float32, codes []byte, o0, o1, o2, o3 []float32, op int64)
+TEXT ·sq8DotMulti4SSE(SB), NOSPLIT, $0-272
+	MOVQ  q0_base+0(FP), SI
+	MOVQ  q0_len+8(FP), BX    // dim
+	MOVQ  q1_base+24(FP), R14
+	MOVQ  q2_base+48(FP), R15
+	MOVQ  q3_base+72(FP), R13
+	MOVQ  min_base+96(FP), R9
+	MOVQ  scale_base+120(FP), DX
+	MOVQ  codes_base+144(FP), DI
+	MOVQ  o0_len+176(FP), CX  // rows
+
+	TESTQ CX, CX
+	JE    sq8dm4done
+
+	PXOR  X6, X6
+	MOVSS signmask32<>(SB), X7
+
+	MOVQ BX, R10
+	ANDQ $-4, R10
+	XORQ R11, R11
+
+sq8dm4row:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  R8, R8
+	TESTQ R10, R10
+	JE    sq8dm4tail
+
+sq8dm4vec:
+	MOVL      (DI)(R8*1), AX
+	MOVQ      AX, X4
+	PUNPCKLBW X6, X4
+	PUNPCKLWL X6, X4
+	CVTPL2PS  X4, X4
+	MOVUPS    (DX)(R8*4), X5
+	MULPS     X5, X4          // t = b*scale
+	MOVUPS    (R9)(R8*4), X5
+	ADDPS     X5, X4          // rec = min + t, shared by the quad
+	MOVUPS    (SI)(R8*4), X5
+	MULPS     X4, X5
+	ADDPS     X5, X0
+	MOVUPS    (R14)(R8*4), X5
+	MULPS     X4, X5
+	ADDPS     X5, X1
+	MOVUPS    (R15)(R8*4), X5
+	MULPS     X4, X5
+	ADDPS     X5, X2
+	MOVUPS    (R13)(R8*4), X5
+	MULPS     X4, X5
+	ADDPS     X5, X3
+	ADDQ      $4, R8
+	CMPQ      R8, R10
+	JL        sq8dm4vec
+
+sq8dm4tail:
+	CMPQ R8, BX
+	JGE  sq8dm4reduce
+
+sq8dm4tailloop:
+	MOVBLZX  (DI)(R8*1), AX
+	CVTSL2SS AX, X4
+	MOVSS    (DX)(R8*4), X5
+	MULSS    X5, X4
+	MOVSS    (R9)(R8*4), X5
+	ADDSS    X5, X4
+	MOVSS    (SI)(R8*4), X5
+	MULSS    X4, X5
+	ADDSS    X5, X0
+	MOVSS    (R14)(R8*4), X5
+	MULSS    X4, X5
+	ADDSS    X5, X1
+	MOVSS    (R15)(R8*4), X5
+	MULSS    X4, X5
+	ADDSS    X5, X2
+	MOVSS    (R13)(R8*4), X5
+	MULSS    X4, X5
+	ADDSS    X5, X3
+	INCQ     R8
+	CMPQ     R8, BX
+	JL       sq8dm4tailloop
+
+sq8dm4reduce:
+	HREDUCE(X0)
+	HREDUCE(X1)
+	HREDUCE(X2)
+	HREDUCE(X3)
+
+	MOVQ op+264(FP), AX
+	CMPQ AX, $1
+	JE   sq8dm4neg
+	CMPQ AX, $2
+	JE   sq8dm4oneminus
+
+sq8dm4store:
+	MOVQ  o0_base+168(FP), R12
+	MOVSS X0, (R12)(R11*1)
+	MOVQ  o1_base+192(FP), R12
+	MOVSS X1, (R12)(R11*1)
+	MOVQ  o2_base+216(FP), R12
+	MOVSS X2, (R12)(R11*1)
+	MOVQ  o3_base+240(FP), R12
+	MOVSS X3, (R12)(R11*1)
+	JMP   sq8dm4next
+
+sq8dm4neg:
+	XORPS X7, X0
+	XORPS X7, X1
+	XORPS X7, X2
+	XORPS X7, X3
+	JMP   sq8dm4store
+
+sq8dm4oneminus:
+	MOVSS  one32<>(SB), X4
+	MOVAPS X4, X5
+	SUBSS  X0, X5
+	MOVAPS X5, X0
+	MOVAPS X4, X5
+	SUBSS  X1, X5
+	MOVAPS X5, X1
+	MOVAPS X4, X5
+	SUBSS  X2, X5
+	MOVAPS X5, X2
+	MOVAPS X4, X5
+	SUBSS  X3, X5
+	MOVAPS X5, X3
+	JMP    sq8dm4store
+
+sq8dm4next:
+	ADDQ $4, R11
+	LEAQ (DI)(BX*1), DI
+	DECQ CX
+	JNZ  sq8dm4row
+
+sq8dm4done:
+	RET
+
+// func pqScan8SSE(table []float32, codes []byte, m, ksub int64, out []float32)
+//
+// Narrow (1-byte) ADC scan: out[i] = Σ_j table[j*ksub + codes[i*m+j]]
+// under the mod-4 contract — quad-unrolled body with lane j&3, scalar
+// tail into lane 0, reduced ((s0+s1)+s2)+s3. SSE2 has no gather, so the
+// per-element loads are scalar; the kernel's advantage over the Go loop
+// is gather addressing with no per-element bounds checks. The dispatch
+// wrapper guarantees table covers (m-1)*ksub+255 and codes holds
+// len(out)*m bytes.
+//
+// SI = table, DI = codes cursor (advances m per row), DX = out cursor,
+// CX = remaining rows, BX = m, R9 = body (m &^ 3), R8 = ksub*4 (table
+// stripe stride in bytes), R10 = stripe cursor, R11 = j, AX = code.
+TEXT ·pqScan8SSE(SB), NOSPLIT, $0-88
+	MOVQ table_base+0(FP), SI
+	MOVQ codes_base+24(FP), DI
+	MOVQ m+48(FP), BX
+	MOVQ ksub+56(FP), R8
+	MOVQ out_base+64(FP), DX
+	MOVQ out_len+72(FP), CX
+	SHLQ $2, R8           // ksub -> byte stride of one table stripe
+	MOVQ BX, R9
+	ANDQ $~3, R9          // body = m &^ 3
+
+pqrow:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  SI, R10
+	XORQ  R11, R11
+	CMPQ  R9, $0
+	JE    pqtail
+
+pqbody:
+	MOVBLZX (DI)(R11*1), AX
+	MOVSS   (R10)(AX*4), X4
+	ADDSS   X4, X0
+	ADDQ    R8, R10
+	MOVBLZX 1(DI)(R11*1), AX
+	MOVSS   (R10)(AX*4), X5
+	ADDSS   X5, X1
+	ADDQ    R8, R10
+	MOVBLZX 2(DI)(R11*1), AX
+	MOVSS   (R10)(AX*4), X4
+	ADDSS   X4, X2
+	ADDQ    R8, R10
+	MOVBLZX 3(DI)(R11*1), AX
+	MOVSS   (R10)(AX*4), X5
+	ADDSS   X5, X3
+	ADDQ    R8, R10
+	ADDQ    $4, R11
+	CMPQ    R11, R9
+	JLT     pqbody
+
+pqtail:
+	CMPQ R11, BX
+	JGE  pqreduce
+	MOVBLZX (DI)(R11*1), AX
+	MOVSS   (R10)(AX*4), X4
+	ADDSS   X4, X0
+	ADDQ    R8, R10
+	INCQ    R11
+	JMP     pqtail
+
+pqreduce:
+	ADDSS X1, X0
+	ADDSS X2, X0
+	ADDSS X3, X0
+	MOVSS X0, (DX)
+	ADDQ  $4, DX
+	ADDQ  BX, DI
+	DECQ  CX
+	JNZ   pqrow
+	RET

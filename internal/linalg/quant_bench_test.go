@@ -1,0 +1,89 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKernelQuantized measures the byte-domain scan kernels at
+// Q=1/8/64 on in-cache and out-of-cache code arenas. SQ8 is the decode
+// kernel family (dim 32, one byte per dimension); PQ is the ADC
+// accumulation (m=8 subspaces, ksub=256, one byte per subspace). ns/op
+// spans one full Q×rows distance matrix; the per-pair rate is what
+// improves as each decoded (SQ8) or loaded (PQ) code row is shared
+// across the query tile.
+func BenchmarkKernelQuantized(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+
+	b.Run("SQ8", func(b *testing.B) {
+		const dim = 32
+		min := make([]float32, dim)
+		scale := make([]float32, dim)
+		for j := range min {
+			min[j] = rng.Float32() - 0.5
+			scale[j] = rng.Float32() / 255
+		}
+		for _, sz := range []struct {
+			name string
+			rows int
+		}{
+			{"incache", 8192},      // 256KB codes: L2-resident
+			{"outofcache", 262144}, // 8MB codes: streams from memory
+		} {
+			codes := make([]byte, sz.rows*dim)
+			rng.Read(codes)
+			for _, qn := range []int{1, 8, 64} {
+				queries := make([][]float32, qn)
+				outs := make([][]float32, qn)
+				for i := range queries {
+					queries[i] = make([]float32, dim)
+					for j := range queries[i] {
+						queries[i][j] = rng.Float32()
+					}
+					outs[i] = make([]float32, sz.rows)
+				}
+				b.Run(fmt.Sprintf("%s/Q=%d", sz.name, qn), func(b *testing.B) {
+					b.SetBytes(int64(sz.rows) * dim)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						// Queries stand in for precomputed residuals.
+						DistanceSQ8MultiScatter(L2, queries, min, scale, codes, outs)
+					}
+				})
+			}
+		}
+	})
+
+	b.Run("PQ", func(b *testing.B) {
+		const m, ksub = 8, 256
+		for _, sz := range []struct {
+			name string
+			rows int
+		}{
+			{"incache", 32768},      // 256KB codes: L2-resident
+			{"outofcache", 1 << 20}, // 8MB codes: streams from memory
+		} {
+			codes := make([]byte, sz.rows*m)
+			rng.Read(codes)
+			for _, qn := range []int{1, 8, 64} {
+				tables := make([][]float32, qn)
+				outs := make([][]float32, qn)
+				for i := range tables {
+					tables[i] = make([]float32, m*ksub)
+					for j := range tables[i] {
+						tables[i][j] = rng.Float32()
+					}
+					outs[i] = make([]float32, sz.rows)
+				}
+				b.Run(fmt.Sprintf("%s/Q=%d", sz.name, qn), func(b *testing.B) {
+					b.SetBytes(int64(sz.rows) * m)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						PQScan8Multi(tables, codes, m, ksub, outs)
+					}
+				})
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCodes fills a byte arena with the full u8 range plus the edge
+// values 0 and 255 over-represented.
+func randCodes(rng *rand.Rand, n int) []byte {
+	c := make([]byte, n)
+	for i := range c {
+		switch rng.Intn(8) {
+		case 0:
+			c[i] = 0
+		case 1:
+			c[i] = 255
+		default:
+			c[i] = byte(rng.Intn(256))
+		}
+	}
+	return c
+}
+
+// randAffine produces per-dim min/scale like a trained SQ8 codec:
+// non-negative scales, occasional zero (constant dim), occasional huge or
+// denormal values so rounding differences would show.
+func randAffine(rng *rand.Rand, dim int) (min, scale []float32) {
+	min = randVec(rng, dim)
+	scale = make([]float32, dim)
+	for i := range scale {
+		switch rng.Intn(8) {
+		case 0:
+			scale[i] = 0
+		case 1:
+			scale[i] = 1e-39
+		case 2:
+			scale[i] = 3e18 * float32(math.Abs(rng.NormFloat64()))
+		default:
+			scale[i] = float32(math.Abs(rng.NormFloat64()))
+		}
+	}
+	return min, scale
+}
+
+// TestSQ8KernelBitIdentity sweeps dims 1..67 (crossing the 4-way unroll
+// and in-register decode boundary many times), all three metrics, ragged
+// row counts, and Q ∈ {1,2,7,64}: the multi-query scatter, the blocked
+// kernel (SSE on amd64, portable under -tags purego), and the scalar
+// contract reference SQ8Distance must agree bit-for-bit on every
+// (query, row) pair.
+func TestSQ8KernelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	metrics := []Metric{L2, InnerProduct, Angular}
+	for dim := 1; dim <= 67; dim++ {
+		rows := 1 + rng.Intn(41)
+		codes := randCodes(rng, rows*dim)
+		min, scale := randAffine(rng, dim)
+		for _, qn := range []int{1, 2, 7, 64} {
+			queries := make([][]float32, qn)
+			resids := make([][]float32, qn)
+			for i := range queries {
+				queries[i] = randVec(rng, dim)
+				resids[i] = make([]float32, dim)
+				SQ8Residual(queries[i], min, resids[i])
+			}
+			for _, m := range metrics {
+				qarg := queries
+				if m == L2 {
+					qarg = resids
+				}
+				// Blocked kernel vs the scalar contract reference.
+				single := make([][]float32, qn)
+				for i := range queries {
+					single[i] = make([]float32, rows)
+					DistanceSQ8Block(m, qarg[i], min, scale, codes, single[i])
+					for r := 0; r < rows; r++ {
+						want := SQ8Distance(m, queries[i], min, scale, codes[r*dim:(r+1)*dim])
+						if !f32Equal(single[i][r], want) {
+							t.Fatalf("dim=%d m=%v q=%d row=%d: block=%x scalar=%x",
+								dim, m, i, r, math.Float32bits(single[i][r]), math.Float32bits(want))
+						}
+					}
+				}
+				// Multi-query scatter vs the blocked kernel.
+				outs := make([][]float32, qn)
+				for i := range outs {
+					outs[i] = make([]float32, rows)
+				}
+				DistanceSQ8MultiScatter(m, qarg, min, scale, codes, outs)
+				for i := range outs {
+					for r := 0; r < rows; r++ {
+						if !f32Equal(outs[i][r], single[i][r]) {
+							t.Fatalf("dim=%d m=%v q=%d row=%d: scatter=%x single=%x",
+								dim, m, i, r, math.Float32bits(outs[i][r]), math.Float32bits(single[i][r]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSQ8KernelAsmMatchesGo pins the dispatched kernels (SSE on amd64)
+// against the portable contract kernels directly, including the ragged
+// quad remainder the multi4 kernels never see via the public entry.
+func TestSQ8KernelAsmMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for dim := 1; dim <= 35; dim++ {
+		rows := 1 + rng.Intn(17)
+		codes := randCodes(rng, rows*dim)
+		min, scale := randAffine(rng, dim)
+		qs := make([][]float32, 4)
+		for i := range qs {
+			qs[i] = randVec(rng, dim)
+		}
+		got := make([]float32, rows)
+		want := make([]float32, rows)
+
+		sq8L2BlockKernel(qs[0], scale, codes, got)
+		sq8L2BlockGo(qs[0], scale, codes, want)
+		for r := range got {
+			if !f32Equal(got[r], want[r]) {
+				t.Fatalf("l2 block dim=%d row=%d: %x vs %x", dim, r, math.Float32bits(got[r]), math.Float32bits(want[r]))
+			}
+		}
+		for op := opNone; op <= opOneMinus; op++ {
+			sq8DotBlockKernel(qs[0], min, scale, codes, got, op)
+			sq8DotBlockGo(qs[0], min, scale, codes, want, op)
+			for r := range got {
+				if !f32Equal(got[r], want[r]) {
+					t.Fatalf("dot block dim=%d op=%d row=%d: %x vs %x", dim, op, r, math.Float32bits(got[r]), math.Float32bits(want[r]))
+				}
+			}
+		}
+
+		gots := [][]float32{make([]float32, rows), make([]float32, rows), make([]float32, rows), make([]float32, rows)}
+		wants := [][]float32{make([]float32, rows), make([]float32, rows), make([]float32, rows), make([]float32, rows)}
+		sq8L2Multi4Kernel(qs[0], qs[1], qs[2], qs[3], scale, codes, gots[0], gots[1], gots[2], gots[3])
+		sq8L2Multi4Go(qs[0], qs[1], qs[2], qs[3], scale, codes, wants[0], wants[1], wants[2], wants[3])
+		for i := range gots {
+			for r := range gots[i] {
+				if !f32Equal(gots[i][r], wants[i][r]) {
+					t.Fatalf("l2 multi4 dim=%d q=%d row=%d: %x vs %x", dim, i, r, math.Float32bits(gots[i][r]), math.Float32bits(wants[i][r]))
+				}
+			}
+		}
+		for op := opNone; op <= opOneMinus; op++ {
+			sq8DotMulti4Kernel(qs[0], qs[1], qs[2], qs[3], min, scale, codes, gots[0], gots[1], gots[2], gots[3], op)
+			sq8DotMulti4Go(qs[0], qs[1], qs[2], qs[3], min, scale, codes, wants[0], wants[1], wants[2], wants[3], op)
+			for i := range gots {
+				for r := range gots[i] {
+					if !f32Equal(gots[i][r], wants[i][r]) {
+						t.Fatalf("dot multi4 dim=%d op=%d q=%d row=%d: %x vs %x", dim, op, i, r, math.Float32bits(gots[i][r]), math.Float32bits(wants[i][r]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// pqRef is the independent scalar reference of the PQ scan contract:
+// mod-4 subspace split over the unrolled body, the ragged tail entirely
+// into s0, reduced ((s0+s1)+s2)+s3.
+func pqRef(table []float32, row []int, ksub int) float32 {
+	var s [4]float32
+	body := len(row) &^ 3
+	for j, c := range row {
+		lane := 0
+		if j < body {
+			lane = j & 3
+		}
+		s[lane] += table[j*ksub+c]
+	}
+	return s[0] + s[1] + s[2] + s[3]
+}
+
+// TestPQScanBitIdentity sweeps subquantizer counts 1..19 and table sizes
+// across narrow/wide codes: PQScan8/PQScan16 and their multi variants must
+// match the scalar reference bit-for-bit for every (query, row).
+func TestPQScanBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for m := 1; m <= 19; m++ {
+		for _, ksub := range []int{1, 7, 256, 700} {
+			rows := 1 + rng.Intn(33)
+			narrow := ksub <= 256 // byte codes can only index 256 codewords
+			idx := make([]int, rows*m)
+			codes8 := make([]byte, rows*m)
+			codes16 := make([]uint16, rows*m)
+			for i := range idx {
+				idx[i] = rng.Intn(ksub)
+				codes8[i] = byte(idx[i])
+				codes16[i] = uint16(idx[i])
+			}
+			for _, qn := range []int{1, 2, 7, 64} {
+				tables := make([][]float32, qn)
+				for q := range tables {
+					tables[q] = randVec(rng, m*ksub)
+				}
+				for q := range tables {
+					out8 := make([]float32, rows)
+					out16 := make([]float32, rows)
+					if narrow {
+						PQScan8(tables[q], codes8, m, ksub, out8)
+					}
+					PQScan16(tables[q], codes16, m, ksub, out16)
+					for r := 0; r < rows; r++ {
+						want := pqRef(tables[q], idx[r*m:(r+1)*m], ksub)
+						if (narrow && !f32Equal(out8[r], want)) || !f32Equal(out16[r], want) {
+							t.Fatalf("m=%d ksub=%d q=%d row=%d: scan8=%x scan16=%x ref=%x",
+								m, ksub, q, r, math.Float32bits(out8[r]), math.Float32bits(out16[r]), math.Float32bits(want))
+						}
+					}
+				}
+				outs8 := make([][]float32, qn)
+				outs16 := make([][]float32, qn)
+				for q := range outs8 {
+					outs8[q] = make([]float32, rows)
+					outs16[q] = make([]float32, rows)
+				}
+				if narrow {
+					PQScan8Multi(tables, codes8, m, ksub, outs8)
+				}
+				PQScan16Multi(tables, codes16, m, ksub, outs16)
+				for q := range tables {
+					for r := 0; r < rows; r++ {
+						want := pqRef(tables[q], idx[r*m:(r+1)*m], ksub)
+						if (narrow && !f32Equal(outs8[q][r], want)) || !f32Equal(outs16[q][r], want) {
+							t.Fatalf("multi m=%d ksub=%d q=%d row=%d: scan8=%x scan16=%x ref=%x",
+								m, ksub, q, r, math.Float32bits(outs8[q][r]), math.Float32bits(outs16[q][r]), math.Float32bits(want))
+						}
+					}
+				}
+			}
+		}
+	}
+	// ksub=700 with qn=64 above covers wide tables; m=0 degenerates to 0.
+	out := []float32{9}
+	PQScan8(nil, nil, 0, 4, out)
+	if out[0] != 0 {
+		t.Fatalf("m=0 scan: got %v, want 0", out[0])
+	}
+}

@@ -63,6 +63,31 @@ func (t *TopK) Push(id int64, dist float32) bool {
 	return true
 }
 
+// PushBlock offers the paired candidates ids[i]/dists[i] in index order,
+// with exactly the outcome of calling Push once per pair. It is the bulk
+// fast path of the blocked scans: once the heap is full the common reject
+// case is a single comparison against a locally cached worst distance,
+// with no per-candidate method call or heap-size check.
+func (t *TopK) PushBlock(ids []int64, dists []float32) {
+	i := 0
+	for ; len(t.heap) < t.k && i < len(dists); i++ {
+		t.Push(ids[i], dists[i])
+	}
+	if i >= len(dists) {
+		return
+	}
+	worst := t.heap[0].Dist
+	for ; i < len(dists); i++ {
+		d := dists[i]
+		if d >= worst {
+			continue
+		}
+		t.heap[0] = Neighbor{ID: ids[i], Dist: d}
+		t.siftDown(0)
+		worst = t.heap[0].Dist
+	}
+}
+
 // Results returns the retained neighbors sorted by ascending distance and
 // resets the collector.
 func (t *TopK) Results() []Neighbor {

@@ -295,3 +295,112 @@ func BenchmarkShardedSearchBatchHNSW(b *testing.B) {
 		})
 	}
 }
+
+// benchSearchBatchQuantized wraps benchSearchBatch's shape with the
+// quantized-path acceptance checks run once before the clock starts:
+// the batched results must be bit-identical to per-query Searches (the
+// multi-query kernels change wall-clock only, never results), and
+// recall@k against an exact scan of the corpus must clear the given
+// floor (the byte-domain kernels must not silently degrade quality).
+// The measured recall is reported as a benchmark metric.
+func benchSearchBatchQuantized(b *testing.B, cfg vdms.Config, n, dim, k, queries int, recallFloor float64) {
+	b.ReportAllocs()
+	coll, err := vdms.NewCollection(cfg, linalg.L2, dim, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coll.Close()
+	vecs := randomVectors(n, dim, 9)
+	ids, err := coll.Insert(vecs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := coll.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	qs := randomVectors(queries, dim, 10)
+	batch, err := coll.SearchBatch(qs, k, nil) // also warms scratch pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	hits := 0
+	for qi, q := range qs {
+		seq, err := coll.Search(q, k, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(seq) != len(batch[qi]) {
+			b.Fatalf("query %d: batch returned %d results, sequential %d", qi, len(batch[qi]), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != batch[qi][i] {
+				b.Fatalf("query %d result %d: batch %+v != sequential %+v", qi, i, batch[qi][i], seq[i])
+			}
+		}
+		truth := linalg.NewTopK(k)
+		for ri, v := range vecs {
+			truth.Push(ids[ri], linalg.Distance(linalg.L2, q, v))
+		}
+		exact := make(map[int64]bool, k)
+		for _, nb := range truth.Results() {
+			exact[nb.ID] = true
+		}
+		for _, nb := range batch[qi] {
+			if exact[nb.ID] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(len(qs)*k)
+	if recall < recallFloor {
+		b.Fatalf("recall@%d = %.3f below floor %.2f", k, recall, recallFloor)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coll.SearchBatch(qs, k, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkShardedSearchBatchSQ8 is the quantized variant of the FLAT
+// sharded read benchmark: the same out-of-cache 64000×32 corpus behind
+// IVF_SQ8 segments, so the measured path is the byte-domain posting-list
+// streaming — coarse probe, cell→prober inversion, and the multi-query
+// SQ8 decode kernels sharing each probed cell's code range across the
+// query tile. Recall and batch≡sequential bit-identity are asserted
+// before the clock starts.
+func BenchmarkShardedSearchBatchSQ8(b *testing.B) {
+	const n, dim, k, queries = 64000, 32, 10, 64
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4", 8: "shards=8"}[shards], func(b *testing.B) {
+			cfg := shardedConfig(shards)
+			cfg.IndexType = index.IVFSQ8
+			cfg.Build.NList = 64
+			cfg.Search.NProbe = 16
+			benchSearchBatchQuantized(b, cfg, n, dim, k, queries, 0.60)
+		})
+	}
+}
+
+// BenchmarkShardedSearchBatchPQ is the IVF_PQ analog: the scanned arena
+// is the packed 1-byte code matrix (m=8 codes per row — 16x smaller than
+// the raw vectors), so the measured path is per-query ADC table
+// construction plus the multi-query ADC scan making one pass over each
+// probed cell's codes for the whole tile.
+func BenchmarkShardedSearchBatchPQ(b *testing.B) {
+	const n, dim, k, queries = 64000, 32, 10, 64
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4", 8: "shards=8"}[shards], func(b *testing.B) {
+			cfg := shardedConfig(shards)
+			cfg.IndexType = index.IVFPQ
+			cfg.Build.NList = 64
+			cfg.Build.M = 8
+			cfg.Build.NBits = 8
+			cfg.Search.NProbe = 16
+			benchSearchBatchQuantized(b, cfg, n, dim, k, queries, 0.35)
+		})
+	}
+}
